@@ -1,0 +1,57 @@
+"""Shared fixtures for the figure/table regeneration harness.
+
+The full-suite characterization (26 workloads × 200k micro-ops on the
+scaled Table III machine) is computed once per session and shared by all
+figure benchmarks; each benchmark then regenerates and prints its
+figure's series and asserts the paper's shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterize import characterize_suite
+from repro.core.suite import DCBench
+
+
+def pytest_configure(config):
+    # Make the harness usable both as `pytest benchmarks/` and with
+    # `--benchmark-only`; nothing to do, marker docs only.
+    config.addinivalue_line("markers", "figure(num): regenerates one paper figure")
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return DCBench.default()
+
+
+@pytest.fixture(scope="session")
+def suite_chars(suite):
+    """Characterization of all 26 workloads (the Figures 3–12 dataset)."""
+    return characterize_suite(suite)
+
+
+@pytest.fixture(scope="session")
+def chars_by_name(suite_chars):
+    return {c.name: c for c in suite_chars}
+
+
+@pytest.fixture(scope="session")
+def da_chars(suite_chars):
+    return [c for c in suite_chars if c.group == "data-analysis"]
+
+
+@pytest.fixture(scope="session")
+def service_chars(suite_chars):
+    return [c for c in suite_chars if c.group == "service"]
+
+
+@pytest.fixture(scope="session")
+def hpcc_chars(suite_chars):
+    return [c for c in suite_chars if c.group == "hpc"]
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark (the harness runs real
+    experiments; repetition would only re-measure identical work)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

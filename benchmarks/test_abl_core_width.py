@@ -1,0 +1,64 @@
+"""Ablation: superscalar width.
+
+Section IV-A notes each Westmere core "can commit up to 4 instructions on
+each cycle in theory" yet no workload family comes close.  This sweep
+(2-wide / 4-wide / 6-wide machines) quantifies why wider cores are wasted
+on datacenter workloads: with IPC bounded by stalls, doubling the width
+moves the compute-bound HPCC kernels but barely moves the data-analysis
+and service workloads — an argument for the paper's efficiency-oriented
+recommendations.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core import DCBench, characterize
+from repro.uarch.config import scaled_machine
+
+WORKLOADS = ["WordCount", "Hive-bench", "Data Serving", "HPCC-HPL"]
+WIDTHS = (2, 4, 6)
+
+
+def test_core_width(benchmark):
+    suite = DCBench.default()
+    base = scaled_machine(8)
+
+    def harness():
+        results: dict[str, dict[int, float]] = {}
+        for name in WORKLOADS:
+            entry = suite.entry(name)
+            per_width = {}
+            for width in WIDTHS:
+                core = replace(
+                    base.core,
+                    fetch_width=width,
+                    decode_width=width,
+                    rename_width=width,
+                    retire_width=width,
+                )
+                machine = replace(base, core=core)
+                c = characterize(entry, instructions=120_000, machine=machine)
+                per_width[width] = c.metrics.ipc
+            results[name] = per_width
+        return results
+
+    results = run_once(benchmark, harness)
+    print()
+    print("Ablation: IPC versus machine width")
+    print(f"{'workload':<14s}" + "".join(f"{w}-wide".rjust(10) for w in WIDTHS))
+    for name, per_width in results.items():
+        print(f"{name:<14s}" + "".join(f"{per_width[w]:>10.2f}" for w in WIDTHS))
+
+    # Width never hurts.
+    for name, per_width in results.items():
+        ipcs = [per_width[w] for w in WIDTHS]
+        assert ipcs[0] <= ipcs[1] * 1.02 and ipcs[1] <= ipcs[2] * 1.02
+    # The study's central width finding: every workload family runs far
+    # below even a 2-wide machine's commit bound (the paper's Figure 3
+    # tops out around 1.2 IPC on a 4-wide part), so widening the core
+    # from 2 to 6 buys almost nothing anywhere — stalls, not width, bound
+    # datacenter workloads.
+    for name, per_width in results.items():
+        assert per_width[6] / per_width[2] < 1.15, name
+        assert per_width[6] < 2.0, name

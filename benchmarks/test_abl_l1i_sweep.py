@@ -1,0 +1,62 @@
+"""Ablation: L1 instruction-cache capacity.
+
+The paper's §IV-C implication: "Improving the L1 instruction cache and
+instruction TLB hit ratios can improve the performance of data analysis
+workloads, especially the service workloads" — their framework-inflated
+code footprints are exactly what a bigger L1I absorbs, while HPCC's tiny
+kernels are insensitive.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core import DCBench, characterize
+from repro.uarch.config import scaled_machine
+
+WORKLOADS = ["Hive-bench", "Media Streaming", "HPCC-DGEMM"]
+
+#: L1I capacity multiples of the scaled Table III 32 KB.
+FACTORS = (0.5, 1.0, 4.0)
+
+
+def test_l1i_sweep(benchmark):
+    suite = DCBench.default()
+    base = scaled_machine(8)
+
+    def harness():
+        results: dict[str, dict[float, tuple[float, float]]] = {}
+        for name in WORKLOADS:
+            entry = suite.entry(name)
+            per_size = {}
+            for factor in FACTORS:
+                l1i = replace(base.l1i, size_bytes=int(base.l1i.size_bytes * factor))
+                machine = replace(base, l1i=l1i)
+                c = characterize(entry, instructions=120_000, machine=machine)
+                per_size[factor] = (c.metrics.l1i_mpki, c.metrics.ipc)
+            results[name] = per_size
+        return results
+
+    results = run_once(benchmark, harness)
+    print()
+    print("Ablation: L1I capacity sweep (multiples of Table III 32 KB)")
+    print(f"{'workload':<16s}" + "".join(f"{f:>18.1f}x" for f in FACTORS))
+    for name, per_size in results.items():
+        print(
+            f"{name:<16s}"
+            + "".join(
+                f"  mpki={per_size[f][0]:>5.1f} ipc={per_size[f][1]:.2f}" for f in FACTORS
+            )
+        )
+
+    # Bigger L1I monotonically reduces misses for the code-heavy pair and
+    # the reduction is material across the sweep (the services' multi-MB
+    # hot code means even 4x doesn't capture everything — consistent with
+    # the paper's "pay more attention to the code size" framing).
+    for name in ("Hive-bench", "Media Streaming"):
+        mpki = [results[name][f][0] for f in FACTORS]
+        assert mpki[0] > mpki[1] > mpki[2]
+        assert (mpki[0] - mpki[2]) / mpki[0] > 0.15
+    # HPCC kernels do not care.
+    dgemm = [results["HPCC-DGEMM"][f][0] for f in FACTORS]
+    assert max(dgemm) < 1.0

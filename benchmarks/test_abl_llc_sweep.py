@@ -1,0 +1,60 @@
+"""Ablation: LLC capacity sweep.
+
+The paper's §IV-D implication: "Modern processors dedicate approximately
+half of the die area for caches, and hence optimizing the LLC capacity
+properly will improve the energy-efficiency of processor and save the die
+area."  This sweep quantifies it: the L3-hit ratio of L2 misses for
+data-analysis and service workloads saturates well before the full 12 MB
+— a smaller LLC would serve them nearly as well — while halving it twice
+starts to hurt.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core import DCBench, characterize
+from repro.uarch.config import CacheConfig, scaled_machine
+
+WORKLOADS = ["WordCount", "PageRank", "Data Serving"]
+
+#: L3 sizes as fractions of the (scaled) Table III 12 MB.
+FRACTIONS = (0.25, 0.5, 1.0, 2.0)
+
+
+def test_llc_sweep(benchmark):
+    suite = DCBench.default()
+    base = scaled_machine(8)
+
+    def harness():
+        results: dict[str, dict[float, tuple[float, float]]] = {}
+        for name in WORKLOADS:
+            entry = suite.entry(name)
+            per_size = {}
+            for fraction in FRACTIONS:
+                l3 = replace(base.l3, size_bytes=int(base.l3.size_bytes * fraction))
+                machine = replace(base, l3=l3)
+                c = characterize(entry, instructions=120_000, machine=machine)
+                per_size[fraction] = (c.metrics.l3_hit_ratio_of_l2_misses, c.metrics.ipc)
+            results[name] = per_size
+        return results
+
+    results = run_once(benchmark, harness)
+    print()
+    print("Ablation: LLC capacity sweep (fraction of Table III 12 MB)")
+    header = f"{'workload':<14s}" + "".join(f"{f:>16.2f}x" for f in FRACTIONS)
+    print(header)
+    for name, per_size in results.items():
+        row = f"{name:<14s}" + "".join(
+            f"  l3r={per_size[f][0]:>4.0%} ipc={per_size[f][1]:.2f}" for f in FRACTIONS
+        )
+        print(row)
+
+    for name, per_size in results.items():
+        ratios = [per_size[f][0] for f in FRACTIONS]
+        # More LLC never hurts the hit ratio materially...
+        for a, b in zip(ratios, ratios[1:]):
+            assert b >= a - 0.08, f"{name}: L3 ratio fell when growing the LLC"
+        # ... and doubling beyond Table III buys almost nothing (the
+        # paper's "LLC is large enough" observation).
+        assert per_size[2.0][0] - per_size[1.0][0] < 0.15

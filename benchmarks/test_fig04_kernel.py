@@ -1,0 +1,37 @@
+"""Figure 4: user and kernel instruction breakdown.
+
+Paper shape: services execute > 40 % kernel-mode instructions; the
+data-analysis workloads ~4 % on average with Sort the exception at ~24 %;
+HPCC-RandomAccess ~31 %.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.core.report import render_figure_series, render_metric_table
+
+
+def test_fig04(benchmark, suite_chars, chars_by_name, da_chars, service_chars):
+    series = run_once(benchmark, lambda: render_figure_series(4, suite_chars))
+    print()
+    print(render_metric_table(4, suite_chars))
+
+    # Services > 40 % kernel.
+    for c in service_chars:
+        assert c.metrics.kernel_instruction_fraction > 0.38, c.name
+    # Sort ≈ 24 %, the DA outlier.
+    sort = chars_by_name["Sort"].metrics.kernel_instruction_fraction
+    assert sort == pytest.approx(0.24, abs=0.04)
+    others = [
+        c.metrics.kernel_instruction_fraction for c in da_chars if c.name != "Sort"
+    ]
+    assert all(v < 0.10 for v in others)
+    assert sort > 3 * max(others)
+    # DA average ≈ 4 % excluding Sort's contribution dominating.
+    assert sum(others) / len(others) < 0.08
+    # RandomAccess ≈ 31 %.
+    ra = chars_by_name["HPCC-RandomAccess"].metrics.kernel_instruction_fraction
+    assert ra == pytest.approx(0.31, abs=0.04)
+    # The avg bar exists and reflects the DA block.
+    assert 0.0 < series["avg"] < 0.12

@@ -1,0 +1,34 @@
+"""Figure 5: disk writes per second of the data-analysis workloads.
+
+Paper shape: Sort has by far the highest disk-write frequency (its input
+size equals its output size and its compute is trivial); every other
+workload sits well below.
+"""
+
+from conftest import run_once
+
+from repro.cluster import make_cluster
+from repro.workloads import all_workloads
+
+
+def test_fig05(benchmark):
+    def harness():
+        rates = {}
+        for wl in all_workloads():
+            cluster = make_cluster(4, block_size=64 * 1024)
+            run = wl.run(scale=1.0, cluster=cluster)
+            rates[wl.info.name] = run.disk_writes_per_second()
+        return rates
+
+    rates = run_once(benchmark, harness)
+    print()
+    print("Figure 5: Disk writes per second (4-slave cluster)")
+    for name, rate in sorted(rates.items(), key=lambda kv: -kv[1]):
+        print(f"{name:<16s}{rate:>10.1f}")
+
+    sort = rates.pop("Sort")
+    # Sort dominates (paper: ~300/s versus ≤ ~100/s for the rest).
+    assert sort > 2 * max(rates.values())
+    assert all(rate >= 0 for rate in rates.values())
+    # The I/O-light workloads write at least *something* (task logs).
+    assert min(rates.values()) > 0

@@ -1,0 +1,36 @@
+"""Figure 6: pipeline stall breakdown of each workload.
+
+Paper shape: both the data-analysis and the service workloads suffer
+notable front-end (instruction fetch) stalls, but the *breakdown*
+differs: the data-analysis workloads stall mostly in the out-of-order
+part (paper: ~37 % RS-full + ~20 % ROB-full ≈ 57 %), the services before
+it (paper: ~60 % RAT + ~13 % fetch ≈ 73 %).
+"""
+
+from conftest import run_once
+
+from repro.core.metrics import average_metrics
+from repro.core.report import render_stall_table
+
+
+def test_fig06(benchmark, suite_chars, da_chars, service_chars):
+    table = run_once(benchmark, lambda: render_stall_table(suite_chars))
+    print()
+    print(table)
+
+    da_avg = average_metrics([c.metrics for c in da_chars])
+    svc_avg = average_metrics([c.metrics for c in service_chars])
+
+    # Data analysis: the OoO part dominates the stall cycles.
+    assert da_avg.backend_stall_share() > 0.5
+    rs_share = da_avg.stall_breakdown["rs_full"]
+    rob_share = da_avg.stall_breakdown["rob_full"]
+    assert rs_share + rob_share > 0.4  # paper: ~57 %
+    # Services: stalls concentrate before the OoO part.
+    assert svc_avg.frontend_stall_share() > 0.6  # paper: ~73 %
+    assert svc_avg.stall_breakdown["rat"] > svc_avg.stall_breakdown["rs_full"]
+    # Both families show notable fetch stalls (front-end inefficiency).
+    assert da_avg.stall_breakdown["fetch"] > 0.05
+    assert svc_avg.stall_breakdown["fetch"] > 0.05
+    # The split is a *contrast*: services are more front-end-bound than DA.
+    assert svc_avg.frontend_stall_share() > da_avg.frontend_stall_share() + 0.2

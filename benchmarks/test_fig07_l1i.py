@@ -1,0 +1,31 @@
+"""Figure 7: L1 instruction-cache misses per thousand instructions.
+
+Paper shape: data-analysis workloads average ~23 L1I MPKI — far above
+SPEC CPU2006 and all HPCC programs, below most services; Media Streaming
+is ~3× the DA average; Naive Bayes is the DA exception with the smallest
+instruction footprint.
+"""
+
+from conftest import run_once
+
+from repro.core.report import render_figure_series, render_metric_table
+
+
+def test_fig07(benchmark, suite_chars, chars_by_name, da_chars, hpcc_chars):
+    series = run_once(benchmark, lambda: render_figure_series(7, suite_chars))
+    print()
+    print(render_metric_table(7, suite_chars))
+
+    da_avg = series["avg"]
+    # Paper: ~23 L1I MPKI on average for the data-analysis workloads.
+    assert 10 < da_avg < 40
+    # HPCC instruction footprints are tiny.
+    assert all(c.metrics.l1i_mpki < 2 for c in hpcc_chars)
+    # SPEC CPU far below the data-analysis average.
+    assert chars_by_name["SPECINT"].metrics.l1i_mpki < da_avg / 2
+    assert chars_by_name["SPECFP"].metrics.l1i_mpki < da_avg / 2
+    # Media Streaming ≈ 3× the DA average (paper: "about three times").
+    streaming = chars_by_name["Media Streaming"].metrics.l1i_mpki
+    assert streaming > 2 * da_avg
+    # Naive Bayes: smallest L1I misses of the eleven (paper §IV-C).
+    assert min(da_chars, key=lambda c: c.metrics.l1i_mpki).name == "Naive Bayes"

@@ -1,0 +1,28 @@
+"""Figure 8: ITLB-miss-caused completed page walks per K-instruction.
+
+Paper shape: the data-analysis workloads walk more than SPECINT/SPECFP
+and all HPCC programs; some services (Media Streaming, Data Serving)
+walk more than the data-analysis workloads; Naive Bayes again smallest.
+"""
+
+from conftest import run_once
+
+from repro.core.report import render_figure_series, render_metric_table
+
+
+def test_fig08(benchmark, suite_chars, chars_by_name, da_chars, hpcc_chars):
+    series = run_once(benchmark, lambda: render_figure_series(8, suite_chars))
+    print()
+    print(render_metric_table(8, suite_chars))
+
+    da_avg = series["avg"]
+    # DA walks exceed SPEC CPU and every HPCC program (paper §IV-C).
+    assert da_avg > chars_by_name["SPECINT"].metrics.itlb_walks_pki
+    assert da_avg > chars_by_name["SPECFP"].metrics.itlb_walks_pki
+    assert all(c.metrics.itlb_walks_pki < da_avg for c in hpcc_chars)
+    # Media Streaming and Data Serving walk more than the DA average.
+    assert chars_by_name["Media Streaming"].metrics.itlb_walks_pki > da_avg
+    assert chars_by_name["Data Serving"].metrics.itlb_walks_pki > da_avg
+    # Naive Bayes: smallest completed walks of the eleven.
+    bayes = chars_by_name["Naive Bayes"].metrics.itlb_walks_pki
+    assert bayes <= min(c.metrics.itlb_walks_pki for c in da_chars) + 1e-9

@@ -1,0 +1,33 @@
+"""Figure 10: the ratio of L3 hits over L2 misses (Equation 1).
+
+Paper shape: the LLC captures most L2 misses for both the data-analysis
+(85.5 % average) and service (94.9 % average) workloads — "modern
+processor's LLC is large enough" — while HPCC programs vary and the
+streaming/random ones barely benefit.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.core.report import render_figure_series, render_metric_table
+
+
+def test_fig10(benchmark, suite_chars, chars_by_name, da_chars, service_chars, hpcc_chars):
+    series = run_once(benchmark, lambda: render_figure_series(10, suite_chars))
+    print()
+    print(render_metric_table(10, suite_chars))
+
+    da_avg = series["avg"]
+    svc_avg = sum(
+        c.metrics.l3_hit_ratio_of_l2_misses for c in service_chars
+    ) / len(service_chars)
+    # Paper: 85.5 % (data analysis) and 94.9 % (services).
+    assert da_avg == pytest.approx(0.855, abs=0.12)
+    assert svc_avg == pytest.approx(0.949, abs=0.12)
+    # HPCC's average ratio is lower than either (paper §IV-D).
+    hpcc_avg = sum(c.metrics.l3_hit_ratio_of_l2_misses for c in hpcc_chars) / len(hpcc_chars)
+    assert hpcc_avg < da_avg
+    assert hpcc_avg < svc_avg
+    # RandomAccess gets almost nothing from the LLC.
+    assert chars_by_name["HPCC-RandomAccess"].metrics.l3_hit_ratio_of_l2_misses < 0.3

@@ -1,0 +1,38 @@
+"""Figure 11: DTLB-miss-caused completed page walks per K-instruction.
+
+Paper shape: most data-analysis workloads walk less than the services and
+SPEC CPU2006 but more than most HPCC programs — with HPCC-RandomAccess
+and HPCC-PTRANS as the HPCC exceptions and Naive Bayes as the
+data-analysis exception (its probability tables are random-indexed).
+"""
+
+from conftest import run_once
+
+from repro.core.report import render_figure_series, render_metric_table
+
+
+def test_fig11(benchmark, suite_chars, chars_by_name, da_chars, service_chars, hpcc_chars):
+    series = run_once(benchmark, lambda: render_figure_series(11, suite_chars))
+    print()
+    print(render_metric_table(11, suite_chars))
+
+    svc_avg = sum(c.metrics.dtlb_walks_pki for c in service_chars) / len(service_chars)
+    # Typical DA workload (median) walks less than the services.
+    da_values = sorted(c.metrics.dtlb_walks_pki for c in da_chars)
+    da_median = da_values[len(da_values) // 2]
+    assert da_median < svc_avg
+    # ... and more than most HPCC programs (RandomAccess/PTRANS excepted).
+    hpcc_sans_exceptions = [
+        c.metrics.dtlb_walks_pki
+        for c in hpcc_chars
+        if c.name not in ("HPCC-RandomAccess", "HPCC-PTRANS")
+    ]
+    assert da_median > sorted(hpcc_sans_exceptions)[len(hpcc_sans_exceptions) // 2]
+    # The two HPCC exceptions tower over the rest of their suite.
+    ra = chars_by_name["HPCC-RandomAccess"].metrics.dtlb_walks_pki
+    ptrans = chars_by_name["HPCC-PTRANS"].metrics.dtlb_walks_pki
+    assert ra > 3 * max(hpcc_sans_exceptions)
+    assert ptrans > 3 * max(hpcc_sans_exceptions)
+    # Naive Bayes is the DA exception with elevated data walks.
+    bayes = chars_by_name["Naive Bayes"].metrics.dtlb_walks_pki
+    assert bayes > 2 * da_median

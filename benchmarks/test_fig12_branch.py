@@ -1,0 +1,34 @@
+"""Figure 12: branch misprediction ratio.
+
+Paper shape: most data-analysis workloads mispredict less than the
+services and less than SPECINT ("simple algorithms chosen for big data
+always beat better sophisticated algorithms"); the HPCC programs'
+regular loop nests mispredict the least.
+"""
+
+from conftest import run_once
+
+from repro.core.report import render_figure_series, render_metric_table
+
+
+def test_fig12(benchmark, suite_chars, chars_by_name, da_chars, service_chars, hpcc_chars):
+    series = run_once(benchmark, lambda: render_figure_series(12, suite_chars))
+    print()
+    print(render_metric_table(12, suite_chars))
+
+    da_avg = series["avg"]
+    svc_min = min(c.metrics.branch_misprediction_ratio for c in service_chars)
+    # DA average below every service workload.
+    assert da_avg < svc_min
+    # ... and below SPECINT (paper: "even for the CPU benchmark —
+    # SPECINT").
+    assert da_avg < chars_by_name["SPECINT"].metrics.branch_misprediction_ratio
+    # HPCC mispredicts the least ("the branch behaviors have great
+    # regularity").
+    hpcc_avg = sum(
+        c.metrics.branch_misprediction_ratio for c in hpcc_chars
+    ) / len(hpcc_chars)
+    assert hpcc_avg < da_avg
+    assert hpcc_avg < 0.05
+    # Everything stays within a believable envelope (paper y-axis: 8 %).
+    assert all(c.metrics.branch_misprediction_ratio < 0.25 for c in suite_chars)

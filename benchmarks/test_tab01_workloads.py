@@ -1,0 +1,56 @@
+"""Table I: the eleven representative data-analysis workloads.
+
+Regenerates the table from workload metadata and cross-checks it against
+live runs of each workload (every workload must actually execute and
+produce non-trivial MapReduce activity).
+"""
+
+from conftest import run_once
+
+from repro.core.report import render_table1
+from repro.workloads import all_workloads
+
+#: Paper values: (input GB, retired instructions in billions).
+PAPER_TABLE1 = {
+    "Sort": (150, 4578),
+    "WordCount": (154, 3533),
+    "Grep": (154, 1499),
+    "Naive Bayes": (147, 68131),
+    "SVM": (148, 2051),
+    "K-means": (150, 3227),
+    "Fuzzy K-means": (150, 15470),
+    "IBCF": (147, 32340),
+    "HMM": (147, 1841),
+    "PageRank": (187, 18470),
+    "Hive-bench": (156, 3659),
+}
+
+
+def test_table1(benchmark):
+    def harness():
+        rows = {}
+        for wl in all_workloads():
+            run = wl.run(scale=0.2)
+            rows[wl.info.name] = (
+                wl.info.input_gb_low,
+                wl.info.retired_instructions_1e9,
+                run.counters.map_input_records,
+            )
+        return rows
+
+    rows = run_once(benchmark, harness)
+    print()
+    print(render_table1())
+    print(f"\n{'workload':<16s}{'paper GB':>9s}{'paper 1e9 instr':>17s}{'live map records':>18s}")
+    for name, (gb, instr, records) in rows.items():
+        print(f"{name:<16s}{gb:>9d}{instr:>17d}{records:>18d}")
+
+    assert set(rows) == set(PAPER_TABLE1)
+    for name, (gb, instr, records) in rows.items():
+        paper_gb, paper_instr = PAPER_TABLE1[name]
+        assert gb == paper_gb
+        assert instr == paper_instr
+        assert records > 0, f"{name} did not process any records"
+    # Table I shape: inputs span 147–187 GB; Naive Bayes retires the most.
+    assert max(PAPER_TABLE1[n][0] for n in rows) == 187
+    assert max(rows, key=lambda n: rows[n][1]) == "Naive Bayes"

@@ -1,0 +1,38 @@
+"""Table II: application scenarios of the data-analysis workloads.
+
+Checks the paper's central claim about workload choice: most workloads
+are intersections of the three dominant application domains.
+"""
+
+from conftest import run_once
+
+from repro.analysis.domains import COMMERCE, SEARCH, SOCIAL, top_domains
+from repro.core.report import render_table2
+from repro.workloads import all_workloads
+
+DOMAIN_CANON = {
+    "search engine": SEARCH,
+    "social network": SOCIAL,
+    "electronic commerce": COMMERCE,
+}
+
+
+def test_table2(benchmark):
+    def harness():
+        return {
+            wl.info.name: {DOMAIN_CANON[d] for d, _ in wl.info.scenarios}
+            for wl in all_workloads()
+        }
+
+    domains_per_workload = run_once(benchmark, harness)
+    print()
+    print(render_table2())
+
+    top3 = set(top_domains(3))
+    # Every scenario belongs to one of the top-three domains.
+    for name, domains in domains_per_workload.items():
+        assert domains, f"{name} has no scenarios"
+        assert domains <= top3
+    # "most of our chosen workloads are intersections among three domains":
+    multi_domain = [n for n, d in domains_per_workload.items() if len(d) >= 2]
+    assert len(multi_domain) >= 6

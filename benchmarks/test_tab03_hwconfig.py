@@ -1,0 +1,25 @@
+"""Table III: details of the hardware configuration the simulator models."""
+
+from conftest import run_once
+
+from repro.core.report import render_table3
+from repro.uarch.config import XEON_E5645
+
+
+def test_table3(benchmark):
+    rows = run_once(benchmark, XEON_E5645.describe)
+    print()
+    print(render_table3())
+
+    assert rows["CPU Type"] == "Intel Xeon E5645"
+    assert rows["# Cores"] == "6 cores@2.4G"
+    assert rows["# threads"] == "12 threads"
+    assert rows["# Sockets"] == "2"
+    assert rows["ITLB"] == "4-way set associative, 64 entries"
+    assert rows["DTLB"] == "4-way set associative, 64 entries"
+    assert rows["L2 TLB"] == "4-way associative, 512 entries"
+    assert rows["L1 DCache"] == "32KB, 8-way associative, 64 byte/line"
+    assert rows["L1 ICache"] == "32KB, 4-way associative, 64 byte/line"
+    assert rows["L2 Cache"] == "256 KB, 8-way associative, 64 byte/line"
+    assert rows["L3 Cache"] == "12 MB, 16-way associative, 64 byte/line"
+    assert rows["Memory"] == "32 GB , DDR3"

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Co-locate DCBench workloads on one socket (a CloudRank-style study).
+
+The paper's §V positions DCBench next to CloudRank, whose goal is to
+"model complex usage scenarios of cloud computing ... consolidat[ing]
+different workloads on a datacenter".  This example uses the multi-core
+model — per-workload cores sharing the LLC and DRAM bandwidth — to ask
+the consolidation question directly: which data-analysis workloads can
+share a socket with a service, and which get hurt?
+
+Run:  python examples/consolidation.py
+"""
+
+from repro.core import DCBench
+from repro.uarch import MultiCoreSystem
+from repro.uarch.config import scaled_machine
+
+SCALE = 8
+VICTIMS = ["WordCount", "K-means", "Naive Bayes"]
+NEIGHBOURS = ["Grep", "Data Serving", "HPCC-STREAM"]
+
+
+def main() -> None:
+    suite = DCBench.default()
+    system = MultiCoreSystem(scaled_machine(SCALE))
+
+    print(f"{'victim':<14s}{'neighbour':<16s}{'victim slowdown':>16s}"
+          f"{'victim L3 ratio':>17s}")
+    print("-" * 63)
+    for victim_name in VICTIMS:
+        victim = suite.entry(victim_name).trace_spec(80_000).scaled(SCALE)
+        for neighbour_name in NEIGHBOURS:
+            neighbour = (
+                suite.entry(neighbour_name).trace_spec(80_000, seed=99).scaled(SCALE)
+            )
+            result = system.run_colocated([victim, neighbour])
+            shared = result.shared[victim_name]
+            print(f"{victim_name:<14s}{neighbour_name:<16s}"
+                  f"{result.slowdown(victim_name):>15.2f}x"
+                  f"{shared.l3_hit_ratio_of_l2_misses():>16.0%}")
+    print("\nreading: >1.0x means the neighbour slows the victim down; the"
+          "\nstreaming/service neighbours evict the victims' LLC share.")
+
+
+if __name__ == "__main__":
+    main()

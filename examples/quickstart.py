@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: run one data-analysis workload end to end.
+
+This script shows the two halves of the reproduction working together:
+
+1. the *functional* half — WordCount actually executes on the MapReduce
+   engine over a simulated 4-slave Hadoop cluster, producing real word
+   counts, Hadoop-style job counters and a cluster timeline;
+2. the *architectural* half — the same workload's instruction stream is
+   characterized on the simulated Xeon E5645, producing the hardware
+   performance-counter metrics of the paper's Figures 3-12.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import make_cluster
+from repro.core import DCBench, characterize
+from repro.workloads import workload
+
+
+def main() -> None:
+    # ---- functional execution on the cluster model ----
+    cluster = make_cluster(num_slaves=4, block_size=64 * 1024)
+    wordcount = workload("WordCount")
+    run = wordcount.run(scale=0.5, cluster=cluster)
+
+    print("== WordCount on a 4-slave cluster ==")
+    top = sorted(run.output.items(), key=lambda kv: -kv[1])[:5]
+    print("top words:", ", ".join(f"{w}={n}" for w, n in top))
+    print(f"documents processed : {run.counters.map_input_records}")
+    print(f"map output records  : {run.counters.map_output_records}")
+    print(f"combiner reduction  : {run.counters.combine_input_records} -> "
+          f"{run.counters.combine_output_records}")
+    print(f"shuffled bytes      : {run.counters.shuffle_bytes}")
+    print(f"simulated duration  : {run.duration_s:.3f}s over {len(run.timelines)} job(s)")
+    print(f"disk writes per sec : {run.disk_writes_per_second():.1f}")
+
+    # ---- micro-architectural characterization ----
+    suite = DCBench.default()
+    result = characterize(suite.entry("WordCount"))
+    m = result.metrics
+    print("\n== WordCount on the simulated Xeon E5645 ==")
+    print(f"IPC                      : {m.ipc:.2f}")
+    print(f"kernel instructions      : {m.kernel_instruction_fraction:.1%}")
+    print(f"L1I misses / K-instr     : {m.l1i_mpki:.1f}")
+    print(f"L2 misses / K-instr      : {m.l2_mpki:.1f}")
+    print(f"L3-hit ratio of L2 misses: {m.l3_hit_ratio_of_l2_misses:.0%}")
+    print(f"branch mispredictions    : {m.branch_misprediction_ratio:.2%}")
+    print("stall breakdown          :",
+          ", ".join(f"{k}={v:.0%}" for k, v in m.stall_breakdown.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the build environment has no `wheel` package, so
+`pip install -e . --no-use-pep517` (which needs setup.py) is the supported
+editable-install path.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of *Characterizing Data Analysis Workloads in Data
+Centers* (Jia et al., IISWC 2013).
+
+The package rebuilds the paper's full measurement stack in Python:
+
+* :mod:`repro.uarch` — a trace-driven out-of-order core simulator with the
+  performance counters the paper reads via ``perf``;
+* :mod:`repro.perf` — a perf-style event/session layer plus a simulated
+  ``/proc`` for OS-level statistics;
+* :mod:`repro.cluster` / :mod:`repro.mapreduce` / :mod:`repro.hive` — the
+  Hadoop-like substrate the workloads run on;
+* :mod:`repro.workloads` — the paper's eleven data-analysis workloads;
+* :mod:`repro.comparisons` — SPEC CPU2006 / HPCC / SPECweb2005 / CloudSuite
+  proxies;
+* :mod:`repro.core` — the characterization framework (DCBench) tying it
+  together;
+* :mod:`repro.analysis` — the Figure 1 domain study and Figure 2 speedup
+  study.
+
+Quickstart::
+
+    from repro.core import DCBench, characterize
+    suite = DCBench.default()
+    result = characterize(suite.entry("WordCount"))
+    print(result.metrics.ipc)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Sub-commands mirror how the paper's artefacts are used:
+
+* ``list``               — show the DCBench suite (groups, Table I info)
+* ``tables``             — print Tables I, II and III
+* ``run <workload>``     — execute a workload on a simulated cluster
+* ``characterize [...]`` — Figures 3–12 metrics for named workloads
+                            (or the whole suite) with optional CSV/JSON
+* ``speedup``            — the Figure 2 scaling study
+* ``domains``            — the Figure 1 domain shares
+* ``profile <workload>`` — sampled flat profile of the instruction stream
+* ``colocate <w> <w>..`` — co-locate workloads on one socket (shared LLC)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.suite import DCBench
+
+
+def _cmd_list(_args) -> int:
+    suite = DCBench.default()
+    print(f"{'workload':<18s}{'group':<15s}info")
+    print("-" * 70)
+    for entry in suite:
+        extra = ""
+        impl = entry.impl
+        if hasattr(impl, "info"):
+            extra = f"{impl.info.input_description} ({impl.info.source})"
+        else:
+            extra = impl.suite
+        print(f"{entry.name:<18s}{entry.group:<15s}{extra}")
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from repro.core.report import render_table1, render_table2, render_table3
+
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.cluster import make_cluster
+    from repro.workloads import workload
+
+    wl = workload(args.workload)
+    cluster = make_cluster(args.slaves, block_size=64 * 1024)
+    run = wl.run(scale=args.scale, cluster=cluster)
+    print(f"{wl.info.name}: {len(run.job_results)} job(s), "
+          f"{run.duration_s:.3f}s simulated on {args.slaves} slave(s)")
+    for key, value in run.counters.as_dict().items():
+        print(f"  {key:<28s}{value}")
+    print(f"  {'Disk writes per second':<28s}{run.disk_writes_per_second():.1f}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.core.characterize import characterize, characterize_suite
+    from repro.core.export import to_csv, to_json
+
+    suite = DCBench.default()
+    if args.workloads:
+        chars = [
+            characterize(suite.entry(name), instructions=args.instructions)
+            for name in args.workloads
+        ]
+    else:
+        chars = characterize_suite(suite, instructions=args.instructions)
+    if args.format == "csv":
+        print(to_csv(chars), end="")
+    elif args.format == "json":
+        print(to_json(chars))
+    else:
+        header = (f"{'workload':<18s}{'ipc':>6s}{'kern':>7s}{'l1i':>7s}{'l2':>7s}"
+                  f"{'l3r':>6s}{'dtlb':>7s}{'branch':>8s}")
+        print(header)
+        print("-" * len(header))
+        for c in chars:
+            m = c.metrics
+            print(f"{c.name:<18s}{m.ipc:>6.2f}{m.kernel_instruction_fraction:>7.1%}"
+                  f"{m.l1i_mpki:>7.1f}{m.l2_mpki:>7.1f}"
+                  f"{m.l3_hit_ratio_of_l2_misses:>6.0%}{m.dtlb_walks_pki:>7.2f}"
+                  f"{m.branch_misprediction_ratio:>8.2%}")
+    return 0
+
+
+def _cmd_speedup(_args) -> int:
+    from repro.analysis.speedup import speedup_study
+
+    result = speedup_study()
+    print(f"{'workload':<16s}" + "".join(f"{n:>10d}" for n in result.slave_counts))
+    for name in result.durations:
+        print(f"{name:<16s}" + "".join(f"{v:>10.2f}" for v in result.series(name)))
+    lo, hi = result.max_spread()
+    print(f"spread at {result.slave_counts[-1]} slaves: {lo:.2f} - {hi:.2f}")
+    return 0
+
+
+def _cmd_domains(_args) -> int:
+    from repro.analysis.domains import domain_shares
+
+    for share in domain_shares():
+        print(f"{share.category:<22s}{share.share:>5.0%}  {', '.join(share.sites)}")
+    return 0
+
+
+def _cmd_colocate(args) -> int:
+    from repro.uarch.config import scaled_machine
+    from repro.uarch.multicore import MultiCoreSystem
+
+    suite = DCBench.default()
+    scale = 8
+    specs = [
+        suite.entry(name).trace_spec(args.instructions, seed=100 + i).scaled(scale)
+        for i, name in enumerate(args.workloads)
+    ]
+    result = MultiCoreSystem(scaled_machine(scale)).run_colocated(specs)
+    print(f"{'workload':<18s}{'solo IPC':>10s}{'co-located IPC':>16s}{'slowdown':>10s}")
+    for name in args.workloads:
+        solo_ipc = result.solo[name].ipc()
+        # effective IPC includes the DRAM-contention correction folded
+        # into the slowdown (the raw shared run reports LLC effects only).
+        effective = solo_ipc / result.slowdown(name)
+        print(f"{name:<18s}{solo_ipc:>10.2f}{effective:>16.2f}"
+              f"{result.slowdown(name):>9.2f}x")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.perf.sampling import profile_trace
+
+    suite = DCBench.default()
+    spec = suite.entry(args.workload).trace_spec(args.instructions)
+    profile = profile_trace(spec, period=args.period)
+    print(profile.render(args.top))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DCBench-style workload characterization (IISWC 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the DCBench suite").set_defaults(fn=_cmd_list)
+    sub.add_parser("tables", help="print Tables I-III").set_defaults(fn=_cmd_tables)
+
+    run = sub.add_parser("run", help="execute one workload on a simulated cluster")
+    run.add_argument("workload")
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--slaves", type=int, default=4)
+    run.set_defaults(fn=_cmd_run)
+
+    ch = sub.add_parser("characterize", help="Figures 3-12 metrics")
+    ch.add_argument("workloads", nargs="*", help="workload names (default: all)")
+    ch.add_argument("--instructions", type=int, default=200_000)
+    ch.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    ch.set_defaults(fn=_cmd_characterize)
+
+    sub.add_parser("speedup", help="the Figure 2 scaling study").set_defaults(
+        fn=_cmd_speedup
+    )
+    sub.add_parser("domains", help="the Figure 1 domain shares").set_defaults(
+        fn=_cmd_domains
+    )
+
+    col = sub.add_parser("colocate", help="co-locate workloads on one socket")
+    col.add_argument("workloads", nargs="+", help="two or more suite workloads")
+    col.add_argument("--instructions", type=int, default=80_000)
+    col.set_defaults(fn=_cmd_colocate)
+
+    prof = sub.add_parser("profile", help="sampled flat profile of a workload")
+    prof.add_argument("workload")
+    prof.add_argument("--instructions", type=int, default=100_000)
+    prof.add_argument("--period", type=int, default=97)
+    prof.add_argument("--top", type=int, default=10)
+    prof.set_defaults(fn=_cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal CLI etiquette.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

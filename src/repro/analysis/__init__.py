@@ -1,0 +1,31 @@
+"""Experiment analyses that sit above single-workload characterization.
+
+* :mod:`repro.analysis.domains` — the Figure 1 application-domain study
+  (classifying the top sites by page views and daily visitors);
+* :mod:`repro.analysis.speedup` — the Figure 2 scaling study (1/4/8
+  slaves, eleven workloads);
+* :mod:`repro.analysis.summary` — programmatic checks of the paper's five
+  key findings over a set of characterizations.
+"""
+
+from repro.analysis.domains import (
+    TOP_SITES,
+    DomainShare,
+    classify_sites,
+    domain_shares,
+    top_domains,
+)
+from repro.analysis.speedup import SpeedupResult, speedup_study
+from repro.analysis.summary import Findings, evaluate_findings
+
+__all__ = [
+    "TOP_SITES",
+    "DomainShare",
+    "classify_sites",
+    "domain_shares",
+    "top_domains",
+    "SpeedupResult",
+    "speedup_study",
+    "Findings",
+    "evaluate_findings",
+]

@@ -1,0 +1,108 @@
+"""Programmatic checks of the paper's key findings (Section I).
+
+``evaluate_findings`` takes a full suite characterization and evaluates
+each of the five findings as a boolean plus the numbers behind it, so the
+reproduction's headline claims are testable artefacts rather than prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.characterize import Characterization
+from repro.core.metrics import average_metrics
+
+
+@dataclass
+class Findings:
+    """The five findings, with supporting values."""
+
+    # 1: DA IPC sits between services and compute-bound HPCC.
+    ipc_ordering: bool
+    da_avg_ipc: float
+    service_max_ipc: float
+    hpl_ipc: float
+
+    # 2: stall split — DA stalls in the OoO part, services before it.
+    stall_split: bool
+    da_backend_share: float
+    service_frontend_share: float
+
+    # 3: DA front-end pressure well above SPEC/HPCC (code footprints).
+    frontend_pressure: bool
+    da_avg_l1i_mpki: float
+    hpcc_avg_l1i_mpki: float
+
+    # 4: L2 effective for DA (DA ≪ services), L3 catches most L2 misses.
+    cache_effectiveness: bool
+    da_avg_l2_mpki: float
+    service_avg_l2_mpki: float
+    da_avg_l3_hit_ratio: float
+    service_avg_l3_hit_ratio: float
+
+    # 5: DA branch misprediction below services.
+    branch_prediction: bool
+    da_avg_mispredict: float
+    service_avg_mispredict: float
+
+    def all_hold(self) -> bool:
+        return all(
+            (
+                self.ipc_ordering,
+                self.stall_split,
+                self.frontend_pressure,
+                self.cache_effectiveness,
+                self.branch_prediction,
+            )
+        )
+
+
+def evaluate_findings(chars: list[Characterization]) -> Findings:
+    """Evaluate the five findings over a full-suite characterization."""
+    by_name = {c.name: c for c in chars}
+    da = [c.metrics for c in chars if c.group == "data-analysis"]
+    services = [c.metrics for c in chars if c.group == "service"]
+    hpcc = [c.metrics for c in chars if c.group == "hpc"]
+    if not (da and services and hpcc):
+        raise ValueError("findings need data-analysis, service and HPC entries")
+    da_avg = average_metrics(da)
+    service_avg = average_metrics(services)
+    hpcc_avg = average_metrics(hpcc)
+    hpl_ipc = by_name["HPCC-HPL"].metrics.ipc if "HPCC-HPL" in by_name else max(
+        m.ipc for m in hpcc
+    )
+    service_max_ipc = max(m.ipc for m in services)
+
+    ipc_ordering = service_max_ipc < da_avg.ipc < hpl_ipc
+    da_backend = da_avg.backend_stall_share()
+    service_frontend = service_avg.frontend_stall_share()
+    stall_split = da_backend > 0.5 and service_frontend > 0.5
+    frontend_pressure = da_avg.l1i_mpki > 4 * max(hpcc_avg.l1i_mpki, 0.1)
+    cache_effectiveness = (
+        da_avg.l2_mpki < 0.5 * service_avg.l2_mpki
+        and da_avg.l3_hit_ratio_of_l2_misses > 0.6
+        and service_avg.l3_hit_ratio_of_l2_misses > 0.6
+    )
+    branch_prediction = (
+        da_avg.branch_misprediction_ratio < service_avg.branch_misprediction_ratio
+    )
+    return Findings(
+        ipc_ordering=ipc_ordering,
+        da_avg_ipc=da_avg.ipc,
+        service_max_ipc=service_max_ipc,
+        hpl_ipc=hpl_ipc,
+        stall_split=stall_split,
+        da_backend_share=da_backend,
+        service_frontend_share=service_frontend,
+        frontend_pressure=frontend_pressure,
+        da_avg_l1i_mpki=da_avg.l1i_mpki,
+        hpcc_avg_l1i_mpki=hpcc_avg.l1i_mpki,
+        cache_effectiveness=cache_effectiveness,
+        da_avg_l2_mpki=da_avg.l2_mpki,
+        service_avg_l2_mpki=service_avg.l2_mpki,
+        da_avg_l3_hit_ratio=da_avg.l3_hit_ratio_of_l2_misses,
+        service_avg_l3_hit_ratio=service_avg.l3_hit_ratio_of_l2_misses,
+        branch_prediction=branch_prediction,
+        da_avg_mispredict=da_avg.branch_misprediction_ratio,
+        service_avg_mispredict=service_avg.branch_misprediction_ratio,
+    )

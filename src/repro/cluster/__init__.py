@@ -1,0 +1,49 @@
+"""Data-center cluster model.
+
+The paper runs its workloads on a 5-node Hadoop cluster (one master, four
+slaves; two Xeon E5645 per node, 1 GbE interconnect, 24 map / 12 reduce
+slots per slave).  This package models that substrate at the level the
+paper measures it:
+
+* :mod:`repro.cluster.disk` — disk devices with bandwidth and per-operation
+  accounting into the simulated ``/proc`` (Figure 5's disk writes/s);
+* :mod:`repro.cluster.network` — 1 GbE NICs with serialised transfers;
+* :mod:`repro.cluster.node` — a node bundling slots, disk, NIC;
+* :mod:`repro.cluster.hdfs` — block placement with replication and
+  locality queries;
+* :mod:`repro.cluster.cluster` — the cluster itself plus the discrete-event
+  timeline executor for MapReduce jobs (map waves, shuffle, reduce).
+"""
+
+from repro.cluster.disk import Disk
+from repro.cluster.network import Network, Nic
+from repro.cluster.node import Node
+from repro.cluster.hdfs import Hdfs, HdfsFile, Block
+from repro.cluster.cluster import (
+    HadoopCluster,
+    JobTimeline,
+    JobWork,
+    MapWork,
+    ReduceWork,
+    make_cluster,
+)
+from repro.cluster.faults import FaultPlan, FaultyCluster, FaultyTimeline
+
+__all__ = [
+    "Disk",
+    "Network",
+    "Nic",
+    "Node",
+    "Hdfs",
+    "HdfsFile",
+    "Block",
+    "HadoopCluster",
+    "JobTimeline",
+    "JobWork",
+    "MapWork",
+    "ReduceWork",
+    "make_cluster",
+    "FaultPlan",
+    "FaultyCluster",
+    "FaultyTimeline",
+]

@@ -1,0 +1,297 @@
+"""The Hadoop cluster and its MapReduce job timeline executor.
+
+:class:`HadoopCluster` mirrors the paper's testbed: one master plus N
+slaves (four in the paper's characterization runs; 1/4/8 in the Figure 2
+speedup study), 24 map and 12 reduce slots per slave, 1 GbE, local disks,
+and HDFS block placement.
+
+The *functional* execution of a job (running the actual map/reduce
+functions over real records) lives in :mod:`repro.mapreduce`; that engine
+derives a :class:`JobWork` — per-task byte counts and CPU work — which this
+module schedules onto slots, disks and NICs to produce a
+:class:`JobTimeline`.  All the cluster-level numbers the paper reports
+(speedups, disk writes per second) come from these timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.hdfs import Hdfs
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+
+#: Bytes of task logs / job-history records each task writes locally
+#: (tasktracker logging — visible in /proc disk counters even for jobs
+#: with tiny outputs).
+TASK_LOG_BYTES = 2048
+
+
+@dataclass(frozen=True)
+class MapWork:
+    """Resource demand of one map task."""
+
+    input_bytes: int
+    cpu_seconds: float
+    output_bytes: int
+    preferred_nodes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 0 or self.output_bytes < 0 or self.cpu_seconds < 0:
+            raise ValueError("map work amounts must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReduceWork:
+    """Resource demand of one reduce task."""
+
+    shuffle_bytes: int
+    cpu_seconds: float
+    output_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.shuffle_bytes < 0 or self.output_bytes < 0 or self.cpu_seconds < 0:
+            raise ValueError("reduce work amounts must be non-negative")
+
+
+@dataclass
+class JobWork:
+    """A whole job's worth of task demands (produced by the engine)."""
+
+    name: str
+    maps: list[MapWork]
+    reduces: list[ReduceWork] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.maps:
+            raise ValueError("a job needs at least one map task")
+
+
+@dataclass
+class JobTimeline:
+    """Timing outcome of one job on one cluster."""
+
+    job_name: str
+    start_s: float
+    map_phase_end_s: float
+    end_s: float
+    map_tasks: int
+    reduce_tasks: int
+    disk_writes_per_second: dict[str, float]
+    network_bytes: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class HadoopCluster:
+    """Master + slaves + network + HDFS, with a job timeline executor."""
+
+    def __init__(
+        self,
+        slaves: list[Node],
+        master: Node | None = None,
+        network: Network | None = None,
+        block_size: int = 2 * 1024 * 1024,
+        replication: int = 3,
+        locality_wait_s: float = 0.02,
+    ) -> None:
+        if not slaves:
+            raise ValueError("a cluster needs at least one slave")
+        if locality_wait_s < 0:
+            raise ValueError("locality wait must be non-negative")
+        self.master = master or Node("master")
+        self.slaves = list(slaves)
+        self.network = network or Network()
+        self.hdfs = Hdfs(self.slaves, block_size=block_size, replication=replication)
+        #: how long a map task waits for a data-local slot before running
+        #: remote (Hadoop's mapred.locality.wait, scaled to task times)
+        self.locality_wait_s = locality_wait_s
+        self.clock = 0.0
+        self._slave_by_name = {node.name: node for node in self.slaves}
+
+    # -- helpers ------------------------------------------------------------
+
+    def slave(self, name: str) -> Node:
+        return self._slave_by_name[name]
+
+    @property
+    def total_map_slots(self) -> int:
+        return sum(node.map_slots for node in self.slaves)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return sum(node.reduce_slots for node in self.slaves)
+
+    def reset(self) -> None:
+        """Clear all timing/procfs state (fresh experiment)."""
+        self.clock = 0.0
+        self.network.transfers = 0
+        self.network.bytes_moved = 0
+        for node in [self.master, *self.slaves]:
+            node.reset()
+
+    # -- job execution --------------------------------------------------------
+
+    def run_job(self, work: JobWork) -> JobTimeline:
+        """Schedule *work* and advance the cluster clock; return the timeline.
+
+        Scheduling policy (Hadoop-1-like):
+
+        * map tasks go to the data-local node's earliest slot when that
+          costs at most ``locality_wait`` over the globally earliest slot;
+        * a map task reads its split (locally, or via the network from a
+          replica holder), computes, and spills its output to local disk;
+        * each reducer pulls its share of every map's output as that map
+          finishes (local reads for co-located segments, network transfers
+          otherwise), then computes, then writes its HDFS output locally
+          plus ``replication - 1`` remote copies.
+        """
+        start = self.clock
+        net_bytes_before = self.network.bytes_moved
+        for node in self.slaves:
+            node.procfs.sample(start)
+
+        locality_wait = self.locality_wait_s
+        map_end_times: list[float] = []
+        map_nodes: list[Node] = []
+        map_outputs: list[int] = []
+        for task in work.maps:
+            node, slot, ready = self._pick_map_slot(task, start, locality_wait)
+            task_start = max(ready, start)
+            now = task_start
+            if task.input_bytes:
+                if task.preferred_nodes and node.name not in task.preferred_nodes:
+                    # Remote read: replica holder's disk, then the network.
+                    src = self._slave_by_name.get(task.preferred_nodes[0])
+                    if src is not None and src is not node:
+                        read_done = src.disk.read(now, task.input_bytes)
+                        now = self.network.transfer(
+                            read_done, src.nic, node.nic, task.input_bytes
+                        )
+                    else:
+                        now = node.disk.read(now, task.input_bytes)
+                else:
+                    now = node.disk.read(now, task.input_bytes)
+            now += node.cpu_time(task.cpu_seconds)
+            now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
+            node.map_slot_free[slot] = now
+            map_end_times.append(now)
+            map_nodes.append(node)
+            map_outputs.append(task.output_bytes)
+
+        return self._finish_reduce_phase(
+            work, start, net_bytes_before, map_end_times, map_nodes, map_outputs
+        )
+
+    def _finish_reduce_phase(
+        self,
+        work: JobWork,
+        start: float,
+        net_bytes_before: int,
+        map_end_times: list[float],
+        map_nodes: list[Node],
+        map_outputs: list[int],
+    ) -> JobTimeline:
+        """Shuffle + reduce + output replication, shared by the stock and
+        fault-injected schedulers."""
+        map_phase_end = max(map_end_times) if map_end_times else start
+        total_map_output = sum(map_outputs)
+
+        end = map_phase_end
+        # Two passes keep simulated causality straight: every reducer's
+        # shuffle reads are issued (at map-finish times) before any
+        # reducer's output writes, as in a real run where the copy phase
+        # overlaps and the writes come last.
+        placements = [self._pick_reduce_slot(i, start) for i in range(len(work.reduces))]
+        shuffle_done_times: list[float] = []
+        for (node, _slot, ready), task in zip(placements, work.reduces):
+            shuffle_done = max(ready, start)
+            if total_map_output and task.shuffle_bytes:
+                for m_end, m_node, m_out in zip(map_end_times, map_nodes, map_outputs):
+                    segment = int(task.shuffle_bytes * (m_out / total_map_output))
+                    if segment <= 0:
+                        continue
+                    if m_node is node:
+                        done = m_node.disk.read(m_end, segment)
+                    else:
+                        read_done = m_node.disk.read(m_end, segment)
+                        done = self.network.transfer(read_done, m_node.nic, node.nic, segment)
+                    if done > shuffle_done:
+                        shuffle_done = done
+            shuffle_done_times.append(shuffle_done)
+        for (node, slot, _ready), task, shuffle_done in zip(
+            placements, work.reduces, shuffle_done_times
+        ):
+            now = max(shuffle_done, map_phase_end, node.reduce_slot_free[slot])
+            now += node.cpu_time(task.cpu_seconds)
+            now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
+            if task.output_bytes:
+                # HDFS replication: pipeline copies to other slaves.
+                copies = min(self.hdfs.replication - 1, len(self.slaves) - 1)
+                for c in range(copies):
+                    dst = self.slaves[(self.slaves.index(node) + 1 + c) % len(self.slaves)]
+                    sent = self.network.transfer(now, node.nic, dst.nic, task.output_bytes)
+                    now = max(now, dst.disk.write(sent, task.output_bytes))
+            node.reduce_slot_free[slot] = now
+            if now > end:
+                end = now
+
+        self.clock = end
+        rates: dict[str, float] = {}
+        for node in self.slaves:
+            node.procfs.sample(end)
+            rates[node.name] = node.procfs.disk_writes_per_second()
+        return JobTimeline(
+            job_name=work.name,
+            start_s=start,
+            map_phase_end_s=map_phase_end,
+            end_s=end,
+            map_tasks=len(work.maps),
+            reduce_tasks=len(work.reduces),
+            disk_writes_per_second=rates,
+            network_bytes=self.network.bytes_moved - net_bytes_before,
+        )
+
+    # -- slot selection --------------------------------------------------------
+
+    def _pick_map_slot(
+        self, task: MapWork, job_start: float, locality_wait: float
+    ) -> tuple[Node, int, float]:
+        best_node, best_slot, best_time = None, -1, float("inf")
+        local_node, local_slot, local_time = None, -1, float("inf")
+        for node in self.slaves:
+            slot = node.earliest_map_slot()
+            t = max(node.map_slot_free[slot], job_start)
+            if t < best_time:
+                best_node, best_slot, best_time = node, slot, t
+            if task.preferred_nodes and node.name in task.preferred_nodes and t < local_time:
+                local_node, local_slot, local_time = node, slot, t
+        if local_node is not None and local_time <= best_time + locality_wait:
+            return local_node, local_slot, local_time
+        assert best_node is not None
+        return best_node, best_slot, best_time
+
+    def _pick_reduce_slot(self, r_index: int, job_start: float) -> tuple[Node, int, float]:
+        node = self.slaves[r_index % len(self.slaves)]
+        slot = node.earliest_reduce_slot()
+        return node, slot, max(node.reduce_slot_free[slot], job_start)
+
+
+def make_cluster(
+    num_slaves: int = 4,
+    map_slots: int = 24,
+    reduce_slots: int = 12,
+    block_size: int = 2 * 1024 * 1024,
+    replication: int = 3,
+    cpu_speed: float = 1.0,
+) -> HadoopCluster:
+    """Build a paper-shaped cluster: one master plus *num_slaves* slaves."""
+    if num_slaves <= 0:
+        raise ValueError("need at least one slave")
+    slaves = [
+        Node(f"slave{i + 1}", map_slots=map_slots, reduce_slots=reduce_slots, cpu_speed=cpu_speed)
+        for i in range(num_slaves)
+    ]
+    return HadoopCluster(slaves, block_size=block_size, replication=replication)

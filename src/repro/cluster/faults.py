@@ -1,0 +1,195 @@
+"""Fault and straggler models for the cluster (Hadoop's resilience story).
+
+Hadoop 1.x survives two everyday pathologies that shape job runtimes:
+
+* **task failures** — a task dies (bad disk sector, JVM OOM) and the
+  jobtracker re-executes it, preferring a different node;
+* **stragglers** — a task runs on a degraded node far slower than its
+  siblings; *speculative execution* launches a backup copy elsewhere and
+  takes whichever finishes first.
+
+:class:`FaultPlan` describes deterministic fault injections for one job
+run; :class:`FaultyCluster` wraps a :class:`~repro.cluster.cluster.
+HadoopCluster` and replays the plan during scheduling.  The model keeps
+the paper's semantics: failures cost re-execution time, speculation
+bounds straggler damage at the price of duplicate work (visible in the
+disk/network counters).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster.cluster import (
+    HadoopCluster,
+    JobTimeline,
+    JobWork,
+    TASK_LOG_BYTES,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault injection for one job execution.
+
+    Attributes:
+        map_failures: indices of map tasks whose first attempt fails at
+            ``failure_point`` of their runtime.
+        straggler_nodes: node names running at ``straggler_factor`` speed.
+        failure_point: fraction of the attempt's runtime spent before the
+            failure is detected.
+        straggler_factor: slowdown multiplier for straggler nodes.
+        speculative_execution: launch backup attempts for straggler tasks
+            (Hadoop's mapred.map.tasks.speculative.execution).
+    """
+
+    map_failures: tuple[int, ...] = ()
+    straggler_nodes: tuple[str, ...] = ()
+    failure_point: float = 0.5
+    straggler_factor: float = 4.0
+    speculative_execution: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_point <= 1.0:
+            raise ValueError("failure_point must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+
+    @classmethod
+    def random_plan(
+        cls,
+        num_maps: int,
+        failure_rate: float = 0.05,
+        seed: int = 0,
+        **kwargs,
+    ) -> "FaultPlan":
+        """Sample a plan with roughly *failure_rate* of maps failing."""
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        rng = random.Random(seed)
+        failures = tuple(
+            i for i in range(num_maps) if rng.random() < failure_rate
+        )
+        return cls(map_failures=failures, **kwargs)
+
+
+@dataclass
+class FaultyTimeline:
+    """A job timeline annotated with resilience accounting."""
+
+    timeline: JobTimeline
+    failed_attempts: int = 0
+    speculative_attempts: int = 0
+    speculative_wins: int = 0
+    wasted_seconds: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.timeline.duration_s
+
+
+class FaultyCluster:
+    """A cluster that injects faults/stragglers while scheduling maps.
+
+    Only the map phase is fault-injected (maps dominate task counts in
+    these jobs and Hadoop's speculation story is map-centric); the reduce
+    phase runs through the wrapped cluster untouched.
+    """
+
+    def __init__(self, cluster: HadoopCluster, plan: FaultPlan):
+        self.cluster = cluster
+        self.plan = plan
+
+    def run_job(self, work: JobWork) -> FaultyTimeline:
+        cluster = self.cluster
+        plan = self.plan
+        start = cluster.clock
+        net_before = cluster.network.bytes_moved
+        for node in cluster.slaves:
+            node.procfs.sample(start)
+
+        failed = set(plan.map_failures)
+        stragglers = set(plan.straggler_nodes)
+        stats = FaultyTimeline(timeline=None)  # type: ignore[arg-type]
+
+        map_end_times: list[float] = []
+        map_nodes = []
+        map_outputs: list[int] = []
+        for index, task in enumerate(work.maps):
+            node, slot, ready = cluster._pick_map_slot(task, start, cluster.locality_wait_s)
+            attempt_start = max(ready, start)
+
+            def attempt(on_node, at):
+                now = at
+                if task.input_bytes:
+                    now = on_node.disk.read(now, task.input_bytes)
+                now += on_node.cpu_time(task.cpu_seconds)
+                now = on_node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
+                if on_node.name in stragglers:
+                    # A degraded node is slow across the board (thermal
+                    # throttling, dying disk): stretch the whole attempt.
+                    now = at + (now - at) * plan.straggler_factor
+                return now
+
+            end = attempt(node, attempt_start)
+
+            if index in failed:
+                # The first attempt dies part-way; rerun elsewhere.
+                stats.failed_attempts += 1
+                failure_time = attempt_start + (end - attempt_start) * plan.failure_point
+                stats.wasted_seconds += failure_time - attempt_start
+                retry_node, retry_slot, retry_ready = cluster._pick_map_slot(
+                    task, failure_time, cluster.locality_wait_s
+                )
+                retry_start = max(retry_ready, failure_time)
+                end = attempt(retry_node, retry_start)
+                retry_node.map_slot_free[retry_slot] = end
+                node.map_slot_free[slot] = failure_time
+                node = retry_node
+            elif (
+                plan.speculative_execution
+                and node.name in stragglers
+                and len(cluster.slaves) > 1
+            ):
+                # Launch a backup on the fastest non-straggler node once
+                # the original is clearly behind.
+                stats.speculative_attempts += 1
+                candidates = [n for n in cluster.slaves if n.name not in stragglers]
+                if candidates:
+                    backup_node = min(
+                        candidates, key=lambda n: n.map_slot_free[n.earliest_map_slot()]
+                    )
+                    backup_slot = backup_node.earliest_map_slot()
+                    backup_start = max(
+                        backup_node.map_slot_free[backup_slot], attempt_start
+                    )
+                    backup_end = attempt(backup_node, backup_start)
+                    if backup_end < end:
+                        stats.speculative_wins += 1
+                        stats.wasted_seconds += end - backup_end
+                        backup_node.map_slot_free[backup_slot] = backup_end
+                        node.map_slot_free[slot] = end  # original runs to kill
+                        node = backup_node
+                        end = backup_end
+                    else:
+                        stats.wasted_seconds += backup_end - backup_start
+                        backup_node.map_slot_free[backup_slot] = backup_end
+                        node.map_slot_free[slot] = end
+                else:
+                    node.map_slot_free[slot] = end
+            else:
+                node.map_slot_free[slot] = end
+
+            map_end_times.append(end)
+            map_nodes.append(node)
+            map_outputs.append(task.output_bytes)
+
+        # Reduce phase: reuse the stock cluster logic by running a
+        # map-less continuation — simplest correct route is to finish the
+        # job with the same code path the cluster uses.
+        timeline = cluster._finish_reduce_phase(
+            work, start, net_before, map_end_times, map_nodes, map_outputs
+        )
+        stats.timeline = timeline
+        return stats

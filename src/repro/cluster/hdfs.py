@@ -1,0 +1,111 @@
+"""HDFS block placement model.
+
+Files are split into fixed-size blocks, each replicated on ``replication``
+distinct slave nodes (round-robin with a rotating offset, which is how a
+balanced HDFS cluster ends up distributing a large sequentially-written
+file).  The scheduler queries :meth:`Hdfs.nodes_with_block` for map-task
+locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Node
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block."""
+
+    file_name: str
+    index: int
+    size_bytes: int
+    replicas: tuple[str, ...]
+
+
+@dataclass
+class HdfsFile:
+    """A file: ordered blocks plus total size."""
+
+    name: str
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class Hdfs:
+    """Block-placement directory over the cluster's slave nodes."""
+
+    def __init__(self, nodes: list[Node], block_size: int = 64 * 1024 * 1024, replication: int = 3):
+        if not nodes:
+            raise ValueError("HDFS needs at least one datanode")
+        if block_size <= 0:
+            raise ValueError("block size must be positive")
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        self.nodes = list(nodes)
+        self.block_size = block_size
+        self.replication = min(replication, len(self.nodes))
+        self.files: dict[str, HdfsFile] = {}
+        self._placement_cursor = 0
+
+    def create_file(self, name: str, size_bytes: int) -> HdfsFile:
+        """Create a file of *size_bytes*, splitting and placing its blocks."""
+        if name in self.files:
+            raise ValueError(f"file {name!r} already exists")
+        if size_bytes < 0:
+            raise ValueError("file size must be non-negative")
+        blocks: list[Block] = []
+        remaining = size_bytes
+        index = 0
+        while remaining > 0:
+            size = min(self.block_size, remaining)
+            replicas = self._place()
+            blocks.append(Block(name, index, size, replicas))
+            remaining -= size
+            index += 1
+        hfile = HdfsFile(name, blocks)
+        self.files[name] = hfile
+        return hfile
+
+    def delete_file(self, name: str) -> None:
+        self.files.pop(name, None)
+
+    def _place(self) -> tuple[str, ...]:
+        n = len(self.nodes)
+        chosen = tuple(
+            self.nodes[(self._placement_cursor + i) % n].name for i in range(self.replication)
+        )
+        self._placement_cursor = (self._placement_cursor + 1) % n
+        return chosen
+
+    def nodes_with_block(self, block: Block) -> tuple[str, ...]:
+        return block.replicas
+
+    def blocks_of(self, name: str) -> list[Block]:
+        try:
+            return self.files[name].blocks
+        except KeyError:
+            raise KeyError(f"no such HDFS file: {name!r}") from None
+
+    def blocks_on_node(self, node_name: str) -> list[Block]:
+        return [
+            block
+            for hfile in self.files.values()
+            for block in hfile.blocks
+            if node_name in block.replicas
+        ]
+
+    def total_stored_bytes(self) -> int:
+        """Raw bytes stored including replication."""
+        return sum(
+            block.size_bytes * len(block.replicas)
+            for hfile in self.files.values()
+            for block in hfile.blocks
+        )

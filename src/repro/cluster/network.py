@@ -1,0 +1,83 @@
+"""Network model: 1 GbE NICs behind a non-blocking switch.
+
+The paper's cluster uses 1 Gb ethernet.  We model each node's NIC as a
+pair of serialised half-duplex-per-direction channels (TX and RX) and the
+switch as non-blocking, so a transfer is limited by the slower of the
+sender's TX and the receiver's RX availability — the standard fabric model
+for rack-scale Hadoop clusters.
+"""
+
+from __future__ import annotations
+
+from repro.perf.procfs import ProcFs
+
+GIGABIT_PER_S = 125e6  # 1 Gb/s in bytes/s
+
+
+class Nic:
+    """One node's network interface with separate TX/RX serialisation."""
+
+    def __init__(self, procfs: ProcFs, bandwidth: float = GIGABIT_PER_S) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.procfs = procfs
+        self.bandwidth = bandwidth
+        self.tx_busy_until = 0.0
+        self.rx_busy_until = 0.0
+
+    def reset(self) -> None:
+        self.tx_busy_until = 0.0
+        self.rx_busy_until = 0.0
+
+
+class Network:
+    """Switch connecting NICs; per-transfer latency, optional fabric cap.
+
+    With ``fabric_bandwidth=None`` the switch is non-blocking: a transfer
+    is limited only by the two endpoint NICs.  Real rack switches of the
+    paper's era were often *oversubscribed* — the aggregate uplink/fabric
+    capacity is below the sum of port speeds — which is what collapses
+    all-to-all shuffles (Sort) at larger cluster sizes.  Passing a
+    ``fabric_bandwidth`` (bytes/s) serialises all cross-node traffic
+    through that shared capacity as well.
+    """
+
+    def __init__(
+        self, latency_s: float = 0.0002, fabric_bandwidth: float | None = None
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if fabric_bandwidth is not None and fabric_bandwidth <= 0:
+            raise ValueError("fabric bandwidth must be positive")
+        self.latency_s = latency_s
+        self.fabric_bandwidth = fabric_bandwidth
+        self.fabric_busy_until = 0.0
+        self.transfers = 0
+        self.bytes_moved = 0
+
+    def transfer(self, now: float, src: Nic, dst: Nic, num_bytes: int) -> float:
+        """Move *num_bytes* from *src* to *dst* starting at *now*.
+
+        Returns the completion time.  Transfers between a node and itself
+        should not go through the network (the caller checks locality).
+        """
+        if num_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if src is dst:
+            raise ValueError("local transfers do not use the network")
+        start = max(now, src.tx_busy_until, dst.rx_busy_until)
+        rate = min(src.bandwidth, dst.bandwidth)
+        if self.fabric_bandwidth is not None:
+            # Shared fabric: the transfer also occupies the switch core.
+            start = max(start, self.fabric_busy_until)
+            done = start + self.latency_s + num_bytes / min(rate, self.fabric_bandwidth)
+            self.fabric_busy_until = start + num_bytes / self.fabric_bandwidth
+        else:
+            done = start + self.latency_s + num_bytes / rate
+        src.tx_busy_until = done
+        dst.rx_busy_until = done
+        src.procfs.record_net(tx_bytes=num_bytes)
+        dst.procfs.record_net(rx_bytes=num_bytes)
+        self.transfers += 1
+        self.bytes_moved += num_bytes
+        return done

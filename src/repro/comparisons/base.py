@@ -1,0 +1,107 @@
+"""Comparison-workload interface and registry.
+
+Mirrors :mod:`repro.workloads.base` for the non-data-analysis suites: each
+comparison workload has a real runnable kernel (:meth:`run`) and a
+micro-architectural profile (:meth:`uarch_profile`) feeding the same
+simulator, so the cross-suite figures compare like with like.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.uarch.trace import TraceSpec
+
+
+@dataclass
+class ComparisonRun:
+    """Result of one comparison-kernel execution."""
+
+    name: str
+    output: Any
+    #: kernel-specific figures of merit (residuals, op counts, rates)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+class ComparisonWorkload(ABC):
+    """One compared benchmark: metadata + real kernel + profile."""
+
+    name: str
+    suite: str  # "SPEC CPU2006" | "HPCC" | "SPECweb2005" | "CloudSuite"
+
+    @abstractmethod
+    def run(self, scale: float = 1.0) -> ComparisonRun:
+        """Execute the kernel for real at *scale* and self-validate."""
+
+    @abstractmethod
+    def uarch_profile(self) -> dict[str, Any]:
+        """TraceSpec parameters (full — no framework defaults here, since
+        these are native C/C++/JVM binaries of very different shapes)."""
+
+    def trace_spec(self, instructions: int, seed: int | None = None) -> TraceSpec:
+        params = dict(self.uarch_profile())
+        if seed is not None:
+            params["seed"] = seed
+        else:
+            params.setdefault("seed", 19880 + sum(map(ord, self.name)))
+        return TraceSpec(name=self.name, instructions=instructions, **params)
+
+
+#: The five CloudSuite benchmarks characterized in the figures (the sixth,
+#: Naive Bayes, is one of the eleven data-analysis workloads), the two
+#: SPEC CPU2006 groups, SPECweb2005, and the seven HPCC programs — in the
+#: order the paper's figures list them after the data-analysis block.
+COMPARISON_NAMES = [
+    "Software Testing",
+    "Media Streaming",
+    "Data Serving",
+    "Web Search",
+    "Web Serving",
+    "SPECFP",
+    "SPECINT",
+    "SPECWeb",
+    "HPCC-COMM",
+    "HPCC-DGEMM",
+    "HPCC-FFT",
+    "HPCC-HPL",
+    "HPCC-PTRANS",
+    "HPCC-RandomAccess",
+    "HPCC-STREAM",
+]
+
+#: The workloads the paper groups as "service workloads" (§I: four of the
+#: six CloudSuite benchmarks plus the traditional SPECweb2005 server).
+SERVICE_WORKLOADS = frozenset(
+    ["Media Streaming", "Data Serving", "Web Search", "Web Serving", "SPECWeb"]
+)
+
+_REGISTRY: dict[str, type[ComparisonWorkload]] = {}
+
+
+def register(cls: type[ComparisonWorkload]) -> type[ComparisonWorkload]:
+    if cls.name in _REGISTRY:
+        raise ValueError(f"comparison {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def comparison(name: str) -> ComparisonWorkload:
+    """Instantiate a comparison workload by figure name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown comparison {name!r}; known: {known}") from None
+
+
+def all_comparisons() -> list[ComparisonWorkload]:
+    """All comparison workloads in figure order."""
+    _ensure_loaded()
+    return [comparison(name) for name in COMPARISON_NAMES]
+
+
+def _ensure_loaded() -> None:
+    from repro.comparisons import cloudsuite, hpcc, speccpu, specweb  # noqa: F401

@@ -1,0 +1,44 @@
+"""DCBench-style workload characterization framework — the paper's
+primary contribution, as a reusable tool.
+
+* :mod:`repro.core.characterize` — run one workload's instruction stream
+  through the simulated core and derive the paper's metrics;
+* :mod:`repro.core.metrics` — the metric set of Figures 3–12;
+* :mod:`repro.core.suite` — the DCBench suite: the eleven data-analysis
+  workloads plus the comparison suites, in the paper's figure order;
+* :mod:`repro.core.report` — text renderings of every table and figure.
+
+Quickstart::
+
+    from repro.core import DCBench, characterize
+    result = characterize(DCBench.default().entry("WordCount"))
+    print(result.metrics.ipc)
+"""
+
+from repro.core.metrics import Metrics, STALL_CATEGORIES
+from repro.core.characterize import Characterization, characterize
+from repro.core.suite import DCBench, SuiteEntry, FIGURE_ORDER
+from repro.core.report import (
+    render_figure_series,
+    render_metric_table,
+    render_stall_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "Metrics",
+    "STALL_CATEGORIES",
+    "Characterization",
+    "characterize",
+    "DCBench",
+    "SuiteEntry",
+    "FIGURE_ORDER",
+    "render_figure_series",
+    "render_metric_table",
+    "render_stall_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

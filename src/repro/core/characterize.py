@@ -1,0 +1,87 @@
+"""Characterize workloads on the simulated core — the measurement arc.
+
+``characterize(entry)`` is the reproduction of the paper's Section III-D
+methodology: build the workload's instruction stream, run it through a
+core configured like the Xeon E5645 (Table III), discard a ramp-up
+window, and read the ~20 hardware events into the Figure 3–12 metrics.
+
+Because our traces are short relative to real runs (hundreds of thousands
+of micro-ops instead of 10^12), both the machine's cache/TLB capacities
+and the workload's declared footprints are divided by ``scale``
+(default 8) so every footprint-to-capacity ratio matches the paper's
+setup; latencies, widths and buffer sizes are untouched.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import Metrics
+from repro.core.suite import DCBench, SuiteEntry
+from repro.perf.session import PerfReading, PerfSession
+from repro.uarch.config import MachineConfig, scaled_machine
+from repro.uarch.pipeline import Core, SimulationResult
+from repro.uarch.trace import SyntheticTrace
+
+#: Default trace length per workload (micro-ops).
+DEFAULT_INSTRUCTIONS = 200_000
+
+#: Default machine/footprint scaling factor.
+DEFAULT_SCALE = 8
+
+
+@dataclass
+class Characterization:
+    """Everything one characterization run produced."""
+
+    name: str
+    group: str
+    result: SimulationResult
+    metrics: Metrics
+    reading: PerfReading
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Characterization {self.name} ipc={self.metrics.ipc:.2f} "
+            f"l1i={self.metrics.l1i_mpki:.1f} l2={self.metrics.l2_mpki:.1f}>"
+        )
+
+
+def characterize(
+    entry: SuiteEntry,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    scale: int = DEFAULT_SCALE,
+    machine: MachineConfig | None = None,
+    warmup: int | None = None,
+    seed: int | None = None,
+) -> Characterization:
+    """Measure one suite entry on a fresh simulated core.
+
+    ``machine`` overrides the scaled Table III machine (ablation studies
+    pass modified configs here — in that case ``scale`` is still used to
+    shrink the *workload* footprints, so pass a machine scaled to match).
+    """
+    if machine is None:
+        machine = scaled_machine(scale)
+    spec = entry.trace_spec(instructions, seed=seed).scaled(scale)
+    core = Core(machine)
+    result = core.run(SyntheticTrace(spec), warmup=warmup)
+    metrics = Metrics.from_result(result)
+    reading = PerfSession(machine=machine).measure_result(result)
+    return Characterization(
+        name=entry.name, group=entry.group, result=result, metrics=metrics, reading=reading
+    )
+
+
+def characterize_suite(
+    suite: DCBench | None = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    scale: int = DEFAULT_SCALE,
+    machine: MachineConfig | None = None,
+) -> list[Characterization]:
+    """Characterize every entry of *suite* (default: the full DCBench)."""
+    suite = suite or DCBench.default()
+    return [
+        characterize(entry, instructions=instructions, scale=scale, machine=machine)
+        for entry in suite
+    ]

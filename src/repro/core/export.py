@@ -1,0 +1,69 @@
+"""Machine-readable exports of the figure data (CSV / JSON).
+
+The paper's plots are bar charts per workload; downstream users want the
+series as data.  These helpers serialise a suite characterization into
+one flat table, one row per workload, with every Figure 3–12 metric —
+suitable for spreadsheets, pandas, or re-plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.core.characterize import Characterization
+from repro.core.metrics import STALL_CATEGORIES
+
+#: column order of the export
+COLUMNS = [
+    "workload",
+    "group",
+    "ipc",
+    "kernel_instruction_fraction",
+    "l1i_mpki",
+    "itlb_walks_pki",
+    "l2_mpki",
+    "l3_hit_ratio_of_l2_misses",
+    "dtlb_walks_pki",
+    "branch_misprediction_ratio",
+    *[f"stall_{category}" for category in STALL_CATEGORIES],
+]
+
+
+def characterizations_to_rows(chars: list[Characterization]) -> list[dict]:
+    """One dict per workload with every figure metric."""
+    rows = []
+    for c in chars:
+        m = c.metrics
+        row = {
+            "workload": c.name,
+            "group": c.group,
+            "ipc": m.ipc,
+            "kernel_instruction_fraction": m.kernel_instruction_fraction,
+            "l1i_mpki": m.l1i_mpki,
+            "itlb_walks_pki": m.itlb_walks_pki,
+            "l2_mpki": m.l2_mpki,
+            "l3_hit_ratio_of_l2_misses": m.l3_hit_ratio_of_l2_misses,
+            "dtlb_walks_pki": m.dtlb_walks_pki,
+            "branch_misprediction_ratio": m.branch_misprediction_ratio,
+        }
+        for category in STALL_CATEGORIES:
+            row[f"stall_{category}"] = m.stall_breakdown.get(category, 0.0)
+        rows.append(row)
+    return rows
+
+
+def to_csv(chars: list[Characterization]) -> str:
+    """The full metric table as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in characterizations_to_rows(chars):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(chars: list[Characterization], indent: int | None = 2) -> str:
+    """The full metric table as a JSON array."""
+    return json.dumps(characterizations_to_rows(chars), indent=indent)

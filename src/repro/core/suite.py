@@ -1,0 +1,126 @@
+"""The DCBench suite: the 27 characterized workloads in figure order.
+
+The paper's figures list the eleven data-analysis workloads (Naive Bayes
+leftmost, "since Naive Bayes is also included into our eleven workloads"),
+then the "avg" bar, then the five other CloudSuite benchmarks, the SPEC
+CPU2006 groups, SPECweb, and the seven HPCC programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.comparisons.base import (
+    COMPARISON_NAMES,
+    SERVICE_WORKLOADS,
+    ComparisonWorkload,
+    comparison,
+)
+from repro.workloads.base import DataAnalysisWorkload, workload
+
+#: x-axis order of Figures 3–12 (without the "avg" bar).
+FIGURE_ORDER = [
+    "Naive Bayes",
+    "SVM",
+    "Grep",
+    "WordCount",
+    "K-means",
+    "Fuzzy K-means",
+    "PageRank",
+    "Sort",
+    "Hive-bench",
+    "IBCF",
+    "HMM",
+    *COMPARISON_NAMES,
+]
+
+#: The data-analysis block of the figures.
+DATA_ANALYSIS_NAMES = FIGURE_ORDER[:11]
+
+
+@dataclass
+class SuiteEntry:
+    """One workload in the suite: shared surface over both kinds."""
+
+    name: str
+    group: str  # "data-analysis" | "service" | "desktop" | "hpc" | "cloud"
+    impl: DataAnalysisWorkload | ComparisonWorkload
+
+    def trace_spec(self, instructions: int, seed: int | None = None):
+        return self.impl.trace_spec(instructions, seed=seed)
+
+    def uarch_profile(self) -> dict[str, Any]:
+        return self.impl.uarch_profile()
+
+    @property
+    def is_data_analysis(self) -> bool:
+        return self.group == "data-analysis"
+
+    @property
+    def is_service(self) -> bool:
+        return self.group == "service"
+
+
+def _group_of(name: str) -> str:
+    if name in DATA_ANALYSIS_NAMES:
+        return "data-analysis"
+    if name in SERVICE_WORKLOADS:
+        return "service"
+    if name.startswith("HPCC"):
+        return "hpc"
+    if name in ("SPECFP", "SPECINT"):
+        return "desktop"
+    return "cloud"  # Software Testing
+
+
+class DCBench:
+    """The released benchmark suite (Section V), assembled programmatically."""
+
+    def __init__(self, entries: list[SuiteEntry]):
+        self.entries = entries
+        self._by_name = {e.name: e for e in entries}
+
+    @classmethod
+    def default(cls) -> "DCBench":
+        """All 27 workloads in figure order."""
+        entries = []
+        for name in FIGURE_ORDER:
+            if name in DATA_ANALYSIS_NAMES:
+                impl: DataAnalysisWorkload | ComparisonWorkload = workload(name)
+            else:
+                impl = comparison(name)
+            entries.append(SuiteEntry(name=name, group=_group_of(name), impl=impl))
+        return cls(entries)
+
+    @classmethod
+    def data_analysis_only(cls) -> "DCBench":
+        """Just the eleven data-analysis workloads (Table I order is
+        preserved inside the figure order)."""
+        suite = cls.default()
+        return cls([e for e in suite.entries if e.is_data_analysis])
+
+    def entry(self, name: str) -> SuiteEntry:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(self._by_name)
+            raise KeyError(f"no suite entry {name!r}; known: {known}") from None
+
+    def data_analysis(self) -> list[SuiteEntry]:
+        return [e for e in self.entries if e.is_data_analysis]
+
+    def services(self) -> list[SuiteEntry]:
+        return [e for e in self.entries if e.is_service]
+
+    def group(self, group: str) -> list[SuiteEntry]:
+        return [e for e in self.entries if e.group == group]
+
+    def names(self) -> list[str]:
+        return [e.name for e in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

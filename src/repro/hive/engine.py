@@ -1,0 +1,171 @@
+"""Hive session: tables + query execution over the MapReduce engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import HadoopCluster
+from repro.hive.parser import (
+    CreateTableAs,
+    DropTable,
+    parse_query,
+    parse_statement,
+    split_statements,
+)
+from repro.hive.planner import QueryPlan, plan_query
+from repro.hive.schema import Column, Table
+from repro.mapreduce.counters import JobCounters
+from repro.mapreduce.engine import JobResult, LocalEngine
+
+
+@dataclass
+class QueryExecution:
+    """Result of one SQL statement."""
+
+    sql: str
+    columns: list[str]
+    rows: list[tuple]
+    plan: QueryPlan
+    job_results: list[JobResult] = field(default_factory=list)
+
+    @property
+    def counters(self) -> JobCounters:
+        """Counters merged across all stages."""
+        merged = JobCounters()
+        for result in self.job_results:
+            merged.merge(result.counters)
+        return merged
+
+    def total_duration_s(self) -> float:
+        return sum(
+            r.timeline.duration_s for r in self.job_results if r.timeline is not None
+        )
+
+
+class HiveSession:
+    """A warehouse session: CREATE-like table registration plus SELECTs.
+
+    With a :class:`~repro.cluster.cluster.HadoopCluster` attached, every
+    compiled stage is also scheduled on the cluster, so Hive queries
+    produce job timelines exactly like hand-written MapReduce jobs.
+    """
+
+    def __init__(self, engine: LocalEngine | None = None, cluster: HadoopCluster | None = None):
+        self.engine = engine or LocalEngine()
+        self.cluster = cluster
+        self.tables: dict[str, Table] = {}
+
+    # -- DDL-ish -------------------------------------------------------------
+
+    def create_table(self, name: str, columns: list[Column | tuple[str, str]]) -> Table:
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        cols = [c if isinstance(c, Column) else Column(*c) for c in columns]
+        table = Table(name, cols)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+
+    def load_rows(self, name: str, rows) -> None:
+        self.table(name).extend(rows)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no such table: {name!r}") from None
+
+    # -- queries -------------------------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        query = parse_query(sql)
+        return plan_query(query, self.tables).describe()
+
+    def execute_statement(self, sql: str) -> QueryExecution | None:
+        """Run one statement of any kind.
+
+        SELECTs return a :class:`QueryExecution`; ``CREATE TABLE … AS``
+        materialises the result as a new table (column types inferred
+        from the first row) and returns the underlying execution; ``DROP
+        TABLE`` returns None.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, DropTable):
+            self.drop_table(statement.table)
+            return None
+        if isinstance(statement, CreateTableAs):
+            execution = self._run_query(statement.query, sql)
+            columns = [
+                Column(_safe_column_name(name), _infer_type(execution.rows, index))
+                for index, name in enumerate(execution.columns)
+            ]
+            table = self.create_table(statement.table, columns)
+            table.extend(execution.rows)
+            return execution
+        return self._run_query(statement, sql)
+
+    def execute_script(self, script: str) -> list[QueryExecution]:
+        """Run a ;-separated script; returns the SELECT/CTAS executions."""
+        executions = []
+        for sql in split_statements(script):
+            execution = self.execute_statement(sql)
+            if execution is not None:
+                executions.append(execution)
+        return executions
+
+    def execute(self, sql: str) -> QueryExecution:
+        """Parse, plan and run one SELECT; return rows and job results."""
+        query = parse_query(sql)
+        return self._run_query(query, sql)
+
+    def _run_query(self, query, sql: str) -> QueryExecution:
+        plan = plan_query(query, self.tables)
+        rows: list[tuple] | None = None
+        job_results: list[JobResult] = []
+        for stage in plan.stages:
+            records = stage.input_builder(rows)
+            result = self.engine.execute(stage.job, records, cluster=self.cluster)
+            job_results.append(result)
+            rows = [value for _key, value in result.output]
+        assert rows is not None
+        if query.order_by is not None and query.order_by.descending:
+            rows = rows[::-1]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return QueryExecution(
+            sql=sql,
+            columns=plan.output_columns,
+            rows=rows,
+            plan=plan,
+            job_results=job_results,
+        )
+
+
+def _safe_column_name(name: str) -> str:
+    """Make an output-column label a valid identifier (CTAS columns).
+
+    Unaliased aggregates render as e.g. ``sum(adRevenue)``; Hive likewise
+    rewrites them (``_c1``) — we keep the readable base instead.
+    """
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"c_{cleaned}"
+    return cleaned.strip("_") or "col"
+
+
+def _infer_type(rows: list[tuple], index: int) -> str:
+    """Infer a column type from the first non-None value."""
+    for row in rows:
+        value = row[index]
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return "int"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, float):
+            return "double"
+        return "string"
+    return "string"

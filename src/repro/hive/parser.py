@@ -1,0 +1,508 @@
+"""SQL subset parser.
+
+Grammar (case-insensitive keywords)::
+
+    query     := SELECT items FROM table [alias]
+                 [JOIN table [alias] ON qcol = qcol]
+                 [WHERE condition]
+                 [GROUP BY qcol {, qcol}]
+                 [ORDER BY ocol [ASC|DESC]]
+                 [LIMIT n]
+    items     := '*' | item {, item}
+    item      := qcol | agg '(' (qcol | '*') ')' [AS name]
+    agg       := SUM | COUNT | AVG | MIN | MAX
+    condition := disjunct {OR disjunct}
+    disjunct  := term {AND term}
+    term      := '(' condition ')' | predicate
+    predicate := qcol op literal
+               | qcol LIKE 'pattern'
+               | qcol BETWEEN literal AND literal
+               | qcol IN '(' literal {, literal} ')'
+    op        := = | != | <> | < | <= | > | >=
+    qcol      := [table_or_alias .] column
+
+This covers every statement in the paper's Hive-bench (grep selection,
+rankings filter, uservisits aggregation, and the rankings⋈uservisits join
+with GROUP BY / ORDER BY / LIMIT).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class HiveSyntaxError(ValueError):
+    """Raised when a statement does not parse."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference."""
+
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call: func over a column (or * for COUNT)."""
+
+    func: str
+    arg: ColumnRef | None  # None means COUNT(*)
+    alias: str | None = None
+
+    def default_name(self) -> str:
+        if self.alias:
+            return self.alias
+        inner = str(self.arg) if self.arg else "*"
+        return f"{self.func.lower()}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: a column or an aggregate."""
+
+    expr: ColumnRef | Aggregate
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Aggregate):
+            return self.expr.default_name()
+        return self.expr.column
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """column <op> literal.
+
+    ``op`` is a comparison operator, ``"like"`` (value: %-pattern),
+    ``"between"`` (value: (low, high) tuple) or ``"in"`` (value: tuple of
+    literals).
+    """
+
+    column: ColumnRef
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of conditions."""
+
+    children: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("AND needs at least two children")
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of conditions."""
+
+    children: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("OR needs at least two children")
+
+
+#: A condition is a Predicate, And, or Or.
+Condition = object
+
+
+def condition_predicates(condition) -> list[Predicate]:
+    """All leaf predicates of a condition tree."""
+    if condition is None:
+        return []
+    if isinstance(condition, Predicate):
+        return [condition]
+    return [
+        pred for child in condition.children for pred in condition_predicates(child)
+    ]
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    alias: str | None
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    column: str  # output-column name
+    descending: bool = False
+
+
+@dataclass
+class Query:
+    """Parsed SELECT statement."""
+
+    table: str
+    table_alias: str | None
+    items: list[SelectItem]  # empty means SELECT *
+    join: JoinClause | None = None
+    where: object | None = None  # Predicate | And | Or
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: OrderBy | None = None
+    limit: int | None = None
+
+    @property
+    def predicates(self) -> list[Predicate]:
+        """All leaf predicates of the WHERE condition (flattened)."""
+        return condition_predicates(self.where)
+
+    @property
+    def select_star(self) -> bool:
+        return not self.items
+
+    @property
+    def aggregates(self) -> list[Aggregate]:
+        return [item.expr for item in self.items if isinstance(item.expr, Aggregate)]
+
+    @property
+    def has_aggregation(self) -> bool:
+        return bool(self.group_by) or bool(self.aggregates)
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|\*|,|\.)
+    )
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "group", "by", "order", "limit",
+    "join", "on", "as", "like", "between", "in", "asc", "desc",
+    "sum", "count", "avg", "min", "max",
+    "create", "table", "drop",
+}
+
+AGG_FUNCS = {"sum", "count", "avg", "min", "max"}
+
+COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _tokenize(sql: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    sql = sql.strip().rstrip(";")
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if not match or match.end() == pos:
+            raise HiveSyntaxError(f"cannot tokenize near: {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        if match.group("string") is not None:
+            raw = match.group("string")[1:-1].replace("\\'", "'")
+            tokens.append(("string", raw))
+        elif match.group("number") is not None:
+            tokens.append(("number", match.group("number")))
+        elif match.group("ident") is not None:
+            word = match.group("ident")
+            if word.lower() in KEYWORDS:
+                tokens.append(("kw", word.lower()))
+            else:
+                tokens.append(("ident", word))
+        else:
+            tokens.append(("op", match.group("op")))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise HiveSyntaxError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token and token[0] == kind and (value is None or token[1] == value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        token = self.peek()
+        if token is None or token[0] != kind or (value is not None and token[1] != value):
+            want = value or kind
+            got = token[1] if token else "end of statement"
+            raise HiveSyntaxError(f"expected {want!r}, got {got!r}")
+        self.pos += 1
+        return token[1]
+
+    # -- grammar --
+
+    def parse(self) -> Query:
+        self.expect("kw", "select")
+        items = self._select_items()
+        self.expect("kw", "from")
+        table = self.expect("ident")
+        alias = self._optional_alias()
+        join = None
+        if self.accept("kw", "join"):
+            join = self._join_clause()
+        where = None
+        if self.accept("kw", "where"):
+            where = self._condition()
+        group_by: list[ColumnRef] = []
+        if self.accept("kw", "group"):
+            self.expect("kw", "by")
+            group_by.append(self._column_ref())
+            while self.accept("op", ","):
+                group_by.append(self._column_ref())
+        order_by = None
+        if self.accept("kw", "order"):
+            self.expect("kw", "by")
+            column = self._order_target()
+            descending = False
+            if self.accept("kw", "desc"):
+                descending = True
+            else:
+                self.accept("kw", "asc")
+            order_by = OrderBy(column, descending)
+        limit = None
+        if self.accept("kw", "limit"):
+            limit = int(self.expect("number"))
+            if limit < 0:
+                raise HiveSyntaxError("LIMIT must be non-negative")
+        if self.peek() is not None:
+            raise HiveSyntaxError(f"unexpected trailing token: {self.peek()[1]!r}")
+        return Query(
+            table=table,
+            table_alias=alias,
+            items=items,
+            join=join,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _condition(self):
+        """OR-separated disjunction (lowest precedence)."""
+        children = [self._conjunct()]
+        while self.accept("kw", "or"):
+            children.append(self._conjunct())
+        return children[0] if len(children) == 1 else Or(tuple(children))
+
+    def _conjunct(self):
+        """AND-separated conjunction."""
+        children = [self._condition_term()]
+        while self.accept("kw", "and"):
+            children.append(self._condition_term())
+        return children[0] if len(children) == 1 else And(tuple(children))
+
+    def _condition_term(self):
+        if self.accept("op", "("):
+            inner = self._condition()
+            self.expect("op", ")")
+            return inner
+        return self._predicate()
+
+    def _select_items(self) -> list[SelectItem]:
+        if self.accept("op", "*"):
+            return []
+        items = [self._select_item()]
+        while self.accept("op", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self.peek()
+        if token and token[0] == "kw" and token[1] in AGG_FUNCS:
+            func = self.next()[1]
+            self.expect("op", "(")
+            if self.accept("op", "*"):
+                if func != "count":
+                    raise HiveSyntaxError(f"{func.upper()}(*) is not supported")
+                arg = None
+            else:
+                arg = self._column_ref()
+            self.expect("op", ")")
+            alias = self._as_alias()
+            return SelectItem(Aggregate(func, arg, alias), alias)
+        ref = self._column_ref()
+        alias = self._as_alias()
+        return SelectItem(ref, alias)
+
+    def _as_alias(self) -> str | None:
+        if self.accept("kw", "as"):
+            return self.expect("ident")
+        return None
+
+    def _optional_alias(self) -> str | None:
+        token = self.peek()
+        if token and token[0] == "ident":
+            return self.next()[1]
+        return None
+
+    def _join_clause(self) -> JoinClause:
+        table = self.expect("ident")
+        alias = self._optional_alias()
+        self.expect("kw", "on")
+        self.accept("op", "(")
+        left = self._column_ref()
+        self.expect("op", "=")
+        right = self._column_ref()
+        self.accept("op", ")")
+        return JoinClause(table, alias, left, right)
+
+    def _column_ref(self) -> ColumnRef:
+        first = self.expect("ident")
+        if self.accept("op", "."):
+            return ColumnRef(self.expect("ident"), table=first)
+        return ColumnRef(first)
+
+    def _order_target(self) -> str:
+        name = self.expect("ident")
+        if self.accept("op", "."):
+            return self.expect("ident")
+        return name
+
+    def _predicate(self) -> Predicate:
+        column = self._column_ref()
+        if self.accept("kw", "like"):
+            kind, value = self.next()
+            if kind != "string":
+                raise HiveSyntaxError("LIKE expects a string pattern")
+            return Predicate(column, "like", value)
+        if self.accept("kw", "between"):
+            low = self._literal()
+            self.expect("kw", "and")
+            high = self._literal()
+            return Predicate(column, "between", (low, high))
+        if self.accept("kw", "in"):
+            self.expect("op", "(")
+            values = [self._literal()]
+            while self.accept("op", ","):
+                values.append(self._literal())
+            self.expect("op", ")")
+            return Predicate(column, "in", tuple(values))
+        token = self.next()
+        if token[0] != "op" or token[1] not in COMPARISON_OPS:
+            raise HiveSyntaxError(f"expected comparison operator, got {token[1]!r}")
+        op = "!=" if token[1] == "<>" else token[1]
+        value = self._literal()
+        return Predicate(column, op, value)
+
+    def _literal(self):
+        kind, raw = self.next()
+        if kind == "string":
+            return raw
+        if kind == "number":
+            return float(raw) if "." in raw else int(raw)
+        raise HiveSyntaxError(f"expected literal, got {raw!r}")
+
+
+@dataclass(frozen=True)
+class CreateTableAs:
+    """``CREATE TABLE name AS <select>`` — materialise a query."""
+
+    table: str
+    query: Query
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """``DROP TABLE name``."""
+
+    table: str
+
+
+def parse_query(sql: str) -> Query:
+    """Parse one SELECT statement into a :class:`Query`."""
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise HiveSyntaxError("empty statement")
+    return _Parser(tokens).parse()
+
+
+def parse_statement(sql: str):
+    """Parse one statement: Query, CreateTableAs, or DropTable."""
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise HiveSyntaxError("empty statement")
+    parser = _Parser(tokens)
+    if parser.accept("kw", "create"):
+        parser.expect("kw", "table")
+        name = parser.expect("ident")
+        parser.expect("kw", "as")
+        return CreateTableAs(table=name, query=parser.parse())
+    if parser.accept("kw", "drop"):
+        parser.expect("kw", "table")
+        name = parser.expect("ident")
+        if parser.peek() is not None:
+            raise HiveSyntaxError("unexpected tokens after DROP TABLE")
+        return DropTable(table=name)
+    return parser.parse()
+
+
+def split_statements(script: str) -> list[str]:
+    """Split a script on semicolons, respecting string literals."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    i = 0
+    while i < len(script):
+        ch = script[i]
+        if in_string:
+            current.append(ch)
+            if ch == "\\" and i + 1 < len(script):
+                current.append(script[i + 1])
+                i += 1
+            elif ch == "'":
+                in_string = False
+        elif ch == "'":
+            in_string = True
+            current.append(ch)
+        elif ch == ";":
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements

@@ -1,0 +1,82 @@
+"""Warehouse schema objects: typed columns and row tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Supported column types and their Python representations.
+TYPES = {
+    "string": str,
+    "int": int,
+    "double": float,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column."""
+
+    name: str
+    type: str = "string"
+
+    def __post_init__(self) -> None:
+        if self.type not in TYPES:
+            raise ValueError(f"unsupported column type {self.type!r}; one of {sorted(TYPES)}")
+        if not self.name.isidentifier():
+            raise ValueError(f"column name must be an identifier, got {self.name!r}")
+
+    def coerce(self, value):
+        """Coerce *value* to the column's Python type (None passes through)."""
+        if value is None:
+            return None
+        return TYPES[self.type](value)
+
+
+class Table:
+    """An in-warehouse table: schema + rows (tuples in column order)."""
+
+    def __init__(self, name: str, columns: list[Column], rows: list[tuple] | None = None):
+        if not name.isidentifier():
+            raise ValueError(f"table name must be an identifier, got {name!r}")
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}")
+        self.name = name
+        self.columns = list(columns)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+        self.rows: list[tuple] = []
+        if rows:
+            for row in rows:
+                self.insert(row)
+
+    def column_index(self, column_name: str) -> int:
+        try:
+            return self._index[column_name]
+        except KeyError:
+            known = ", ".join(self._index)
+            raise KeyError(
+                f"table {self.name!r} has no column {column_name!r} (columns: {known})"
+            ) from None
+
+    def has_column(self, column_name: str) -> bool:
+        return column_name in self._index
+
+    def insert(self, row: tuple) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row width {len(row)} != table {self.name!r} width {len(self.columns)}"
+            )
+        self.rows.append(tuple(col.coerce(v) for col, v in zip(self.columns, row)))
+
+    def extend(self, rows) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.type}" for c in self.columns)
+        return f"<Table {self.name}({cols}) rows={len(self.rows)}>"

@@ -1,0 +1,68 @@
+"""Hadoop-style job counters.
+
+Mirrors the counter groups a Hadoop 1.x job reports: map input/output
+records and bytes, combine input/output, spills, shuffle bytes, reduce
+input groups/records and output.  The engine fills these from the actual
+execution; tests assert conservation laws on them (e.g. combine output ==
+reduce input records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JobCounters:
+    """Counters for one job execution."""
+
+    map_input_records: int = 0
+    map_input_bytes: int = 0
+    map_output_records: int = 0
+    map_output_bytes: int = 0
+    combine_input_records: int = 0
+    combine_output_records: int = 0
+    spilled_records: int = 0
+    spilled_bytes: int = 0
+    shuffle_bytes: int = 0
+    reduce_input_groups: int = 0
+    reduce_input_records: int = 0
+    reduce_output_records: int = 0
+    reduce_output_bytes: int = 0
+    #: per-reducer shuffled bytes (drives ReduceWork)
+    reduce_shuffle_bytes: list[int] = field(default_factory=list)
+
+    def merge(self, other: "JobCounters") -> None:
+        """Accumulate *other* into self (multi-job workflows)."""
+        for name in (
+            "map_input_records",
+            "map_input_bytes",
+            "map_output_records",
+            "map_output_bytes",
+            "combine_input_records",
+            "combine_output_records",
+            "spilled_records",
+            "spilled_bytes",
+            "shuffle_bytes",
+            "reduce_input_groups",
+            "reduce_input_records",
+            "reduce_output_records",
+            "reduce_output_bytes",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "Map input records": self.map_input_records,
+            "Map input bytes": self.map_input_bytes,
+            "Map output records": self.map_output_records,
+            "Map output bytes": self.map_output_bytes,
+            "Combine input records": self.combine_input_records,
+            "Combine output records": self.combine_output_records,
+            "Spilled records": self.spilled_records,
+            "Reduce shuffle bytes": self.shuffle_bytes,
+            "Reduce input groups": self.reduce_input_groups,
+            "Reduce input records": self.reduce_input_records,
+            "Reduce output records": self.reduce_output_records,
+            "Reduce output bytes": self.reduce_output_bytes,
+        }

@@ -1,0 +1,221 @@
+"""The local MapReduce engine: functional execution + work derivation.
+
+``LocalEngine.execute`` runs a :class:`~repro.mapreduce.job.MapReduceJob`
+over real records through the full Hadoop pipeline —
+
+    map → combine → partition → sort → shuffle → merge → reduce
+
+— collecting :class:`~repro.mapreduce.counters.JobCounters` along the way,
+and (when given a cluster) derives the per-task
+:class:`~repro.cluster.cluster.JobWork` and schedules it for a timeline.
+Functional output and timing therefore describe the *same* execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.cluster.cluster import HadoopCluster, JobTimeline, JobWork, MapWork, ReduceWork
+from repro.mapreduce.counters import JobCounters
+from repro.mapreduce.io import DistributedInput, record_bytes, records_bytes
+from repro.mapreduce.job import MapReduceJob
+
+
+@dataclass
+class JobResult:
+    """Everything one job execution produced."""
+
+    job_name: str
+    output: list[tuple[object, object]]
+    reducer_outputs: list[list[tuple[object, object]]]
+    counters: JobCounters
+    work: JobWork
+    timeline: JobTimeline | None = None
+
+    def output_dict(self) -> dict:
+        return dict(self.output)
+
+
+class LocalEngine:
+    """Executes jobs in-process, one split at a time."""
+
+    def __init__(self, default_splits: int = 8) -> None:
+        if default_splits <= 0:
+            raise ValueError("default_splits must be positive")
+        self.default_splits = default_splits
+        self._auto_input_counter = itertools.count()
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(
+        self,
+        job: MapReduceJob,
+        inputs,
+        cluster: HadoopCluster | None = None,
+        input_name: str | None = None,
+    ) -> JobResult:
+        """Run *job* over *inputs*.
+
+        ``inputs`` is a :class:`DistributedInput` or a plain sequence of
+        ``(key, value)`` records.  With a cluster, plain records are first
+        put into its HDFS (under ``input_name`` or an auto name) so map
+        splits get block placement; the returned result then carries the
+        scheduled :class:`JobTimeline`.
+        """
+        dist = self._as_distributed(inputs, cluster, input_name)
+        counters = JobCounters()
+        num_reduces = job.conf.num_reduces
+        # mapred.compress.map.output: intermediate bytes shrink on the
+        # wire/disk; compression work is charged to the CPU cost model.
+        conf = job.conf
+        wire_ratio = conf.compression_ratio if conf.compress_map_output else 1.0
+        codec_cost = conf.compression_cost_per_byte if conf.compress_map_output else 0.0
+
+        # ---- map phase (+ combine + partition) ----
+        partitions: list[list[tuple[object, object]]] = [[] for _ in range(num_reduces)]
+        map_only_output: list[tuple[object, object]] = []
+        map_works: list[MapWork] = []
+        for split_index in range(dist.num_splits):
+            records = dist.split(split_index)
+            out = self._run_map_split(job, records, counters)
+            split_output_bytes = records_bytes(out)
+            if num_reduces == 0:
+                map_only_output.extend(out)
+            else:
+                for key, value in out:
+                    partitions[job.partitioner(key, num_reduces)].append((key, value))
+            wire_bytes = int(split_output_bytes * wire_ratio)
+            counters.spilled_records += len(out)
+            counters.spilled_bytes += wire_bytes
+            map_works.append(
+                MapWork(
+                    input_bytes=dist.split_bytes(split_index),
+                    cpu_seconds=(
+                        len(records) * job.conf.map_cost_per_record
+                        + dist.split_bytes(split_index) * job.conf.map_cost_per_byte
+                        + split_output_bytes * codec_cost
+                    ),
+                    output_bytes=wire_bytes,
+                    preferred_nodes=dist.split_locations(split_index),
+                )
+            )
+
+        # ---- reduce phase ----
+        reducer_outputs: list[list[tuple[object, object]]] = []
+        reduce_works: list[ReduceWork] = []
+        if num_reduces:
+            for partition in partitions:
+                raw_bytes = records_bytes(partition)
+                shuffle_bytes = int(raw_bytes * wire_ratio)
+                counters.shuffle_bytes += shuffle_bytes
+                counters.reduce_shuffle_bytes.append(shuffle_bytes)
+                out = self._run_reduce_partition(job, partition, counters)
+                out_bytes = records_bytes(out)
+                counters.reduce_output_bytes += out_bytes
+                reducer_outputs.append(out)
+                reduce_works.append(
+                    ReduceWork(
+                        shuffle_bytes=shuffle_bytes,
+                        cpu_seconds=(
+                            len(partition) * job.conf.reduce_cost_per_record
+                            + raw_bytes * job.conf.reduce_cost_per_byte
+                            + raw_bytes * codec_cost  # decompression
+                        ),
+                        output_bytes=out_bytes,
+                    )
+                )
+            output = [record for part in reducer_outputs for record in part]
+        else:
+            output = map_only_output
+            counters.reduce_output_bytes = records_bytes(output)
+
+        work = JobWork(name=job.conf.name, maps=map_works, reduces=reduce_works)
+        timeline = cluster.run_job(work) if cluster is not None else None
+        return JobResult(
+            job_name=job.conf.name,
+            output=output,
+            reducer_outputs=reducer_outputs,
+            counters=counters,
+            work=work,
+            timeline=timeline,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _as_distributed(self, inputs, cluster, input_name) -> DistributedInput:
+        if isinstance(inputs, DistributedInput):
+            return inputs
+        records = list(inputs)
+        if cluster is not None:
+            name = input_name or f"auto-input-{next(self._auto_input_counter)}"
+            return DistributedInput.put(cluster.hdfs, name, records)
+        return _LocalChunks(records, self.default_splits)
+
+    def _run_map_split(self, job, records, counters: JobCounters):
+        out: list[tuple[object, object]] = []
+        for key, value in records:
+            counters.map_input_records += 1
+            counters.map_input_bytes += record_bytes(key, value)
+            for out_key, out_value in job.mapper(key, value):
+                out.append((out_key, out_value))
+        counters.map_output_records += len(out)
+        counters.map_output_bytes += records_bytes(out)
+        if job.combiner is not None and out:
+            out = self._combine(job, out, counters)
+        return out
+
+    def _combine(self, job, records, counters: JobCounters):
+        counters.combine_input_records += len(records)
+        grouped = self._group(records, job.conf.sort_keys)
+        combined: list[tuple[object, object]] = []
+        for key, values in grouped:
+            combined.extend(job.combiner(key, values))
+        counters.combine_output_records += len(combined)
+        return combined
+
+    def _run_reduce_partition(self, job, partition, counters: JobCounters):
+        counters.reduce_input_records += len(partition)
+        grouped = self._group(partition, job.conf.sort_keys)
+        out: list[tuple[object, object]] = []
+        for key, values in grouped:
+            counters.reduce_input_groups += 1
+            out.extend(job.reducer(key, values))
+        counters.reduce_output_records += len(out)
+        return out
+
+    @staticmethod
+    def _group(records, sort_keys: bool):
+        """Group records by key, sorted when the job requests it."""
+        if sort_keys:
+            ordered = sorted(records, key=lambda kv: kv[0])
+        else:
+            # Stable grouping without a total order on keys.
+            buckets: dict[object, list] = {}
+            for key, value in records:
+                buckets.setdefault(key, []).append(value)
+            return [(key, values) for key, values in buckets.items()]
+        grouped = []
+        for key, group in itertools.groupby(ordered, key=lambda kv: kv[0]):
+            grouped.append((key, [value for _, value in group]))
+        return grouped
+
+
+class _LocalChunks:
+    """DistributedInput-shaped wrapper for engine runs without a cluster."""
+
+    def __init__(self, records, num_splits: int) -> None:
+        self.records = records
+        self.num_splits = max(1, min(num_splits, len(records)) if records else 1)
+
+    def split(self, index: int):
+        total = len(self.records)
+        start = total * index // self.num_splits
+        end = total * (index + 1) // self.num_splits
+        return self.records[start:end]
+
+    def split_bytes(self, index: int) -> int:
+        return records_bytes(self.split(index))
+
+    def split_locations(self, index: int) -> tuple[str, ...]:
+        return ()

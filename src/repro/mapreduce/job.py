@@ -1,0 +1,75 @@
+"""Job definition: configuration plus user functions.
+
+A :class:`MapReduceJob` bundles the mapper/reducer/combiner generators and
+a :class:`JobConf`.  The cost-model fields on the conf translate measured
+record/byte counts into normalised CPU seconds for the cluster timing
+model; workloads set them to reflect their per-record compute intensity
+(Sort is nearly free per record, SVM is expensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.mapreduce.partitioner import Partitioner, hash_partitioner
+
+Mapper = Callable[[object, object], Iterator[tuple[object, object]]]
+Reducer = Callable[[object, list], Iterator[tuple[object, object]]]
+Combiner = Callable[[object, list], Iterator[tuple[object, object]]]
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Configuration of one job."""
+
+    name: str
+    num_reduces: int = 4
+    sort_keys: bool = True
+    #: CPU cost model (normalised seconds); converts measured counts into
+    #: task CPU time for the cluster simulation.
+    map_cost_per_record: float = 2e-6
+    map_cost_per_byte: float = 1e-8
+    reduce_cost_per_record: float = 2e-6
+    reduce_cost_per_byte: float = 1e-8
+    #: Hadoop's mapred.compress.map.output: spill + shuffle bytes shrink
+    #: by compression_ratio at extra CPU cost per spilled/shuffled byte.
+    compress_map_output: bool = False
+    compression_ratio: float = 0.4
+    compression_cost_per_byte: float = 6e-9
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.num_reduces < 0:
+            raise ValueError("num_reduces must be non-negative")
+        for cost_field in (
+            "map_cost_per_record",
+            "map_cost_per_byte",
+            "reduce_cost_per_record",
+            "reduce_cost_per_byte",
+            "compression_cost_per_byte",
+        ):
+            if getattr(self, cost_field) < 0:
+                raise ValueError(f"{cost_field} must be non-negative")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+
+
+@dataclass
+class MapReduceJob:
+    """A runnable job: functions + configuration.
+
+    ``num_reduces == 0`` makes a map-only job (the outputs of the mappers
+    are the job output, as with Hadoop's identity-less reduce-free jobs).
+    """
+
+    mapper: Mapper
+    reducer: Reducer | None
+    conf: JobConf
+    combiner: Combiner | None = None
+    partitioner: Partitioner = field(default=hash_partitioner)
+
+    def __post_init__(self) -> None:
+        if self.conf.num_reduces > 0 and self.reducer is None:
+            raise ValueError("a job with reducers needs a reducer function")

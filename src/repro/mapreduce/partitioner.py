@@ -1,0 +1,58 @@
+"""Partitioners: hash (default) and sampled total-order range.
+
+Hash partitioning is Hadoop's default.  Total-order range partitioning —
+what the Sort benchmark uses — samples the key space and builds split
+points so that reducer outputs concatenate into globally sorted order.
+Keys must be mutually comparable for range partitioning.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, Sequence
+
+Partitioner = Callable[[object, int], int]
+
+
+def _stable_hash(key) -> int:
+    """Deterministic cross-run hash (Python's str hash is salted)."""
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    data = repr(key).encode("utf-8", errors="replace")
+    return int.from_bytes(hashlib.md5(data).digest()[:4], "big")
+
+
+def hash_partitioner(key, num_reduces: int) -> int:
+    """Hadoop's HashPartitioner: stable_hash(key) mod R."""
+    if num_reduces <= 0:
+        raise ValueError("num_reduces must be positive")
+    return _stable_hash(key) % num_reduces
+
+
+def make_range_partitioner(sample_keys: Sequence, num_reduces: int) -> Partitioner:
+    """Build a TotalOrderPartitioner from sampled keys.
+
+    Picks ``num_reduces - 1`` evenly spaced split points from the sorted
+    sample; keys route to the partition whose range contains them, so
+    partition *i* holds only keys ≤ every key of partition *i+1*.
+    """
+    if num_reduces <= 0:
+        raise ValueError("num_reduces must be positive")
+    if num_reduces == 1 or not sample_keys:
+        return lambda key, r: 0
+    ordered = sorted(sample_keys)
+    splits = []
+    for i in range(1, num_reduces):
+        idx = min(len(ordered) - 1, i * len(ordered) // num_reduces)
+        splits.append(ordered[idx])
+    # De-duplicate split points while preserving order.
+    unique_splits = []
+    for s in splits:
+        if not unique_splits or s > unique_splits[-1]:
+            unique_splits.append(s)
+
+    def partition(key, r: int) -> int:
+        return bisect.bisect_right(unique_splits, key)
+
+    return partition

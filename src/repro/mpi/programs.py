@@ -1,0 +1,228 @@
+"""MPI implementations of three DCBench workloads.
+
+Each program partitions the same synthetic input the MapReduce version
+uses, iterates with in-memory state and collectives instead of per-job
+HDFS materialisation, and returns both the result and the runtime's
+elapsed time + communication stats.  Results are asserted equal to the
+MapReduce twins in the tests, so the programming-model comparison is
+about *execution*, not algorithms.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mapreduce.partitioner import _stable_hash
+from repro.mpi.runtime import MpiRuntime
+from repro.workloads.kmeans import nearest_centroid, squared_distance
+
+
+@dataclass
+class MpiRun:
+    """Result of one MPI program execution."""
+
+    output: Any
+    elapsed_s: float
+    iterations: int
+    stats_messages: int
+    stats_bytes: int
+
+
+def _partition(records: list, num_ranks: int) -> list[list]:
+    return [records[rank::num_ranks] for rank in range(num_ranks)]
+
+
+# ---------------------------------------------------------------------------
+# K-means
+# ---------------------------------------------------------------------------
+
+
+def mpi_kmeans(
+    runtime: MpiRuntime,
+    points: list[tuple[int, tuple[float, ...]]],
+    k: int,
+    max_iterations: int = 10,
+    tolerance: float = 1e-3,
+    cost_per_point: float = 1.2e-5,
+) -> MpiRun:
+    """Lloyd's algorithm with allreduce of per-cluster partial sums."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    shards = _partition(points, runtime.num_ranks)
+    centroids = [point for _, point in points[:k]]
+    dims = len(centroids[0])
+    iterations = 0
+    for _ in range(max_iterations):
+        current = centroids
+
+        def local_sums(rank: int):
+            sums = [[0.0] * dims for _ in range(k)]
+            counts = [0] * k
+            for _pid, point in shards[rank]:
+                cid = nearest_centroid(point, current)
+                counts[cid] += 1
+                for d in range(dims):
+                    sums[cid][d] += point[d]
+            return sums, counts
+
+        partials = runtime.compute(
+            local_sums, cost=lambda rank: len(shards[rank]) * cost_per_point
+        )
+
+        def combine(a, b):
+            sums_a, counts_a = a
+            sums_b, counts_b = b
+            return (
+                [[x + y for x, y in zip(ra, rb)] for ra, rb in zip(sums_a, sums_b)],
+                [x + y for x, y in zip(counts_a, counts_b)],
+            )
+
+        sums, counts = runtime.allreduce(partials, combine)
+        new_centroids = [
+            tuple(s / c for s in row) if c else centroids[cid]
+            for cid, (row, c) in enumerate(zip(sums, counts))
+        ]
+        shift = max(
+            math.sqrt(squared_distance(a, b)) for a, b in zip(centroids, new_centroids)
+        )
+        centroids = new_centroids
+        iterations += 1
+        if shift < tolerance:
+            break
+    return MpiRun(
+        output=centroids,
+        elapsed_s=runtime.elapsed(),
+        iterations=iterations,
+        stats_messages=runtime.stats.messages,
+        stats_bytes=runtime.stats.bytes_sent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# PageRank
+# ---------------------------------------------------------------------------
+
+
+def mpi_pagerank(
+    runtime: MpiRuntime,
+    graph: list[tuple[int, tuple[int, ...]]],
+    iterations: int = 8,
+    damping: float = 0.85,
+    cost_per_edge: float = 5e-7,
+) -> MpiRun:
+    """Power iteration with an alltoall of rank contributions.
+
+    Pages are partitioned by id; each iteration every rank computes the
+    contributions its pages send, exchanges them alltoall, and applies
+    the damping update to its own pages.  Dangling mass is summed by an
+    allreduce, as in the MapReduce twin.
+    """
+    n = len(graph)
+    num_ranks = runtime.num_ranks
+    shards = _partition(graph, num_ranks)
+    owner = {page: idx % num_ranks for idx, (page, _) in enumerate(graph)}
+    ranks_vec = {page: 1.0 / n for page, _ in graph}
+
+    for _ in range(iterations):
+        current = dict(ranks_vec)
+
+        def local_contribs(rank: int):
+            outgoing: list[dict[int, float]] = [
+                collections.defaultdict(float) for _ in range(num_ranks)
+            ]
+            dangling = 0.0
+            for page, links in shards[rank]:
+                value = current[page]
+                if links:
+                    share = value / len(links)
+                    for target in links:
+                        outgoing[owner[target]][target] += share
+                else:
+                    dangling += value
+            return [dict(d) for d in outgoing], dangling
+
+        results = runtime.compute(
+            local_contribs,
+            cost=lambda rank: sum(len(links) for _, links in shards[rank]) * cost_per_edge,
+        )
+        send = [out for out, _ in results]
+        danglings = [d for _, d in results]
+        total_dangling = runtime.allreduce(danglings, lambda a, b: a + b)
+        received = runtime.alltoall(send)
+
+        base = (1.0 - damping) / n + damping * total_dangling / n
+        new_vec = {}
+        for rank in range(num_ranks):
+            incoming = collections.defaultdict(float)
+            for sender in range(num_ranks):
+                for page, value in received[rank][sender].items():
+                    incoming[page] += value
+            for page, _links in shards[rank]:
+                new_vec[page] = base + damping * incoming.get(page, 0.0)
+        total = sum(new_vec.values())
+        ranks_vec = {page: value / total for page, value in new_vec.items()}
+
+    return MpiRun(
+        output=ranks_vec,
+        elapsed_s=runtime.elapsed(),
+        iterations=iterations,
+        stats_messages=runtime.stats.messages,
+        stats_bytes=runtime.stats.bytes_sent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# WordCount
+# ---------------------------------------------------------------------------
+
+
+def mpi_wordcount(
+    runtime: MpiRuntime,
+    documents: list[tuple[str, str]],
+    cost_per_doc: float = 4e-6,
+) -> MpiRun:
+    """Local counting + hash-partitioned alltoall + final merge."""
+    num_ranks = runtime.num_ranks
+    shards = _partition(documents, num_ranks)
+
+    def local_count(rank: int):
+        counts: collections.Counter = collections.Counter()
+        for _doc_id, text in shards[rank]:
+            counts.update(text.split())
+        buckets: list[dict[str, int]] = [{} for _ in range(num_ranks)]
+        for word, count in counts.items():
+            # Salt-free hash: bucket sizes (and thus timing) reproduce
+            # across processes, unlike Python's randomised str hash.
+            buckets[_stable_hash(word) % num_ranks][word] = count
+        return buckets
+
+    partials = runtime.compute(
+        local_count, cost=lambda rank: len(shards[rank]) * cost_per_doc
+    )
+    received = runtime.alltoall(partials)
+    merged: dict[str, int] = {}
+
+    def merge_bucket(rank: int):
+        bucket: dict[str, int] = {}
+        for sender in range(num_ranks):
+            for word, count in received[rank][sender].items():
+                bucket[word] = bucket.get(word, 0) + count
+        return bucket
+
+    buckets = runtime.compute(
+        merge_bucket,
+        cost=lambda rank: sum(len(received[rank][s]) for s in range(num_ranks)) * 5e-7,
+    )
+    gathered = runtime.gather(buckets, root=0)
+    for bucket in gathered:
+        merged.update(bucket)
+    return MpiRun(
+        output=merged,
+        elapsed_s=runtime.elapsed(),
+        iterations=1,
+        stats_messages=runtime.stats.messages,
+        stats_bytes=runtime.stats.bytes_sent,
+    )

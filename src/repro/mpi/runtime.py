@@ -1,0 +1,196 @@
+"""Bulk-synchronous MPI-collectives runtime.
+
+Ranks map round-robin onto cluster nodes (several ranks per node, like
+one MPI process per core).  The runtime keeps a per-rank clock; local
+compute advances one rank's clock, collectives synchronise all clocks
+through tree- or pairwise-structured message exchanges timed on the same
+:class:`~repro.cluster.network.Network`/:class:`~repro.cluster.network.Nic`
+models the MapReduce shuffle uses.  Data really moves: ``allreduce``
+combines the ranks' Python values with the caller's operator, so MPI
+programs compute the same answers as their MapReduce twins.
+
+Supported operations (the ones the DCBench-style programs need):
+
+* :meth:`MpiRuntime.compute` — per-rank local work (cost model seconds),
+* :meth:`MpiRuntime.barrier`,
+* :meth:`MpiRuntime.broadcast` — binomial tree,
+* :meth:`MpiRuntime.allreduce` — reduce-to-root + broadcast,
+* :meth:`MpiRuntime.alltoall` — pairwise exchange (the shuffle analogue),
+* :meth:`MpiRuntime.gather`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cluster.network import Network, Nic
+from repro.cluster.node import Node
+from repro.mapreduce.io import value_bytes
+
+
+@dataclass
+class MpiStats:
+    """Accumulated communication statistics for one runtime."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    collectives: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, messages: int, num_bytes: int) -> None:
+        self.messages += messages
+        self.bytes_sent += num_bytes
+        self.collectives[op] = self.collectives.get(op, 0) + 1
+
+
+class MpiRuntime:
+    """A communicator of ``num_ranks`` ranks over cluster nodes."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        nodes: Sequence[Node] | None = None,
+        network: Network | None = None,
+        cpu_speed: float = 1.0,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError("need at least one rank")
+        if cpu_speed <= 0:
+            raise ValueError("cpu speed must be positive")
+        if nodes is None:
+            nodes = [Node(f"mpinode{i}", cpu_speed=cpu_speed) for i in range(min(num_ranks, 8))]
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.num_ranks = num_ranks
+        self.nodes = list(nodes)
+        self.network = network or Network()
+        self.cpu_speed = cpu_speed
+        self.clocks = [0.0] * num_ranks
+        self.stats = MpiStats()
+
+    # -- helpers --------------------------------------------------------------
+
+    def node_of(self, rank: int) -> Node:
+        return self.nodes[rank % len(self.nodes)]
+
+    def nic_of(self, rank: int) -> Nic:
+        return self.node_of(rank).nic
+
+    def elapsed(self) -> float:
+        """Wall time so far: the slowest rank's clock."""
+        return max(self.clocks)
+
+    def _transfer(self, src: int, dst: int, payload) -> None:
+        """Move *payload* from rank *src* to rank *dst*, advancing clocks."""
+        size = value_bytes(payload)
+        start = max(self.clocks[src], self.clocks[dst])
+        src_nic, dst_nic = self.nic_of(src), self.nic_of(dst)
+        if src_nic is dst_nic:
+            # Same node: shared-memory copy at ~memcpy speed.
+            done = start + size / 4e9 + 1e-6
+        else:
+            done = self.network.transfer(start, src_nic, dst_nic, size)
+        self.clocks[src] = done
+        self.clocks[dst] = done
+        self.stats.record("p2p", 1, size)
+
+    # -- operations -----------------------------------------------------------
+
+    def compute(
+        self,
+        fn: Callable[[int], object],
+        cost: Callable[[int], float] | float = 0.0,
+    ) -> list[object]:
+        """Run *fn(rank)* on every rank; charge *cost* seconds of CPU.
+
+        ``cost`` is either a constant or a per-rank callable (normalised
+        seconds, scaled by the node's speed) — the same cost-model style
+        the MapReduce conf uses.
+        """
+        results = []
+        for rank in range(self.num_ranks):
+            seconds = cost(rank) if callable(cost) else cost
+            if seconds < 0:
+                raise ValueError("compute cost must be non-negative")
+            self.clocks[rank] += self.node_of(rank).cpu_time(seconds)
+            results.append(fn(rank))
+        return results
+
+    def barrier(self) -> None:
+        """Synchronise all clocks (dissemination barrier cost folded into
+        a small latency per round)."""
+        rounds = max(1, (self.num_ranks - 1).bit_length())
+        done = max(self.clocks) + rounds * self.network.latency_s
+        self.clocks = [done] * self.num_ranks
+        self.stats.record("barrier", self.num_ranks * rounds, 0)
+
+    def broadcast(self, value, root: int = 0):
+        """Binomial-tree broadcast of *value* from *root*; returns it."""
+        self._check_rank(root)
+        # Tree rounds: in round k, ranks [0, 2^k) send to [2^k, 2^{k+1}).
+        order = [root] + [r for r in range(self.num_ranks) if r != root]
+        have = 1
+        while have < self.num_ranks:
+            for i in range(min(have, self.num_ranks - have)):
+                self._transfer(order[i], order[have + i], value)
+            have *= 2
+        self.stats.record("broadcast", 0, 0)
+        return value
+
+    def allreduce(self, values: list, op: Callable[[object, object], object]):
+        """Combine per-rank *values* with *op*; every rank gets the result.
+
+        Implemented as a binomial reduce to rank 0 followed by a
+        broadcast — the classic small-communicator algorithm.
+        """
+        if len(values) != self.num_ranks:
+            raise ValueError(f"expected {self.num_ranks} values, got {len(values)}")
+        partial = list(values)
+        stride = 1
+        while stride < self.num_ranks:
+            for dst in range(0, self.num_ranks - stride, 2 * stride):
+                src = dst + stride
+                self._transfer(src, dst, partial[src])
+                partial[dst] = op(partial[dst], partial[src])
+            stride *= 2
+        result = partial[0]
+        self.broadcast(result, root=0)
+        self.stats.record("allreduce", 0, 0)
+        return result
+
+    def alltoall(self, send: list[list]):
+        """Pairwise exchange: ``send[i][j]`` goes from rank i to rank j.
+
+        Returns ``recv`` with ``recv[j][i] == send[i][j]`` — the MPI
+        shuffle that replaces MapReduce's disk-based one.
+        """
+        n = self.num_ranks
+        if len(send) != n or any(len(row) != n for row in send):
+            raise ValueError("send must be a num_ranks x num_ranks matrix")
+        recv = [[None] * n for _ in range(n)]
+        # n-1 rounds of pairwise exchange (ring schedule).
+        for shift in range(n):
+            for src in range(n):
+                dst = (src + shift) % n
+                if src == dst:
+                    recv[dst][src] = send[src][dst]
+                    continue
+                self._transfer(src, dst, send[src][dst])
+                recv[dst][src] = send[src][dst]
+        self.stats.record("alltoall", 0, 0)
+        return recv
+
+    def gather(self, values: list, root: int = 0) -> list:
+        """Collect every rank's value at *root* (returned in rank order)."""
+        if len(values) != self.num_ranks:
+            raise ValueError(f"expected {self.num_ranks} values, got {len(values)}")
+        self._check_rank(root)
+        for rank in range(self.num_ranks):
+            if rank != root:
+                self._transfer(rank, root, values[rank])
+        self.stats.record("gather", 0, 0)
+        return list(values)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")

@@ -1,0 +1,27 @@
+"""Perf-style measurement layer.
+
+The paper drives Westmere performance-monitoring MSRs through Linux
+``perf`` and samples ``/proc`` for OS-level statistics.  This package
+reproduces that interface over the simulator:
+
+* :mod:`repro.perf.events` — the symbolic event catalogue (event number +
+  umask, as in the Intel SDM) with accessors into a
+  :class:`~repro.uarch.pipeline.SimulationResult`;
+* :mod:`repro.perf.session` — a ``PerfSession`` that "programs" a set of
+  events, runs a trace on a core, and reads back the counts;
+* :mod:`repro.perf.procfs` — a simulated ``/proc`` exposing the cluster's
+  disk and network activity (the paper's disk-writes-per-second data).
+"""
+
+from repro.perf.events import EVENT_CATALOG, PerfEvent, lookup_event
+from repro.perf.session import PerfReading, PerfSession
+from repro.perf.procfs import ProcFs
+
+__all__ = [
+    "EVENT_CATALOG",
+    "PerfEvent",
+    "lookup_event",
+    "PerfReading",
+    "PerfSession",
+    "ProcFs",
+]

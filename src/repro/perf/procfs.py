@@ -1,0 +1,110 @@
+"""Simulated ``/proc`` for OS-level statistics.
+
+The paper samples the proc filesystem for OS-level performance data such
+as the number of disk writes per second (Figure 5).  Our cluster model
+(:mod:`repro.cluster`) keeps per-device counters; :class:`ProcFs` renders
+them in the familiar ``/proc/diskstats`` / ``/proc/net/dev`` shapes and
+computes the per-second rates the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DiskSample:
+    """One sampled snapshot of a node's disk counters."""
+
+    time_s: float
+    writes_completed: int
+    sectors_written: int
+    reads_completed: int
+    sectors_read: int
+
+
+class ProcFs:
+    """Accumulates device counters and renders proc-style views.
+
+    The cluster simulation calls :meth:`record_disk_write` /
+    :meth:`record_disk_read` / :meth:`record_net` as it executes; analysis
+    code calls :meth:`sample` with the simulated time and derives rates
+    from successive samples, exactly like a userspace sampler reading
+    ``/proc/diskstats``.
+    """
+
+    SECTOR_BYTES = 512
+
+    def __init__(self, node_name: str = "node") -> None:
+        self.node_name = node_name
+        self.writes_completed = 0
+        self.sectors_written = 0
+        self.reads_completed = 0
+        self.sectors_read = 0
+        self.net_rx_bytes = 0
+        self.net_tx_bytes = 0
+        self.samples: list[DiskSample] = []
+
+    # -- recording (called by the cluster model) ---------------------------
+
+    def record_disk_write(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("write size must be non-negative")
+        self.writes_completed += 1
+        self.sectors_written += -(-num_bytes // self.SECTOR_BYTES)
+
+    def record_disk_read(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("read size must be non-negative")
+        self.reads_completed += 1
+        self.sectors_read += -(-num_bytes // self.SECTOR_BYTES)
+
+    def record_net(self, rx_bytes: int = 0, tx_bytes: int = 0) -> None:
+        self.net_rx_bytes += rx_bytes
+        self.net_tx_bytes += tx_bytes
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self, time_s: float) -> DiskSample:
+        """Take a snapshot at simulated time *time_s* and remember it."""
+        snap = DiskSample(
+            time_s=time_s,
+            writes_completed=self.writes_completed,
+            sectors_written=self.sectors_written,
+            reads_completed=self.reads_completed,
+            sectors_read=self.sectors_read,
+        )
+        self.samples.append(snap)
+        return snap
+
+    def disk_writes_per_second(self) -> float:
+        """Average write operations per second across the sampled window.
+
+        Requires at least two samples (start and end of the measured run).
+        """
+        if len(self.samples) < 2:
+            raise ValueError("need at least two samples to compute a rate")
+        first, last = self.samples[0], self.samples[-1]
+        elapsed = last.time_s - first.time_s
+        if elapsed <= 0:
+            return 0.0
+        return (last.writes_completed - first.writes_completed) / elapsed
+
+    def bytes_written(self) -> int:
+        return self.sectors_written * self.SECTOR_BYTES
+
+    # -- proc-style rendering ------------------------------------------------
+
+    def render_diskstats(self) -> str:
+        """A ``/proc/diskstats``-flavoured line for this node's disk."""
+        return (
+            f"   8       0 sda {self.reads_completed} 0 {self.sectors_read} 0 "
+            f"{self.writes_completed} 0 {self.sectors_written} 0 0 0 0"
+        )
+
+    def render_netdev(self) -> str:
+        """A ``/proc/net/dev``-flavoured line for this node's NIC."""
+        return (
+            f"  eth0: {self.net_rx_bytes} 0 0 0 0 0 0 0 "
+            f"{self.net_tx_bytes} 0 0 0 0 0 0 0"
+        )

@@ -1,0 +1,77 @@
+"""Trace-driven micro-architecture simulator.
+
+This package models a modern superscalar out-of-order core in the style of
+the Intel Xeon E5645 (Westmere) used by the paper: an in-order front end
+(L1 instruction cache, instruction TLB, branch predictor, decoder), a
+register allocation table (RAT), and an out-of-order back end (reservation
+station, re-order buffer, load/store buffers, execution ports) on top of a
+three-level cache hierarchy with data TLBs and a page walker.
+
+The simulator consumes abstract micro-op streams (:mod:`repro.uarch.trace`)
+and produces the hardware performance-counter readings the paper collects
+with ``perf``: cycles, instructions, cache/TLB miss counters, branch
+mispredictions, and the six pipeline-stall categories of Figure 6.
+"""
+
+from repro.uarch.isa import MicroOp, OpClass
+from repro.uarch.config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    TlbConfig,
+    XEON_E5645,
+    hugepage_machine,
+    scaled_machine,
+    virtualized_machine,
+)
+from repro.uarch.caches import Cache, CacheHierarchy
+from repro.uarch.tlb import Tlb, TlbHierarchy, PageWalker
+from repro.uarch.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    BranchUnit,
+    GSharePredictor,
+    TournamentPredictor,
+    make_direction_predictor,
+)
+from repro.uarch.trace import (
+    MemoryRegion,
+    SyntheticTrace,
+    TraceSpec,
+    TraceStats,
+)
+from repro.uarch.pipeline import Core, SimulationResult, simulate
+from repro.uarch.multicore import CoLocationResult, MultiCoreSystem
+
+__all__ = [
+    "MicroOp",
+    "OpClass",
+    "CacheConfig",
+    "CoreConfig",
+    "MachineConfig",
+    "TlbConfig",
+    "XEON_E5645",
+    "hugepage_machine",
+    "scaled_machine",
+    "virtualized_machine",
+    "Cache",
+    "CacheHierarchy",
+    "Tlb",
+    "TlbHierarchy",
+    "PageWalker",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "make_direction_predictor",
+    "MemoryRegion",
+    "SyntheticTrace",
+    "TraceSpec",
+    "TraceStats",
+    "Core",
+    "SimulationResult",
+    "simulate",
+    "CoLocationResult",
+    "MultiCoreSystem",
+]

@@ -1,0 +1,101 @@
+"""Out-of-order back-end resource models.
+
+The back end is modelled with occupancy trackers: each buffered structure
+(reservation station, re-order buffer, load buffer, store buffer) admits a
+micro-op only when an entry is free, and entries are released at known
+times (issue for the RS, retire for the ROB, completion for the load
+buffer, drain for the store buffer).  :class:`BufferTracker` implements the
+generic "capacity + release heap" mechanism; the ROB, being strictly FIFO,
+uses the cheaper :class:`RingTracker`.
+
+These trackers produce the paper's Figure 6 back-end stall categories:
+dispatch blocked on a full RS/ROB/load buffer/store buffer.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.uarch.isa import DEFAULT_LATENCY, OpClass
+
+
+class BufferTracker:
+    """Occupancy tracker for an unordered buffer (RS, load/store buffers).
+
+    Entries are (release_time) items in a min-heap.  ``earliest_slot(now)``
+    returns the earliest cycle at which a free entry exists at or after
+    *now*; ``occupy(release_time)`` claims the slot.
+    """
+
+    __slots__ = ("capacity", "_heap")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._heap: list[int] = []
+
+    def earliest_slot(self, now: int) -> int:
+        """Earliest cycle ≥ *now* with a free entry (entries freeing at
+        cycle t are reusable at t)."""
+        heap = self._heap
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if len(heap) < self.capacity:
+            return now
+        # Buffer full: the next entry to free gates dispatch.
+        release = heap[0]
+        while heap and heap[0] <= release:
+            heapq.heappop(heap)
+        return release
+
+    def occupy(self, release_time: int) -> None:
+        heapq.heappush(self._heap, release_time)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+class RingTracker:
+    """FIFO occupancy tracker for the ROB.
+
+    Because the ROB allocates and frees strictly in program order, the
+    release time of the entry that op *i* reuses is the retire time of op
+    ``i - capacity`` — a ring buffer of retire times suffices.
+    """
+
+    __slots__ = ("capacity", "_ring", "_count")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring = [0] * capacity
+        self._count = 0
+
+    def earliest_slot(self, now: int) -> int:
+        if self._count < self.capacity:
+            return now
+        return max(now, self._ring[self._count % self.capacity])
+
+    def push_release(self, release_time: int) -> None:
+        self._ring[self._count % self.capacity] = release_time
+        self._count += 1
+
+
+class ExecutionModel:
+    """Execution latencies per op class (non-memory part)."""
+
+    __slots__ = ("latencies",)
+
+    def __init__(self, latencies: dict[OpClass, int] | None = None) -> None:
+        self.latencies = dict(DEFAULT_LATENCY)
+        if latencies:
+            self.latencies.update(latencies)
+
+    def latency(self, op: OpClass) -> int:
+        return self.latencies[op]

@@ -1,0 +1,219 @@
+"""Branch prediction: direction predictors and the branch target buffer.
+
+The paper's Figure 12 reports branch misprediction ratios and its final
+implication is that "a simpler branch predictor may be preferred" for data
+analysis workloads.  To support that ablation we implement three classic
+direction predictors — bimodal, gshare, and a tournament of the two — plus
+a tagged set-associative BTB.  :class:`BranchUnit` combines a direction
+predictor with the BTB and keeps the misprediction counters.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import CoreConfig
+
+
+class BimodalPredictor:
+    """Per-PC table of 2-bit saturating counters."""
+
+    __slots__ = ("_table", "_mask")
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self._table = [2] * entries  # weakly taken
+        self._mask = entries - 1
+
+    def predict(self, pc: int) -> bool:
+        return self._table[(pc >> 2) & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = (pc >> 2) & self._mask
+        ctr = self._table[idx]
+        if taken:
+            if ctr < 3:
+                self._table[idx] = ctr + 1
+        elif ctr > 0:
+            self._table[idx] = ctr - 1
+
+
+class GSharePredictor:
+    """Global-history predictor: PC xor global history indexes 2-bit counters."""
+
+    __slots__ = ("_table", "_mask", "_history", "_history_bits")
+
+    def __init__(self, entries: int, history_bits: int = 12) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self._table = [2] * entries
+        self._mask = entries - 1
+        self._history = 0
+        self._history_bits = history_bits
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        if taken:
+            if ctr < 3:
+                self._table[idx] = ctr + 1
+        elif ctr > 0:
+            self._table[idx] = ctr - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & (
+            (1 << self._history_bits) - 1
+        )
+
+
+class TournamentPredictor:
+    """Alpha-21264-style chooser between a bimodal and a gshare component."""
+
+    __slots__ = ("_bimodal", "_gshare", "_chooser", "_mask")
+
+    def __init__(self, entries: int, history_bits: int = 12) -> None:
+        self._bimodal = BimodalPredictor(entries)
+        self._gshare = GSharePredictor(entries, history_bits)
+        self._chooser = [2] * entries  # >=2 selects gshare
+        self._mask = entries - 1
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser[(pc >> 2) & self._mask] >= 2:
+            return self._gshare.predict(pc)
+        return self._bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = (pc >> 2) & self._mask
+        bi_correct = self._bimodal.predict(pc) == taken
+        gs_correct = self._gshare.predict(pc) == taken
+        ctr = self._chooser[idx]
+        if gs_correct and not bi_correct and ctr < 3:
+            self._chooser[idx] = ctr + 1
+        elif bi_correct and not gs_correct and ctr > 0:
+            self._chooser[idx] = ctr - 1
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)
+
+
+def make_direction_predictor(kind: str, entries: int):
+    """Factory for the direction predictors by name."""
+    if kind == "bimodal":
+        return BimodalPredictor(entries)
+    if kind == "gshare":
+        return GSharePredictor(entries)
+    if kind == "tournament":
+        return TournamentPredictor(entries)
+    raise ValueError(f"unknown predictor kind: {kind!r}")
+
+
+class BranchTargetBuffer:
+    """Tagged set-associative BTB with LRU replacement.
+
+    A taken branch whose target is absent from the BTB is a misfetch even
+    when the direction was predicted correctly.
+    """
+
+    __slots__ = ("_sets", "_set_mask", "ways", "hits", "misses")
+
+    def __init__(self, entries: int, associativity: int) -> None:
+        if entries <= 0 or associativity <= 0 or entries % associativity:
+            raise ValueError("entries must be a positive multiple of associativity")
+        num_sets = entries // associativity
+        if num_sets & (num_sets - 1):
+            raise ValueError("BTB set count must be a power of two")
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(num_sets)]
+        self._set_mask = num_sets - 1
+        self.ways = associativity
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> int | None:
+        """Return the stored target for *pc*, or None on BTB miss."""
+        key = pc >> 2
+        ways = self._sets[key & self._set_mask]
+        for i, (tag, target) in enumerate(ways):
+            if tag == key:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                self.hits += 1
+                return target
+        self.misses += 1
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        key = pc >> 2
+        ways = self._sets[key & self._set_mask]
+        for i, (tag, _) in enumerate(ways):
+            if tag == key:
+                ways.pop(i)
+                break
+        ways.insert(0, (key, target))
+        if len(ways) > self.ways:
+            ways.pop()
+
+
+#: resolve() outcomes
+BRANCH_OK = 0
+BRANCH_MISPREDICT = 1  #: wrong direction or wrong indirect target — full flush
+BRANCH_MISFETCH = 2    #: right direction, BTB missed the target — decode-time bubble
+
+
+class BranchUnit:
+    """Direction predictor + BTB with misprediction accounting.
+
+    A *misprediction* (wrong direction, or a BTB hit whose stored target is
+    stale — the indirect-branch case) flushes the pipeline and is what the
+    paper's Figure 12 ratio counts.  A *misfetch* (correct direction but
+    the target is absent from the BTB, e.g. a cold branch) is repaired at
+    decode with a short bubble and is not a misprediction.
+    """
+
+    __slots__ = ("direction", "btb", "branches", "mispredictions", "misfetches")
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.direction = make_direction_predictor(config.predictor, config.predictor_entries)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_associativity)
+        self.branches = 0
+        self.mispredictions = 0
+        self.misfetches = 0
+
+    def resolve(self, pc: int, taken: bool, target: int) -> int:
+        """Predict and train on one dynamic branch.
+
+        Returns :data:`BRANCH_OK`, :data:`BRANCH_MISPREDICT` or
+        :data:`BRANCH_MISFETCH`.
+        """
+        self.branches += 1
+        predicted_taken = self.direction.predict(pc)
+        outcome = BRANCH_OK
+        if predicted_taken != taken:
+            outcome = BRANCH_MISPREDICT
+        elif taken:
+            # Direction right, but the front end also needs the target.
+            stored = self.btb.lookup(pc)
+            if stored is None:
+                outcome = BRANCH_MISFETCH
+            elif stored != target:
+                # Stale target: an indirect branch that moved — full flush.
+                outcome = BRANCH_MISPREDICT
+        if taken:
+            self.btb.install(pc, target)
+        self.direction.update(pc, taken)
+        if outcome == BRANCH_MISPREDICT:
+            self.mispredictions += 1
+        elif outcome == BRANCH_MISFETCH:
+            self.misfetches += 1
+        return outcome
+
+    def misprediction_ratio(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    def reset_counters(self) -> None:
+        self.branches = 0
+        self.mispredictions = 0
+        self.misfetches = 0

@@ -1,0 +1,198 @@
+"""Set-associative cache models and the three-level hierarchy.
+
+Each :class:`Cache` is a classic set-associative, write-allocate,
+LRU-replacement cache keyed by line address.  :class:`CacheHierarchy`
+stacks L1 → L2 → L3 → memory, returns the access latency observed by the
+core, and maintains per-level hit/miss counters — the raw events behind the
+paper's Figures 7, 9 and 10.
+
+A simple next-line prefetcher can be enabled on L2/L3 (Westmere ships
+hardware stream prefetchers; without one, sequential workloads such as
+HPCC-STREAM would see every line miss to memory).
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import CacheConfig, MachineConfig
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    The cache stores line addresses only (tags); there is no data payload,
+    since the simulator is timing-only.  ``lookup``/``insert`` are split so
+    the hierarchy can implement allocate-on-miss ordering explicitly.
+    """
+
+    __slots__ = (
+        "config",
+        "name",
+        "_sets",
+        "_num_sets",
+        "_line_shift",
+        "ways",
+        "hits",
+        "misses",
+        "evictions",
+        "prefetch_hits",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.name = config.name
+        num_sets = config.num_sets
+        if config.line_bytes & (config.line_bytes - 1):
+            raise ValueError(f"{config.name}: line size must be a power of two")
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        # Non-power-of-two set counts (e.g. the 12 MB L3's 12288 sets) are
+        # indexed by modulo instead of a bit mask.
+        self._num_sets = num_sets
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self.ways = config.associativity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.prefetch_hits = 0
+
+    def line_of(self, addr: int) -> int:
+        """Return the line address (addr with offset bits stripped)."""
+        return addr >> self._line_shift
+
+    def access(self, addr: int) -> bool:
+        """Access *addr*; return True on hit.  Misses allocate the line."""
+        line = addr >> self._line_shift
+        ways = self._sets[line % self._num_sets]
+        if line in ways:
+            # Move-to-front LRU: front of the list is most recent.
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.insert(0, line)
+        if len(ways) > self.ways:
+            ways.pop()
+            self.evictions += 1
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check presence without updating LRU state or counters."""
+        line = addr >> self._line_shift
+        return line in self._sets[line % self._num_sets]
+
+    def fill(self, addr: int) -> None:
+        """Install a line (prefetch fill): no hit/miss accounting."""
+        line = addr >> self._line_shift
+        ways = self._sets[line % self._num_sets]
+        if line in ways:
+            return
+        ways.insert(0, line)
+        if len(ways) > self.ways:
+            ways.pop()
+            self.evictions += 1
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_ratio(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.prefetch_hits = 0
+
+
+class CacheHierarchy:
+    """L1 → L2 → L3 → memory data path shared by both fetch and data sides.
+
+    The instruction side passes its own L1 (the L1I); the data side the
+    L1D.  L2/L3 are unified as on the real part.  ``access`` returns the
+    total latency in cycles for the request.
+    """
+
+    __slots__ = (
+        "l1",
+        "l2",
+        "l3",
+        "memory_latency",
+        "prefetch",
+        "_line_bytes",
+        "dram_transfers",
+        "prefetch_fills",
+    )
+
+    def __init__(
+        self,
+        l1: Cache,
+        l2: Cache,
+        l3: Cache,
+        memory_latency: int,
+        prefetch: bool = True,
+    ) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.l3 = l3
+        self.memory_latency = memory_latency
+        self.prefetch = prefetch
+        self._line_bytes = l1.config.line_bytes
+        #: 64-byte lines brought in from DRAM (demand misses + prefetches);
+        #: the pipeline uses this to model memory bandwidth occupancy.
+        self.dram_transfers = 0
+        self.prefetch_fills = 0
+
+    def access(self, addr: int) -> int:
+        """Walk the hierarchy for *addr*; return the observed latency."""
+        if self.l1.access(addr):
+            return self.l1.config.hit_latency
+        latency = self.l1.config.hit_latency + self.l2.config.hit_latency
+        if self.l2.access(addr):
+            if self.prefetch:
+                self._prefetch_next(addr)
+            return latency
+        latency += self.l3.config.hit_latency
+        if not self.l3.access(addr):
+            latency += self.memory_latency
+            self.dram_transfers += 1
+        if self.prefetch:
+            self._prefetch_next(addr)
+        return latency
+
+    def _prefetch_next(self, addr: int) -> None:
+        """Stream prefetcher: pull the next line towards L2.
+
+        A prefetch that must come from DRAM is charged to
+        ``dram_transfers`` so the bandwidth model sees prefetch traffic
+        (this is what makes HPCC-STREAM bandwidth-bound rather than
+        latency-bound, as on real hardware).
+        """
+        nxt = addr + self._line_bytes
+        if self.l2.probe(nxt):
+            return
+        if not self.l3.probe(nxt):
+            self.l3.fill(nxt)
+            self.dram_transfers += 1
+        self.l2.fill(nxt)
+        self.prefetch_fills += 1
+
+    def reset_counters(self) -> None:
+        self.l1.reset_counters()
+        self.l2.reset_counters()
+        self.l3.reset_counters()
+        self.dram_transfers = 0
+        self.prefetch_fills = 0
+
+
+def build_data_hierarchy(machine: MachineConfig) -> CacheHierarchy:
+    """Construct the data-side hierarchy (L1D/L2/L3) for *machine*."""
+    return CacheHierarchy(
+        Cache(machine.l1d),
+        Cache(machine.l2),
+        Cache(machine.l3),
+        machine.memory_latency,
+        prefetch=machine.prefetch,
+    )

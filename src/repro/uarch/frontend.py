@@ -1,0 +1,118 @@
+"""In-order front end: instruction fetch through the L1I, ITLB and BTB.
+
+The front end walks the micro-op stream and assigns each op the cycle at
+which it leaves fetch.  It models:
+
+* fetch bandwidth (``fetch_width`` ops/cycle),
+* L1 instruction-cache misses (one cache access per 64-byte line change,
+  miss latency stalls fetch — the paper's "instruction fetch stall"),
+* ITLB misses and the completed page walks behind Figure 8,
+* branch-mispredict redirects (the resolve-time bubble).
+
+Stall cycles are accumulated in ``icache_stall_cycles`` and
+``itlb_stall_cycles``; their sum is the Figure 6 "Instruction fetch_stall"
+category.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.branch import BranchUnit
+from repro.uarch.caches import CacheHierarchy
+from repro.uarch.isa import MicroOp
+from repro.uarch.tlb import TlbHierarchy
+
+#: Pipeline stages between fetch and rename/dispatch (decode depth).
+FRONT_DEPTH = 4
+
+#: Cycles of an instruction-cache miss hidden by the decoupled fetch
+#: buffer / decode queue before the back end starves.  An L2 code hit is
+#: therefore almost free; L3 and memory code misses still stall fetch.
+FETCH_HIDE = 8
+
+
+class FetchEngine:
+    """Assigns fetch cycles to micro-ops and accounts front-end stalls."""
+
+    __slots__ = (
+        "icache",
+        "itlb",
+        "branch_unit",
+        "fetch_width",
+        "mispredict_penalty",
+        "fetch_time",
+        "slots_used",
+        "current_line",
+        "line_shift",
+        "icache_stall_cycles",
+        "itlb_stall_cycles",
+        "mispredict_stall_cycles",
+        "fetched",
+    )
+
+    def __init__(
+        self,
+        icache: CacheHierarchy,
+        itlb: TlbHierarchy,
+        branch_unit: BranchUnit,
+        fetch_width: int,
+        mispredict_penalty: int,
+    ) -> None:
+        self.icache = icache
+        self.itlb = itlb
+        self.branch_unit = branch_unit
+        self.fetch_width = fetch_width
+        self.mispredict_penalty = mispredict_penalty
+        self.fetch_time = 0
+        self.slots_used = 0
+        self.current_line = -1
+        self.line_shift = icache.l1.config.line_bytes.bit_length() - 1
+        self.icache_stall_cycles = 0
+        self.itlb_stall_cycles = 0
+        self.mispredict_stall_cycles = 0
+        self.fetched = 0
+
+    def fetch(self, uop: MicroOp) -> int:
+        """Fetch one micro-op; return the cycle it becomes available."""
+        line = uop.pc >> self.line_shift
+        if line != self.current_line:
+            self.current_line = line
+            # New line: translate and access the instruction cache.
+            tlb_latency = self.itlb.translate(uop.pc)
+            if tlb_latency:
+                self.fetch_time += tlb_latency
+                self.itlb_stall_cycles += tlb_latency
+                self.slots_used = 0
+            hit_latency = self.icache.l1.config.hit_latency
+            latency = self.icache.access(uop.pc)
+            if latency > hit_latency:
+                stall = latency - hit_latency - FETCH_HIDE
+                if stall > 0:
+                    self.fetch_time += stall
+                    self.icache_stall_cycles += stall
+                    self.slots_used = 0
+        cycle = self.fetch_time
+        self.slots_used += 1
+        if self.slots_used >= self.fetch_width:
+            self.fetch_time += 1
+            self.slots_used = 0
+        self.fetched += 1
+        return cycle
+
+    def redirect(self, resolve_cycle: int) -> None:
+        """Branch mispredict: restart fetch after the resolving cycle."""
+        restart = resolve_cycle + max(1, self.mispredict_penalty - FRONT_DEPTH)
+        if restart > self.fetch_time:
+            self.mispredict_stall_cycles += restart - self.fetch_time
+            self.fetch_time = restart
+            self.slots_used = 0
+            # The flush also invalidates the current fetch line register.
+            self.current_line = -1
+
+    #: Decode-repair bubble for a BTB misfetch (taken branch, target unknown).
+    MISFETCH_BUBBLE = 3
+
+    def misfetch(self) -> None:
+        """BTB misfetch: the decoder redirects fetch with a short bubble."""
+        self.fetch_time += self.MISFETCH_BUBBLE
+        self.icache_stall_cycles += self.MISFETCH_BUBBLE
+        self.slots_used = 0

@@ -1,0 +1,100 @@
+"""Abstract micro-operation model.
+
+The simulator is trace driven: workloads are lowered to streams of
+:class:`MicroOp` objects, the RISC-like internal operations that a Westmere
+decoder would emit.  A micro-op carries everything the timing model needs —
+its class, program counter, memory address (for loads/stores), branch
+outcome and target (for branches), data-dependency distances, and whether
+it executes in kernel mode (ring 0).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class OpClass(IntEnum):
+    """Execution class of a micro-op.
+
+    The class selects the execution latency and the issue port pressure in
+    the back end, and decides which buffers the op occupies (loads go to the
+    load buffer, stores to the store buffer).
+    """
+
+    ALU = 0      #: single-cycle integer op
+    MUL = 1      #: integer multiply
+    DIV = 2      #: integer/FP divide (long latency, unpipelined)
+    FP = 3       #: pipelined floating-point op (add/mul)
+    LOAD = 4     #: memory read
+    STORE = 5    #: memory write
+    BRANCH = 6   #: conditional or indirect branch
+    NOP = 7      #: no-op / fence placeholder
+
+
+#: Ops that access data memory.
+MEMORY_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
+
+#: Default execution latencies per op class (cycles), Westmere-like.
+#: LOAD latency here is the address-generation part only; the data-cache
+#: access time is added by the memory hierarchy.
+DEFAULT_LATENCY = {
+    OpClass.ALU: 1,
+    OpClass.MUL: 3,
+    OpClass.DIV: 22,
+    OpClass.FP: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+
+class MicroOp:
+    """One dynamic micro-op in a trace.
+
+    Attributes:
+        op: the :class:`OpClass`.
+        pc: byte address of the instruction (used by L1I/ITLB/branch units).
+        addr: data address for LOAD/STORE, else 0.
+        taken: branch outcome for BRANCH, else False.
+        target: branch target pc for BRANCH, else 0.
+        dep1: distance (in dynamic micro-ops) back to the first source
+            operand's producer, or 0 for no register dependency.
+        dep2: distance to the second producer, or 0.
+        kernel: True when the op executes in kernel mode.
+    """
+
+    __slots__ = ("op", "pc", "addr", "taken", "target", "dep1", "dep2", "kernel")
+
+    def __init__(
+        self,
+        op: OpClass,
+        pc: int,
+        addr: int = 0,
+        taken: bool = False,
+        target: int = 0,
+        dep1: int = 0,
+        dep2: int = 0,
+        kernel: bool = False,
+    ) -> None:
+        self.op = op
+        self.pc = pc
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+        self.dep1 = dep1
+        self.dep2 = dep2
+        self.kernel = kernel
+
+    def is_memory(self) -> bool:
+        """Return True when the op reads or writes data memory."""
+        return self.op == OpClass.LOAD or self.op == OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.is_memory():
+            extra = f" addr={self.addr:#x}"
+        elif self.op == OpClass.BRANCH:
+            extra = f" taken={self.taken} target={self.target:#x}"
+        mode = " K" if self.kernel else ""
+        return f"<MicroOp {self.op.name} pc={self.pc:#x}{extra}{mode}>"

@@ -1,0 +1,184 @@
+"""Multi-core system model: private cores sharing the LLC and DRAM.
+
+The paper's machines run many co-scheduled tasks per socket (24 map slots
+over two six-core Xeons), and its §V points to consolidation studies
+(CloudRank) as the natural follow-up.  :class:`MultiCoreSystem` models the
+first-order effects of co-location on a Westmere socket:
+
+* each workload runs on its own core (private L1s, L2, TLBs, branch unit),
+* all cores share one L3 — capacity contention appears as extra misses,
+* all cores share one DRAM channel-set — bandwidth contention appears as
+  a utilisation-dependent latency/occupancy inflation.
+
+The model runs each co-scheduled trace through its own
+:class:`~repro.uarch.pipeline.Core` against a shared L3 instance, then
+applies a bandwidth-contention correction derived from the combined DRAM
+line rate.  This captures the headline consolidation behaviours (cache
+thrashing between antagonists, bandwidth saturation under streaming
+neighbours) without a lock-step multi-core timing loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+
+from repro.uarch.caches import Cache
+from repro.uarch.config import MachineConfig, XEON_E5645
+from repro.uarch.pipeline import Core, SimulationResult
+from repro.uarch.trace import SyntheticTrace, TraceSpec
+
+
+def _merge(
+    accumulated: SimulationResult | None, chunk: SimulationResult
+) -> SimulationResult:
+    """Accumulate one chunk's counters into the running total."""
+    if accumulated is None:
+        return chunk
+    for f in fields(SimulationResult):
+        if f.name in ("name", "machine", "extra"):
+            continue
+        setattr(accumulated, f.name, getattr(accumulated, f.name) + getattr(chunk, f.name))
+    for key, value in chunk.extra.items():
+        if isinstance(value, (int, float)):
+            accumulated.extra[key] = accumulated.extra.get(key, 0) + value
+    return accumulated
+
+
+@dataclass
+class CoLocationResult:
+    """Outcome of one consolidation run."""
+
+    solo: dict[str, SimulationResult]
+    shared: dict[str, SimulationResult]
+    #: cycles-per-instruction inflation per workload (>1 = slowdown)
+    slowdowns: dict[str, float] = field(default_factory=dict)
+
+    def slowdown(self, name: str) -> float:
+        return self.slowdowns[name]
+
+    def worst(self) -> tuple[str, float]:
+        name = max(self.slowdowns, key=self.slowdowns.get)
+        return name, self.slowdowns[name]
+
+
+class MultiCoreSystem:
+    """N cores sharing the machine's L3 and DRAM bandwidth."""
+
+    def __init__(self, machine: MachineConfig = XEON_E5645) -> None:
+        self.machine = machine
+
+    # -- solo baseline --------------------------------------------------------
+
+    def run_solo(self, spec: TraceSpec) -> SimulationResult:
+        """One workload alone on the socket (private everything).
+
+        Executed through the same chunked machinery as a co-located run
+        (same chunk size, same 20 % warm-chunk discard) so that solo and
+        shared numbers differ only by interference, not by chunking
+        artefacts.
+        """
+        return self._run_chunked([spec], Cache(self.machine.l3))[spec.name]
+
+    # -- co-located run --------------------------------------------------------
+
+    #: micro-ops each core executes before yielding the shared L3 to the
+    #: next core (time-multiplexed co-simulation granularity).
+    CHUNK = 2000
+
+    def run_colocated(self, specs: list[TraceSpec]) -> CoLocationResult:
+        """Run all *specs* together: shared L3, shared DRAM bandwidth.
+
+        The traces execute chunk-interleaved on per-workload cores that
+        share one L3 instance, so every workload's lines genuinely fight
+        the others' for LLC occupancy.  The first 20 % of chunks are the
+        warm-up window and are excluded from the accumulated counters.
+        DRAM contention is applied afterwards: if the mix's combined line
+        rate oversubscribes the channel, each workload's memory-bound CPI
+        share scales with the oversubscription factor.
+        """
+        if not specs:
+            raise ValueError("need at least one co-located workload")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("co-located workloads need distinct names")
+
+        solo = {spec.name: self.run_solo(spec) for spec in specs}
+        shared = self._run_chunked(specs, Cache(self.machine.l3))
+
+        # DRAM bandwidth contention: the socket sustains 1/occupancy
+        # lines per cycle; if the mix demands more, everyone's memory
+        # stall component scales by the over-subscription factor.
+        occupancy = self.machine.dram_cycles_per_line
+        demand = sum(
+            result.extra.get("dram_transfers", 0) / max(result.cycles, 1)
+            for result in shared.values()
+        )
+        capacity = 1.0 / occupancy
+        oversubscription = max(1.0, demand / capacity)
+
+        slowdowns: dict[str, float] = {}
+        for name, result in shared.items():
+            base_cpi = 1.0 / max(solo[name].ipc(), 1e-9)
+            shared_cpi = 1.0 / max(result.ipc(), 1e-9)
+            if oversubscription > 1.0:
+                # Inflate the memory-bound share of the CPI.
+                memory_share = min(
+                    0.9,
+                    result.extra.get("dram_transfers", 0)
+                    * occupancy
+                    / max(result.cycles, 1),
+                )
+                shared_cpi *= 1.0 + memory_share * (oversubscription - 1.0)
+            slowdowns[name] = shared_cpi / base_cpi
+        return CoLocationResult(solo=solo, shared=shared, slowdowns=slowdowns)
+
+    def _run_chunked(
+        self, specs: list[TraceSpec], l3: Cache
+    ) -> dict[str, SimulationResult]:
+        """Chunk-interleave *specs* on per-workload cores sharing *l3*."""
+        cores: dict[str, Core] = {}
+        iterators = {}
+        offsets: dict[str, int] = {}
+        for index, spec in enumerate(specs):
+            core = Core(self.machine)
+            core.l3 = l3
+            core.icache_path.l3 = l3
+            core.dcache_path.l3 = l3
+            cores[spec.name] = core
+            iterators[spec.name] = iter(SyntheticTrace(spec))
+            # Distinct processes live in distinct address spaces: salt all
+            # user-mode addresses per workload so co-located traces cannot
+            # spuriously share (pre-warm) cache lines.  Kernel addresses
+            # stay shared, as on a real machine.
+            offsets[spec.name] = index << 42
+        total_chunks = max(1, max(spec.instructions for spec in specs) // self.CHUNK)
+        warm_chunks = total_chunks // 5
+        accumulated: dict[str, SimulationResult | None] = {
+            spec.name: None for spec in specs
+        }
+        for chunk_index in range(total_chunks):
+            for spec in specs:
+                ops = list(itertools.islice(iterators[spec.name], self.CHUNK))
+                if not ops:
+                    # Short traces loop (steady-state co-location).
+                    iterators[spec.name] = iter(SyntheticTrace(spec))
+                    ops = list(itertools.islice(iterators[spec.name], self.CHUNK))
+                offset = offsets[spec.name]
+                if offset:
+                    for uop in ops:
+                        if not uop.kernel:
+                            uop.pc += offset
+                            if uop.addr:
+                                uop.addr += offset
+                            if uop.target:
+                                uop.target += offset
+                result = cores[spec.name].run(
+                    ops,
+                    warmup=0,
+                    rat_conflict_ratio=spec.partial_register_ratio,
+                    name=spec.name,
+                )
+                if chunk_index >= warm_chunks:
+                    accumulated[spec.name] = _merge(accumulated[spec.name], result)
+        return {name: result for name, result in accumulated.items() if result}

@@ -1,0 +1,116 @@
+"""TLB models and the hardware page walker.
+
+The Westmere translation path the paper describes: a small first-level
+ITLB/DTLB (64 entries each, 4-way), a unified 512-entry second-level TLB,
+and a hardware page walker that fills both on a second-level miss.  The
+paper's Figures 8 and 11 count *completed page walks* — i.e. accesses that
+missed both TLB levels — per thousand instructions; :class:`TlbHierarchy`
+exposes exactly that counter.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import TlbConfig
+
+
+class Tlb:
+    """Set-associative TLB with LRU replacement, keyed by virtual page."""
+
+    __slots__ = ("config", "name", "_sets", "_num_sets", "_page_shift", "ways", "hits", "misses")
+
+    def __init__(self, config: TlbConfig) -> None:
+        self.config = config
+        self.name = config.name
+        num_sets = config.num_sets
+        if config.page_bytes & (config.page_bytes - 1):
+            raise ValueError(f"{config.name}: page size must be a power of two")
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self._num_sets = num_sets
+        self._page_shift = config.page_bytes.bit_length() - 1
+        self.ways = config.associativity
+        self.hits = 0
+        self.misses = 0
+
+    def page_of(self, addr: int) -> int:
+        return addr >> self._page_shift
+
+    def access(self, addr: int) -> bool:
+        """Translate *addr*; return True on hit.  Misses allocate the PTE."""
+        page = addr >> self._page_shift
+        ways = self._sets[page % self._num_sets]
+        if page in ways:
+            if ways[0] != page:
+                ways.remove(page)
+                ways.insert(0, page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.insert(0, page)
+        if len(ways) > self.ways:
+            ways.pop()
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_ratio(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class PageWalker:
+    """Hardware page walker: charges a fixed walk latency per completed walk."""
+
+    __slots__ = ("walk_latency", "completed_walks")
+
+    def __init__(self, walk_latency: int) -> None:
+        if walk_latency < 0:
+            raise ValueError("walk latency must be non-negative")
+        self.walk_latency = walk_latency
+        self.completed_walks = 0
+
+    def walk(self) -> int:
+        """Perform one walk; return its latency in cycles."""
+        self.completed_walks += 1
+        return self.walk_latency
+
+    def reset_counters(self) -> None:
+        self.completed_walks = 0
+
+
+class TlbHierarchy:
+    """First-level TLB backed by a shared second-level TLB and page walker.
+
+    Both the instruction side (ITLB) and the data side (DTLB) instantiate
+    one of these over the *same* second-level TLB and walker, mirroring the
+    unified L2 TLB of the real part.
+    """
+
+    __slots__ = ("l1", "l2", "walker", "completed_walks")
+
+    def __init__(self, l1: Tlb, l2: Tlb, walker: PageWalker) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.walker = walker
+        #: completed page walks caused by this side's L1 TLB misses
+        #: (the paper's per-K-instruction numerator).
+        self.completed_walks = 0
+
+    def translate(self, addr: int) -> int:
+        """Translate *addr*; return the added latency in cycles (0 on L1 hit)."""
+        if self.l1.access(addr):
+            return 0
+        if self.l2.access(addr):
+            # Second-level hit: small refill penalty, no walk.
+            return 7
+        self.completed_walks += 1
+        return self.walker.walk()
+
+    def reset_counters(self) -> None:
+        self.l1.reset_counters()
+        self.completed_walks = 0

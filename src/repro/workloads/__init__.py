@@ -1,0 +1,33 @@
+"""The paper's eleven representative data-analysis workloads.
+
+Each module implements one workload *for real* on the MapReduce substrate
+(Table I: Sort, WordCount, Grep, Naive Bayes, SVM, K-means, Fuzzy K-means,
+IBCF, HMM, PageRank, Hive-bench), exposes its Table I/II metadata, and
+declares its micro-architectural trace profile (see DESIGN.md §2 for how
+profiles are used).
+
+All workloads share the :class:`~repro.workloads.base.DataAnalysisWorkload`
+interface::
+
+    wl = workload("WordCount")
+    run = wl.run(scale=1.0, cluster=make_cluster(4))   # real execution
+    spec = wl.trace_spec(200_000)                      # micro-arch profile
+"""
+
+from repro.workloads.base import (
+    DataAnalysisWorkload,
+    WorkloadInfo,
+    WorkloadRun,
+    all_workloads,
+    workload,
+    WORKLOAD_NAMES,
+)
+
+__all__ = [
+    "DataAnalysisWorkload",
+    "WorkloadInfo",
+    "WorkloadRun",
+    "all_workloads",
+    "workload",
+    "WORKLOAD_NAMES",
+]

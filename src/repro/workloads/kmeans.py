@@ -1,0 +1,162 @@
+"""K-means — Table I row 6 (Mahout).
+
+Lloyd's algorithm as iterative MapReduce (Mahout's formulation): each map
+task assigns its points to the nearest centroid and emits per-centroid
+partial sums; a combiner pre-aggregates; the reducer computes the new
+centroids.  Iterate until centroid movement falls under a threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.cluster.cluster import HadoopCluster
+from repro.mapreduce.engine import LocalEngine
+from repro.mapreduce.job import JobConf, MapReduceJob
+from repro.uarch.trace import MemoryRegion
+from repro.workloads import datagen
+from repro.workloads.base import DataAnalysisWorkload, WorkloadInfo, WorkloadRun, register
+
+
+def squared_distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def nearest_centroid(point: tuple[float, ...], centroids: list[tuple[float, ...]]) -> int:
+    best, best_d = 0, math.inf
+    for i, c in enumerate(centroids):
+        d = squared_distance(point, c)
+        if d < best_d:
+            best, best_d = i, d
+    return best
+
+
+def _make_assign_map(centroids: list[tuple[float, ...]]):
+    def assign_map(_pid, point):
+        cid = nearest_centroid(point, centroids)
+        yield cid, (point, 1)
+
+    return assign_map
+
+
+def _partial_sum_combine(cid, partials):
+    dims = len(partials[0][0])
+    sums = [0.0] * dims
+    count = 0
+    for point, n in partials:
+        count += n
+        for d in range(dims):
+            sums[d] += point[d]
+    yield cid, (tuple(sums), count)
+
+
+def _centroid_reduce(cid, partials):
+    dims = len(partials[0][0])
+    sums = [0.0] * dims
+    count = 0
+    for point, n in partials:
+        count += n
+        for d in range(dims):
+            sums[d] += point[d]
+    yield cid, tuple(s / count for s in sums)
+
+
+@register
+class KMeansWorkload(DataAnalysisWorkload):
+    info = WorkloadInfo(
+        name="K-means",
+        input_description="150 GB vector",
+        input_gb_low=150,
+        retired_instructions_1e9=3227,
+        source="mahout",
+        scenarios=(
+            ("search engine", "Image processing"),
+            ("social network", "High-resolution landform classification"),
+            ("electronic commerce", "classification"),
+        ),
+        table1_row=6,
+    )
+
+    BASE_POINTS = 4000
+    K = 5
+    MAX_ITERATIONS = 10
+    TOLERANCE = 1e-3
+
+    def run(
+        self,
+        scale: float = 1.0,
+        cluster: HadoopCluster | None = None,
+        engine: LocalEngine | None = None,
+    ) -> WorkloadRun:
+        engine = engine or LocalEngine()
+        points, true_centers = datagen.generate_cluster_points(
+            max(self.K, int(self.BASE_POINTS * scale)), num_clusters=self.K
+        )
+        centroids = [point for _, point in points[: self.K]]
+        results = []
+        iterations = 0
+        for iteration in range(self.MAX_ITERATIONS):
+            job = MapReduceJob(
+                _make_assign_map(centroids),
+                _centroid_reduce,
+                JobConf(
+                    name=f"kmeans-iter{iteration}",
+                    num_reduces=min(4, self.K),
+                    # K distance computations per point.
+                    map_cost_per_record=1.2e-5,
+                    map_cost_per_byte=1e-8,
+                    reduce_cost_per_record=2e-6,
+                ),
+                combiner=_partial_sum_combine,
+            )
+            result = engine.execute(
+                job, points, cluster=cluster, input_name=f"kmeans-in-{iteration}"
+            )
+            results.append(result)
+            new_centroids = list(centroids)
+            for cid, centroid in result.output:
+                new_centroids[cid] = centroid
+            shift = max(
+                math.sqrt(squared_distance(old, new))
+                for old, new in zip(centroids, new_centroids)
+            )
+            centroids = new_centroids
+            iterations = iteration + 1
+            if shift < self.TOLERANCE:
+                break
+        assignments = {
+            pid: nearest_centroid(point, centroids) for pid, point in points
+        }
+        return self._merge_results(
+            self.info.name,
+            results,
+            centroids,
+            iterations=iterations,
+            assignments=assignments,
+            true_centers=true_centers,
+            points=len(points),
+        )
+
+    def uarch_profile(self) -> dict[str, Any]:
+        return {
+            # Distance kernels: FP subtract/multiply/accumulate.
+            "load_fraction": 0.30,
+            "store_fraction": 0.06,
+            "fp_fraction": 0.22,
+            "regions": (
+                # point vectors streamed each iteration
+                MemoryRegion("points", 128 << 20, 0.2, "sequential"),
+                # centroid array: tiny, L1-resident, revisited K times/point
+                MemoryRegion("centroids", 64 << 10, 0.6, "random", burst=8,
+                             hot_fraction=1.0),
+            ),
+            "kernel_fraction": 0.035,
+            # K-bounded inner loops with compile-time trip counts.
+            "loop_branch_fraction": 0.6,
+            "mean_trip_count": 16.0,
+            "branch_regularity": 0.98,
+            # Per-dimension FP ops are independent; good ILP.
+            "dep_mean": 4.0,
+            "dep_density": 0.6,
+        }

@@ -1,0 +1,191 @@
+"""Naive Bayes — Table I row 4 (Mahout).
+
+Two MapReduce phases, matching Mahout's trainer/classifier split:
+
+1. **train**: count (class, word) occurrences and class priors;
+2. **classify**: map-only scoring of held-out documents with Laplace-
+   smoothed log-likelihoods.
+
+Naive Bayes is the paper's repeated outlier: *within* the data-analysis
+group it has the lowest IPC (0.52), the smallest L1I/ITLB footprint (the
+scorer is one tight loop), and — the Figure 11 exception — *high* DTLB
+pressure, because scoring walks large per-class probability tables with
+data-dependent indices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.cluster.cluster import HadoopCluster
+from repro.mapreduce.engine import LocalEngine
+from repro.mapreduce.job import JobConf, MapReduceJob
+from repro.uarch.trace import MemoryRegion
+from repro.workloads import datagen
+from repro.workloads.base import DataAnalysisWorkload, WorkloadInfo, WorkloadRun, register
+
+CLASS_MARKER = "__class__"
+
+
+def _train_map(doc_id, labeled):
+    label, text = labeled
+    yield (CLASS_MARKER, label), 1
+    for word in text.split():
+        yield (label, word), 1
+
+
+def _sum_reduce(key, counts):
+    yield key, sum(counts)
+
+
+class NaiveBayesModel:
+    """Trained model: priors + per-class word log-probabilities."""
+
+    def __init__(self, counts: dict, alpha: float = 1.0):
+        self.alpha = alpha
+        self.class_docs: dict[str, int] = {}
+        self.word_counts: dict[str, dict[str, int]] = {}
+        for (first, second), count in counts.items():
+            if first == CLASS_MARKER:
+                self.class_docs[second] = count
+            else:
+                self.word_counts.setdefault(first, {})[second] = count
+        if not self.class_docs:
+            raise ValueError("no classes in training counts")
+        self.total_docs = sum(self.class_docs.values())
+        self.vocabulary = {
+            word for words in self.word_counts.values() for word in words
+        }
+        self.class_totals = {
+            cls: sum(words.values()) for cls, words in self.word_counts.items()
+        }
+
+    def log_prior(self, cls: str) -> float:
+        return math.log(self.class_docs[cls] / self.total_docs)
+
+    def log_likelihood(self, cls: str, word: str) -> float:
+        v = len(self.vocabulary) or 1
+        count = self.word_counts.get(cls, {}).get(word, 0)
+        return math.log((count + self.alpha) / (self.class_totals.get(cls, 0) + self.alpha * v))
+
+    def classify(self, text: str) -> str:
+        best_cls, best_score = None, -math.inf
+        for cls in self.class_docs:
+            score = self.log_prior(cls)
+            for word in text.split():
+                score += self.log_likelihood(cls, word)
+            if score > best_score:
+                best_cls, best_score = cls, score
+        assert best_cls is not None
+        return best_cls
+
+
+def _make_classify_map(model: NaiveBayesModel):
+    def classify_map(doc_id, labeled):
+        true_label, text = labeled
+        predicted = model.classify(text)
+        yield doc_id, (true_label, predicted)
+
+    return classify_map
+
+
+@register
+class NaiveBayesWorkload(DataAnalysisWorkload):
+    info = WorkloadInfo(
+        name="Naive Bayes",
+        input_description="147 GB text",
+        input_gb_low=147,
+        retired_instructions_1e9=68131,
+        source="mahout",
+        scenarios=(
+            ("social network", "Spam recognition"),
+            ("electronic commerce", "Web page classification"),
+        ),
+        table1_row=4,
+    )
+
+    BASE_DOCS = 1000
+
+    def run(
+        self,
+        scale: float = 1.0,
+        cluster: HadoopCluster | None = None,
+        engine: LocalEngine | None = None,
+    ) -> WorkloadRun:
+        engine = engine or LocalEngine()
+        docs = datagen.generate_labeled_documents(max(4, int(self.BASE_DOCS * scale)))
+        split = int(len(docs) * 0.8)
+        train_docs, test_docs = docs[:split], docs[split:]
+
+        train_job = MapReduceJob(
+            _train_map,
+            _sum_reduce,
+            JobConf(
+                name="bayes-train",
+                num_reduces=12,
+                map_cost_per_record=6e-6,
+                map_cost_per_byte=4e-8,
+                reduce_cost_per_record=1e-6,
+            ),
+            combiner=_sum_reduce,
+        )
+        train_result = engine.execute(
+            train_job, train_docs, cluster=cluster, input_name="bayes-train-input"
+        )
+        model = NaiveBayesModel(dict(train_result.output))
+
+        classify_job = MapReduceJob(
+            _make_classify_map(model),
+            None,
+            JobConf(
+                name="bayes-classify",
+                num_reduces=0,
+                # Scoring every (class, word) pair is the expensive part.
+                map_cost_per_record=2e-5,
+                map_cost_per_byte=6e-8,
+            ),
+        )
+        classify_result = engine.execute(
+            classify_job, test_docs, cluster=cluster, input_name="bayes-test-input"
+        )
+        predictions = {doc: pair for doc, pair in classify_result.output}
+        correct = sum(1 for truth, pred in predictions.values() if truth == pred)
+        accuracy = correct / len(predictions) if predictions else 0.0
+        return self._merge_results(
+            self.info.name,
+            [train_result, classify_result],
+            predictions,
+            accuracy=accuracy,
+            model_classes=sorted(model.class_docs),
+            vocabulary=len(model.vocabulary),
+        )
+
+    def uarch_profile(self) -> dict[str, Any]:
+        return {
+            # FP log-prob accumulation per (word, class).
+            "load_fraction": 0.30,
+            "store_fraction": 0.06,
+            "fp_fraction": 0.12,
+            # §IV-C: "Naive Bayes is an exception with the smallest L1
+            # instruction cache misses and completed page walks caused by
+            # instruction TLB misses" — the scorer is one tight hot loop,
+            # far smaller than the general framework footprint.
+            "code_footprint": 160 * 1024,
+            "hot_code_fraction": 0.2,
+            "call_fraction": 0.08,
+            # §IV-D: the Figure 11 DTLB exception — probability tables are
+            # large, sparse and indexed by hashed words: wide random access
+            # with a Zipf-hot core (frequent words).
+            "regions": (
+                MemoryRegion("corpus", 96 << 20, 0.15, "sequential"),
+                MemoryRegion("probability-tables", 64 << 20, 0.25, "random",
+                             burst=4, hot_fraction=0.03, hot_weight=0.9),
+            ),
+            "kernel_fraction": 0.025,
+            # Lowest DA IPC (0.52): scoring is a serial dependency chain —
+            # every word's log-prob accumulates into one running sum.
+            "dep_mean": 2.0,
+            "dep_density": 0.85,
+            "branch_regularity": 0.97,
+        }

@@ -1,0 +1,170 @@
+"""SVM — Table I row 5 (the paper's own implementation).
+
+Distributed linear SVM trained by mini-batch sub-gradient descent (the
+standard MapReduce formulation: each map task computes the hinge-loss
+sub-gradient over its split, the single reducer averages and steps the
+weight vector; iterate).  Features are hashed bag-of-words from HTML
+pages, matching the paper's "148 GB html file" input.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.cluster.cluster import HadoopCluster
+from repro.mapreduce.engine import LocalEngine
+from repro.mapreduce.job import JobConf, MapReduceJob
+from repro.uarch.trace import MemoryRegion
+from repro.workloads import datagen
+from repro.workloads.base import DataAnalysisWorkload, WorkloadInfo, WorkloadRun, register
+
+_TAG_RE = re.compile(r"<[^>]+>")
+
+#: hashed feature space size
+FEATURE_DIM = 512
+
+
+def extract_features(html: str) -> dict[int, float]:
+    """Strip tags, hash words into FEATURE_DIM buckets, L2-ish scale."""
+    text = _TAG_RE.sub(" ", html)
+    features: dict[int, float] = {}
+    words = text.split()
+    if not words:
+        return features
+    for word in words:
+        idx = hash_word(word)
+        features[idx] = features.get(idx, 0.0) + 1.0
+    norm = sum(v * v for v in features.values()) ** 0.5
+    return {i: v / norm for i, v in features.items()}
+
+
+def hash_word(word: str) -> int:
+    h = 2166136261
+    for ch in word:
+        h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return h % FEATURE_DIM
+
+
+def _dot(weights: list[float], features: dict[int, float]) -> float:
+    return sum(weights[i] * v for i, v in features.items())
+
+
+def _make_gradient_map(weights: list[float], lam: float):
+    def gradient_map(doc_id, labeled):
+        label, features = labeled  # label in {-1, +1}
+        margin = label * _dot(weights, features)
+        if margin < 1.0:
+            # sub-gradient contribution: -y * x
+            yield 0, (1, {i: -label * v for i, v in features.items()})
+        else:
+            yield 0, (1, {})
+
+    return gradient_map
+
+
+def _gradient_reduce(_key, contributions):
+    count = 0
+    grad: dict[int, float] = {}
+    for n, partial in contributions:
+        count += n
+        for i, v in partial.items():
+            grad[i] = grad.get(i, 0.0) + v
+    yield 0, (count, grad)
+
+
+@register
+class SvmWorkload(DataAnalysisWorkload):
+    info = WorkloadInfo(
+        name="SVM",
+        input_description="148 GB html file",
+        input_gb_low=148,
+        retired_instructions_1e9=2051,
+        source="our implementation",
+        scenarios=(
+            ("social network", "Image Processing"),
+            ("electronic commerce", "Data Mining / Text Categorization"),
+        ),
+        table1_row=5,
+    )
+
+    BASE_PAGES = 600
+    ITERATIONS = 5
+
+    def run(
+        self,
+        scale: float = 1.0,
+        cluster: HadoopCluster | None = None,
+        engine: LocalEngine | None = None,
+    ) -> WorkloadRun:
+        engine = engine or LocalEngine()
+        labeled = datagen.generate_labeled_documents(
+            max(4, int(self.BASE_PAGES * scale)), classes=("pos", "neg"), seed=51
+        )
+        examples = [
+            (doc_id, (1 if label == "pos" else -1, extract_features(text)))
+            for doc_id, (label, text) in labeled
+        ]
+        lam = 0.01
+        weights = [0.0] * FEATURE_DIM
+        results = []
+        for iteration in range(self.ITERATIONS):
+            job = MapReduceJob(
+                _make_gradient_map(weights, lam),
+                _gradient_reduce,
+                JobConf(
+                    name=f"svm-iter{iteration}",
+                    num_reduces=1,
+                    # Dot products per example: compute-heavy per record.
+                    map_cost_per_record=3e-5,
+                    map_cost_per_byte=2e-8,
+                    reduce_cost_per_record=5e-6,
+                ),
+            )
+            result = engine.execute(
+                job, examples, cluster=cluster, input_name=f"svm-in-{iteration}"
+            )
+            results.append(result)
+            count, grad = result.output[0][1]
+            # Decaying step on the averaged sub-gradient; features are
+            # L2-normalised so eta ~ 1 is well-scaled.
+            eta = 2.0 / (iteration + 2)
+            weights = [w * (1.0 - eta * lam) for w in weights]
+            if count:
+                for i, g in grad.items():
+                    weights[i] -= eta * g / count
+
+        correct = sum(
+            1 for _, (y, x) in examples if (1 if _dot(weights, x) >= 0 else -1) == y
+        )
+        accuracy = correct / len(examples)
+        return self._merge_results(
+            self.info.name,
+            results,
+            weights,
+            accuracy=accuracy,
+            iterations=self.ITERATIONS,
+            examples=len(examples),
+        )
+
+    def uarch_profile(self) -> dict[str, Any]:
+        return {
+            # Sparse dot products: FP multiply-accumulate over hashed indices.
+            "load_fraction": 0.30,
+            "store_fraction": 0.08,
+            "fp_fraction": 0.18,
+            "mul_fraction": 0.03,
+            "regions": (
+                # feature vectors streamed from the split
+                MemoryRegion("examples", 128 << 20, 0.2, "sequential"),
+                # weight vector: small, cache-resident, random-indexed
+                MemoryRegion("weights", 512 << 10, 0.5, "random", burst=2,
+                             hot_fraction=0.5, hot_weight=0.7),
+            ),
+            "kernel_fraction": 0.03,
+            # margin test per example is the only data-dependent branch
+            "branch_regularity": 0.965,
+            # accumulation chains but multiple independent features in flight
+            "dep_mean": 3.0,
+            "dep_density": 0.75,
+        }

@@ -1,0 +1,169 @@
+"""Tests for the cluster and the job timeline executor."""
+
+import pytest
+
+from repro.cluster.cluster import (
+    HadoopCluster,
+    JobWork,
+    MapWork,
+    ReduceWork,
+    make_cluster,
+)
+from repro.cluster.node import Node
+
+
+def simple_work(maps=4, reduces=2, map_mb=1, out_mb=1, cpu=0.1) -> JobWork:
+    return JobWork(
+        name="job",
+        maps=[MapWork(map_mb << 20, cpu, out_mb << 20) for _ in range(maps)],
+        reduces=[
+            ReduceWork((out_mb << 20) * maps // max(1, reduces), cpu, map_mb << 20)
+            for _ in range(reduces)
+        ],
+    )
+
+
+class TestWorkValidation:
+    def test_negative_map_work_rejected(self):
+        with pytest.raises(ValueError):
+            MapWork(-1, 0.0, 0)
+        with pytest.raises(ValueError):
+            MapWork(0, -0.1, 0)
+
+    def test_negative_reduce_work_rejected(self):
+        with pytest.raises(ValueError):
+            ReduceWork(-1, 0.0, 0)
+
+    def test_job_needs_maps(self):
+        with pytest.raises(ValueError):
+            JobWork("j", maps=[])
+
+
+class TestMakeCluster:
+    def test_paper_shape(self):
+        cluster = make_cluster(4)
+        assert len(cluster.slaves) == 4
+        assert cluster.total_map_slots == 96
+        assert cluster.total_reduce_slots == 48
+
+    def test_rejects_zero_slaves(self):
+        with pytest.raises(ValueError):
+            make_cluster(0)
+
+    def test_needs_slaves(self):
+        with pytest.raises(ValueError):
+            HadoopCluster([])
+
+
+class TestRunJob:
+    def test_timeline_is_positive_and_ordered(self):
+        cluster = make_cluster(4)
+        t = cluster.run_job(simple_work())
+        assert t.start_s == 0.0
+        assert 0 < t.map_phase_end_s <= t.end_s
+        assert t.duration_s > 0
+
+    def test_clock_advances_across_jobs(self):
+        cluster = make_cluster(2)
+        t1 = cluster.run_job(simple_work())
+        t2 = cluster.run_job(simple_work())
+        assert t2.start_s == pytest.approx(t1.end_s)
+        assert t2.end_s > t1.end_s
+
+    def test_reset_clears_clock(self):
+        cluster = make_cluster(2)
+        cluster.run_job(simple_work())
+        cluster.reset()
+        assert cluster.clock == 0.0
+        t = cluster.run_job(simple_work())
+        assert t.start_s == 0.0
+
+    def test_map_only_job(self):
+        cluster = make_cluster(2)
+        work = JobWork("maponly", maps=[MapWork(1 << 20, 0.01, 1 << 20)] * 4)
+        t = cluster.run_job(work)
+        assert t.reduce_tasks == 0
+        assert t.end_s == t.map_phase_end_s
+
+    def test_more_slaves_never_slower(self):
+        work = simple_work(maps=64, reduces=8, cpu=0.5)
+        durations = []
+        for n in (1, 4, 8):
+            cluster = make_cluster(n)
+            durations.append(cluster.run_job(work).duration_s)
+        assert durations[0] >= durations[1] >= durations[2]
+
+    def test_cpu_bound_job_scales_with_slaves(self):
+        # 64 heavy tasks, tiny I/O: waves shrink with the cluster.
+        work = JobWork(
+            "cpu",
+            maps=[MapWork(1024, 5.0, 1024) for _ in range(64)],
+            reduces=[ReduceWork(1024, 0.1, 1024)],
+        )
+        t1 = make_cluster(1, map_slots=8).run_job(work).duration_s
+        t8 = make_cluster(8, map_slots=8).run_job(work).duration_s
+        assert t1 / t8 > 5.0
+
+    def test_io_bound_job_scales_worse_than_cpu_bound(self):
+        io_work = JobWork(
+            "io",
+            maps=[MapWork(32 << 20, 0.01, 32 << 20) for _ in range(32)],
+            reduces=[ReduceWork(128 << 20, 0.01, 128 << 20) for _ in range(4)],
+        )
+        cpu_work = JobWork(
+            "cpu",
+            maps=[MapWork(1024, 2.0, 1024) for _ in range(32)],
+            reduces=[ReduceWork(1024, 0.5, 1024) for _ in range(4)],
+        )
+
+        def speedup(work):
+            t1 = make_cluster(1, map_slots=8, reduce_slots=4).run_job(work).duration_s
+            t8 = make_cluster(8, map_slots=8, reduce_slots=4).run_job(work).duration_s
+            return t1 / t8
+
+        assert speedup(cpu_work) > speedup(io_work)
+
+    def test_disk_write_rates_reported_per_slave(self):
+        cluster = make_cluster(3)
+        t = cluster.run_job(simple_work())
+        assert set(t.disk_writes_per_second) == {"slave1", "slave2", "slave3"}
+        assert all(rate >= 0 for rate in t.disk_writes_per_second.values())
+
+    def test_write_heavy_job_writes_more(self):
+        light = JobWork(
+            "light",
+            maps=[MapWork(1 << 20, 0.2, 1024) for _ in range(8)],
+            reduces=[ReduceWork(1024, 0.2, 1024)],
+        )
+        heavy = JobWork(
+            "heavy",
+            maps=[MapWork(1 << 20, 0.2, 8 << 20) for _ in range(8)],
+            reduces=[ReduceWork(16 << 20, 0.2, 8 << 20)],
+        )
+        c1, c2 = make_cluster(2), make_cluster(2)
+        r_light = max(c1.run_job(light).disk_writes_per_second.values())
+        r_heavy = max(c2.run_job(heavy).disk_writes_per_second.values())
+        assert r_heavy > r_light
+
+    def test_network_bytes_zero_for_single_slave_no_replication(self):
+        cluster = make_cluster(1, replication=1)
+        t = cluster.run_job(simple_work())
+        assert t.network_bytes == 0
+
+    def test_network_traffic_appears_with_multiple_slaves(self):
+        cluster = make_cluster(4)
+        t = cluster.run_job(simple_work(maps=8, reduces=4))
+        assert t.network_bytes > 0
+
+    def test_locality_prefers_replica_holders(self):
+        cluster = make_cluster(4)
+        work = JobWork(
+            "local",
+            maps=[MapWork(4 << 20, 0.05, 1024, preferred_nodes=("slave2",)) for _ in range(4)],
+            reduces=[],
+        )
+        cluster.run_job(work)
+        # All reads should have landed on slave2's disk.
+        assert cluster.slave("slave2").procfs.reads_completed == 4
+        for other in ("slave1", "slave3", "slave4"):
+            assert cluster.slave(other).procfs.reads_completed == 0

@@ -1,0 +1,164 @@
+"""Tests for disk and network device models."""
+
+import pytest
+
+from repro.cluster.disk import Disk, WRITE_OP_BYTES
+from repro.cluster.network import Network, Nic
+from repro.perf.procfs import ProcFs
+
+
+class TestDisk:
+    def make(self, **kw):
+        return Disk(ProcFs(), **kw)
+
+    def test_read_duration_matches_bandwidth(self):
+        d = self.make(read_bw=100e6, seek_s=0.0)
+        assert d.read(0.0, 100_000_000) == pytest.approx(1.0)
+
+    def test_write_duration_matches_bandwidth(self):
+        d = self.make(write_bw=50e6, seek_s=0.0)
+        assert d.write(0.0, 50_000_000) == pytest.approx(1.0)
+
+    def test_seek_added(self):
+        d = self.make(read_bw=100e6, seek_s=0.01)
+        assert d.read(0.0, 0) == pytest.approx(0.01)
+
+    def test_requests_serialise(self):
+        d = self.make(read_bw=100e6, seek_s=0.0)
+        first = d.read(0.0, 100_000_000)
+        second = d.read(0.0, 100_000_000)
+        assert second == pytest.approx(first + 1.0)
+
+    def test_idle_disk_starts_at_now(self):
+        d = self.make(read_bw=100e6, seek_s=0.0)
+        assert d.read(5.0, 100_000_000) == pytest.approx(6.0)
+
+    def test_write_ops_accounted_in_procfs(self):
+        d = self.make()
+        d.write(0.0, 3 * WRITE_OP_BYTES)
+        assert d.procfs.writes_completed == 3
+
+    def test_sub_buffer_writes_merge(self):
+        # Block-layer-style merging: small writes coalesce into one op.
+        d = self.make()
+        d.write(0.0, WRITE_OP_BYTES // 2)
+        assert d.procfs.writes_completed == 0
+        d.write(0.0, WRITE_OP_BYTES // 2)
+        assert d.procfs.writes_completed == 1
+
+    def test_partial_write_op_carries_over(self):
+        d = self.make()
+        d.write(0.0, WRITE_OP_BYTES + 1)
+        assert d.procfs.writes_completed == 1
+        d.write(0.0, WRITE_OP_BYTES - 1)
+        assert d.procfs.writes_completed == 2
+
+    def test_read_bytes_accounted(self):
+        d = self.make()
+        d.read(0.0, 1024)
+        assert d.procfs.reads_completed == 1
+        assert d.procfs.sectors_read == 2
+
+    def test_rejects_negative_io(self):
+        d = self.make()
+        with pytest.raises(ValueError):
+            d.read(0.0, -1)
+        with pytest.raises(ValueError):
+            d.write(0.0, -1)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Disk(ProcFs(), read_bw=0)
+        with pytest.raises(ValueError):
+            Disk(ProcFs(), seek_s=-1)
+
+    def test_reset(self):
+        d = self.make()
+        d.read(0.0, 1 << 20)
+        d.reset()
+        assert d.busy_until == 0.0
+
+
+class TestNetwork:
+    def make_pair(self, bw=125e6):
+        a, b = Nic(ProcFs("a"), bw), Nic(ProcFs("b"), bw)
+        return a, b, Network(latency_s=0.0)
+
+    def test_transfer_time_matches_bandwidth(self):
+        a, b, net = self.make_pair(bw=125e6)
+        assert net.transfer(0.0, a, b, 125_000_000) == pytest.approx(1.0)
+
+    def test_latency_added(self):
+        a, b, _ = self.make_pair()
+        net = Network(latency_s=0.5)
+        assert net.transfer(0.0, a, b, 0) == pytest.approx(0.5)
+
+    def test_slowest_nic_limits(self):
+        a = Nic(ProcFs("a"), 125e6)
+        b = Nic(ProcFs("b"), 12.5e6)
+        net = Network(latency_s=0.0)
+        assert net.transfer(0.0, a, b, 12_500_000) == pytest.approx(1.0)
+
+    def test_sender_transfers_serialise(self):
+        a, b, net = self.make_pair()
+        c = Nic(ProcFs("c"), 125e6)
+        t1 = net.transfer(0.0, a, b, 125_000_000)
+        t2 = net.transfer(0.0, a, c, 125_000_000)
+        assert t2 == pytest.approx(t1 + 1.0)
+
+    def test_distinct_pairs_parallel(self):
+        a, b, net = self.make_pair()
+        c, d = Nic(ProcFs("c"), 125e6), Nic(ProcFs("d"), 125e6)
+        t1 = net.transfer(0.0, a, b, 125_000_000)
+        t2 = net.transfer(0.0, c, d, 125_000_000)
+        assert t1 == pytest.approx(t2)
+
+    def test_rejects_self_transfer(self):
+        a, _, net = self.make_pair()
+        with pytest.raises(ValueError):
+            net.transfer(0.0, a, a, 10)
+
+    def test_procfs_accounting(self):
+        a, b, net = self.make_pair()
+        net.transfer(0.0, a, b, 1000)
+        assert a.procfs.net_tx_bytes == 1000
+        assert b.procfs.net_rx_bytes == 1000
+
+    def test_traffic_counters(self):
+        a, b, net = self.make_pair()
+        net.transfer(0.0, a, b, 1000)
+        net.transfer(0.0, a, b, 500)
+        assert net.transfers == 2
+        assert net.bytes_moved == 1500
+
+
+class TestOversubscribedFabric:
+    def make_four(self, fabric):
+        nics = [Nic(ProcFs(f"n{i}"), 125e6) for i in range(4)]
+        return nics, Network(latency_s=0.0, fabric_bandwidth=fabric)
+
+    def test_fabric_serialises_disjoint_pairs(self):
+        # Non-blocking: two disjoint transfers run in parallel.
+        nics, blocking = self.make_four(fabric=None)
+        t1 = blocking.transfer(0.0, nics[0], nics[1], 125_000_000)
+        t2 = blocking.transfer(0.0, nics[2], nics[3], 125_000_000)
+        assert t1 == pytest.approx(t2)
+        # Oversubscribed to one port's worth: they serialise.
+        nics, fabric = self.make_four(fabric=125e6)
+        t1 = fabric.transfer(0.0, nics[0], nics[1], 125_000_000)
+        t2 = fabric.transfer(0.0, nics[2], nics[3], 125_000_000)
+        assert t2 == pytest.approx(t1 + 1.0)
+
+    def test_fabric_slower_than_nic_limits_single_transfer(self):
+        nics, net = self.make_four(fabric=12.5e6)
+        done = net.transfer(0.0, nics[0], nics[1], 12_500_000)
+        assert done == pytest.approx(1.0)
+
+    def test_fast_fabric_behaves_like_non_blocking(self):
+        nics, net = self.make_four(fabric=1e12)
+        t1 = net.transfer(0.0, nics[0], nics[1], 125_000_000)
+        assert t1 == pytest.approx(1.0, rel=1e-3)
+
+    def test_rejects_nonpositive_fabric(self):
+        with pytest.raises(ValueError):
+            Network(fabric_bandwidth=0)

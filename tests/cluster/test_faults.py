@@ -1,0 +1,118 @@
+"""Tests for fault injection and speculative execution."""
+
+import pytest
+
+from repro.cluster.cluster import JobWork, MapWork, ReduceWork, make_cluster
+from repro.cluster.faults import FaultPlan, FaultyCluster
+
+
+def work(maps=16, cpu=1.0) -> JobWork:
+    return JobWork(
+        "job",
+        maps=[MapWork(1 << 20, cpu, 1 << 20) for _ in range(maps)],
+        reduces=[ReduceWork(4 << 20, 0.2, 1 << 20) for _ in range(4)],
+    )
+
+
+def run(plan: FaultPlan, slaves=4, **work_kw):
+    cluster = make_cluster(slaves)
+    return FaultyCluster(cluster, plan).run_job(work(**work_kw))
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(failure_point=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_factor=0.5)
+
+    def test_random_plan_rate(self):
+        plan = FaultPlan.random_plan(1000, failure_rate=0.1, seed=1)
+        assert 50 < len(plan.map_failures) < 200
+
+    def test_random_plan_deterministic(self):
+        a = FaultPlan.random_plan(100, failure_rate=0.2, seed=7)
+        b = FaultPlan.random_plan(100, failure_rate=0.2, seed=7)
+        assert a.map_failures == b.map_failures
+
+    def test_random_plan_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_plan(10, failure_rate=2.0)
+
+
+class TestFailures:
+    def test_no_faults_matches_plain_cluster(self):
+        plain = make_cluster(4).run_job(work())
+        faulty = run(FaultPlan())
+        assert faulty.timeline.duration_s == pytest.approx(plain.duration_s, rel=0.01)
+        assert faulty.failed_attempts == 0
+
+    def test_failures_counted_and_cost_time(self):
+        baseline = run(FaultPlan())
+        faulty = run(FaultPlan(map_failures=(0, 3, 7)))
+        assert faulty.failed_attempts == 3
+        assert faulty.wasted_seconds > 0
+        assert faulty.timeline.duration_s >= baseline.timeline.duration_s
+
+    def test_failed_job_still_completes_all_reduces(self):
+        faulty = run(FaultPlan(map_failures=(1,)))
+        assert faulty.timeline.reduce_tasks == 4
+        assert faulty.timeline.end_s >= faulty.timeline.map_phase_end_s
+
+
+class TestStragglers:
+    def test_straggler_without_speculation_drags_the_job(self):
+        healthy = run(FaultPlan())
+        dragged = run(
+            FaultPlan(
+                straggler_nodes=("slave1",),
+                straggler_factor=8.0,
+                speculative_execution=False,
+            )
+        )
+        assert dragged.timeline.duration_s > 1.5 * healthy.timeline.duration_s
+
+    def test_speculation_bounds_straggler_damage(self):
+        no_spec = run(
+            FaultPlan(
+                straggler_nodes=("slave1",),
+                straggler_factor=8.0,
+                speculative_execution=False,
+            )
+        )
+        with_spec = run(
+            FaultPlan(
+                straggler_nodes=("slave1",),
+                straggler_factor=8.0,
+                speculative_execution=True,
+            )
+        )
+        assert with_spec.timeline.duration_s < no_spec.timeline.duration_s
+        assert with_spec.speculative_attempts > 0
+        assert with_spec.speculative_wins > 0
+
+    def test_speculation_wastes_work(self):
+        with_spec = run(
+            FaultPlan(
+                straggler_nodes=("slave1",),
+                straggler_factor=8.0,
+                speculative_execution=True,
+            )
+        )
+        assert with_spec.wasted_seconds > 0
+
+    def test_single_node_cluster_cannot_speculate(self):
+        result = run(
+            FaultPlan(straggler_nodes=("slave1",), speculative_execution=True),
+            slaves=1,
+        )
+        assert result.speculative_wins == 0
+
+    def test_all_straggler_cluster_has_no_backup_targets(self):
+        result = run(
+            FaultPlan(
+                straggler_nodes=("slave1", "slave2", "slave3", "slave4"),
+                straggler_factor=4.0,
+            )
+        )
+        assert result.speculative_wins == 0

@@ -1,0 +1,90 @@
+"""Tests for HDFS block placement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.hdfs import Hdfs
+from repro.cluster.node import Node
+
+
+def make_hdfs(n_nodes=4, block_size=1024, replication=3):
+    nodes = [Node(f"n{i}") for i in range(n_nodes)]
+    return Hdfs(nodes, block_size=block_size, replication=replication)
+
+
+class TestHdfs:
+    def test_file_split_into_blocks(self):
+        hdfs = make_hdfs(block_size=1024)
+        f = hdfs.create_file("f", 2500)
+        assert len(f) == 3
+        assert [b.size_bytes for b in f.blocks] == [1024, 1024, 452]
+        assert f.size_bytes == 2500
+
+    def test_empty_file_has_no_blocks(self):
+        hdfs = make_hdfs()
+        f = hdfs.create_file("empty", 0)
+        assert len(f) == 0
+
+    def test_replication_count(self):
+        hdfs = make_hdfs(n_nodes=4, replication=3)
+        f = hdfs.create_file("f", 4096)
+        for block in f.blocks:
+            assert len(block.replicas) == 3
+            assert len(set(block.replicas)) == 3
+
+    def test_replication_capped_by_cluster_size(self):
+        hdfs = make_hdfs(n_nodes=2, replication=3)
+        f = hdfs.create_file("f", 1024)
+        assert len(f.blocks[0].replicas) == 2
+
+    def test_placement_balanced(self):
+        hdfs = make_hdfs(n_nodes=4, block_size=64, replication=1)
+        hdfs.create_file("big", 64 * 40)
+        counts = [len(hdfs.blocks_on_node(f"n{i}")) for i in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_duplicate_name_rejected(self):
+        hdfs = make_hdfs()
+        hdfs.create_file("f", 10)
+        with pytest.raises(ValueError):
+            hdfs.create_file("f", 10)
+
+    def test_delete_file(self):
+        hdfs = make_hdfs()
+        hdfs.create_file("f", 10)
+        hdfs.delete_file("f")
+        with pytest.raises(KeyError):
+            hdfs.blocks_of("f")
+        hdfs.create_file("f", 10)  # name reusable
+
+    def test_blocks_of_unknown_file(self):
+        with pytest.raises(KeyError):
+            make_hdfs().blocks_of("ghost")
+
+    def test_total_stored_includes_replication(self):
+        hdfs = make_hdfs(n_nodes=4, block_size=1024, replication=2)
+        hdfs.create_file("f", 1024)
+        assert hdfs.total_stored_bytes() == 2048
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Hdfs([], block_size=64)
+        with pytest.raises(ValueError):
+            make_hdfs(block_size=0)
+        with pytest.raises(ValueError):
+            make_hdfs(replication=0)
+
+    def test_rejects_negative_file_size(self):
+        with pytest.raises(ValueError):
+            make_hdfs().create_file("f", -1)
+
+    @given(
+        size=st.integers(min_value=0, max_value=100_000),
+        block=st.integers(min_value=1, max_value=5000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_blocks_reassemble_to_file_size(self, size, block):
+        hdfs = make_hdfs(block_size=block)
+        f = hdfs.create_file("f", size)
+        assert f.size_bytes == size
+        assert all(0 < b.size_bytes <= block for b in f.blocks)

@@ -1,0 +1,181 @@
+"""Tests for the comparison benchmark suites."""
+
+import pytest
+
+from repro.comparisons import (
+    COMPARISON_NAMES,
+    SERVICE_WORKLOADS,
+    all_comparisons,
+    comparison,
+)
+from repro.comparisons.cloudsuite import InvertedIndex, SymProgram, explore
+from repro.comparisons.speccpu import dijkstra, lz77_compress, lz77_decompress
+from repro.uarch.trace import SyntheticTrace
+
+
+class TestRegistry:
+    def test_fifteen_comparisons(self):
+        assert len(COMPARISON_NAMES) == 15
+        assert len(all_comparisons()) == 15
+
+    def test_suites(self):
+        suites = {c.suite for c in all_comparisons()}
+        assert suites == {"CloudSuite", "SPEC CPU2006", "SPECweb2005", "HPCC"}
+
+    def test_hpcc_has_seven_programs(self):
+        hpcc = [c for c in all_comparisons() if c.suite == "HPCC"]
+        assert len(hpcc) == 7
+
+    def test_cloudsuite_has_five_here(self):
+        # The sixth CloudSuite benchmark (Naive Bayes) lives in workloads.
+        cloud = [c for c in all_comparisons() if c.suite == "CloudSuite"]
+        assert len(cloud) == 5
+
+    def test_service_grouping_matches_paper(self):
+        # Four of six CloudSuite benchmarks + SPECweb (Section I).
+        assert SERVICE_WORKLOADS == {
+            "Media Streaming", "Data Serving", "Web Search", "Web Serving", "SPECWeb",
+        }
+
+    def test_unknown_comparison(self):
+        with pytest.raises(KeyError):
+            comparison("HPCC-LINPACK9000")
+
+    def test_trace_specs_generate(self):
+        for c in all_comparisons():
+            spec = c.trace_spec(1500)
+            assert sum(1 for _ in SyntheticTrace(spec)) == 1500
+
+
+class TestHpccKernels:
+    def test_hpl_residual_small(self):
+        metrics = comparison("HPCC-HPL").run(scale=0.5).metrics
+        assert metrics["residual"] < 1e-8
+
+    def test_dgemm_matches_numpy(self):
+        metrics = comparison("HPCC-DGEMM").run(scale=0.5).metrics
+        assert metrics["max_error"] < 1e-9
+
+    def test_stream_checksum(self):
+        metrics = comparison("HPCC-STREAM").run(scale=0.2).metrics
+        assert metrics["checksum_error"] < 1e-12
+
+    def test_ptrans_exact(self):
+        metrics = comparison("HPCC-PTRANS").run(scale=0.3).metrics
+        assert metrics["max_error"] == 0.0
+
+    def test_randomaccess_self_inverse(self):
+        metrics = comparison("HPCC-RandomAccess").run(scale=0.6).metrics
+        assert metrics["errors"] == 0
+
+    def test_fft_matches_numpy(self):
+        metrics = comparison("HPCC-FFT").run(scale=0.7).metrics
+        assert metrics["relative_error"] < 1e-9
+
+    def test_comm_reports_latency_and_bandwidth(self):
+        metrics = comparison("HPCC-COMM").run(scale=0.5).metrics
+        assert metrics["latency_s"] > 0
+        assert metrics["ring_bandwidth_Bps"] > 1e6
+
+    def test_hpcc_kernel_fractions_small_except_randomaccess(self):
+        for c in all_comparisons():
+            if c.suite != "HPCC":
+                continue
+            f = c.trace_spec(1000).kernel_fraction
+            if c.name == "HPCC-RandomAccess":
+                assert f == pytest.approx(0.31, abs=0.01)  # §IV-A
+            elif c.name == "HPCC-COMM":
+                assert f > 0.1  # message passing
+            else:
+                assert f < 0.05
+
+
+class TestSpecCpu:
+    def test_lz77_roundtrip(self):
+        for text in (b"", b"a", b"abcabcabcabc", b"the quick " * 30):
+            assert lz77_decompress(lz77_compress(text)) == text
+
+    def test_lz77_compresses_repetitive_text(self):
+        text = b"abc" * 100
+        tokens = lz77_compress(text)
+        assert 3 * len(tokens) < len(text)
+
+    def test_dijkstra_simple_graph(self):
+        adjacency = {0: [(1, 2), (2, 9)], 1: [(2, 3)], 2: []}
+        dist = dijkstra(adjacency, 0)
+        assert dist == {0: 0, 1: 2, 2: 5}
+
+    def test_specint_runs(self):
+        metrics = comparison("SPECINT").run(scale=0.3).metrics
+        assert metrics["compression_ratio"] > 1.0
+
+    def test_specfp_runs(self):
+        metrics = comparison("SPECFP").run(scale=0.3).metrics
+        assert 0 < metrics["stencil_mean"] < 1.0
+
+
+class TestSpecWeb:
+    def test_money_conserved(self):
+        metrics = comparison("SPECWeb").run(scale=0.5).metrics
+        assert metrics["conservation_error"] == 0.0
+
+    def test_requests_served(self):
+        metrics = comparison("SPECWeb").run(scale=0.5).metrics
+        assert metrics["requests"] > 1000
+
+    def test_kernel_heavy_profile(self):
+        # Figure 4: services execute > 40 % kernel-mode instructions.
+        assert comparison("SPECWeb").trace_spec(1000).kernel_fraction > 0.4
+
+
+class TestCloudSuite:
+    def test_data_serving_mix_is_50_50(self):
+        metrics = comparison("Data Serving").run(scale=0.4).metrics
+        assert metrics["read_update_ratio"] == pytest.approx(1.0, abs=0.15)
+        assert metrics["misses"] == 0
+
+    def test_media_streaming_delivers(self):
+        metrics = comparison("Media Streaming").run(scale=0.5).metrics
+        assert metrics["delivered_bytes"] > 0
+        assert metrics["stalls"] == 0
+
+    def test_media_streaming_has_biggest_code_footprint(self):
+        streaming = comparison("Media Streaming").trace_spec(1000)
+        others = [c.trace_spec(1000) for c in all_comparisons() if c.name != "Media Streaming"]
+        assert all(streaming.code_footprint >= o.code_footprint for o in others)
+
+    def test_software_testing_path_counts(self):
+        metrics = comparison("Software Testing").run(scale=0.5).metrics
+        assert 1 <= metrics["feasible_paths"] <= metrics["path_bound"]
+
+    def test_symbolic_explorer_exact_on_known_program(self):
+        # x < 10 then x >= 5: paths are x<5, 5<=x<10, x>=10 → 3 feasible.
+        program = SymProgram((("lt", 10), ("ge", 5)))
+        assert explore(program, 0, 100) == 3
+
+    def test_web_search_answers_queries(self):
+        metrics = comparison("Web Search").run(scale=0.3).metrics
+        assert metrics["answered"] == metrics["queries"]
+
+    def test_inverted_index_ranking(self):
+        index = InvertedIndex()
+        index.add("d1", "apple banana apple")
+        index.add("d2", "banana cherry")
+        hits = index.search(["apple"])
+        assert hits[0][0] == "d1"
+        assert len(hits) == 1
+
+    def test_web_serving_renders(self):
+        metrics = comparison("Web Serving").run(scale=0.3).metrics
+        assert metrics["pages"] > 0
+        assert metrics["events"] > 0
+
+    def test_service_profiles_are_kernel_heavy(self):
+        for name in SERVICE_WORKLOADS:
+            spec = comparison(name).trace_spec(1000)
+            assert spec.kernel_fraction >= 0.4, name
+
+    def test_service_profiles_have_big_code(self):
+        for name in SERVICE_WORKLOADS:
+            spec = comparison(name).trace_spec(1000)
+            assert spec.code_footprint >= 1024 * 1024, name

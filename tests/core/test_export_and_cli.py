@@ -1,0 +1,106 @@
+"""Tests for the CSV/JSON exports and the command-line interface."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.core import DCBench, characterize
+from repro.core.export import COLUMNS, to_csv, to_json
+
+
+@pytest.fixture(scope="module")
+def chars():
+    suite = DCBench.default()
+    return [
+        characterize(suite.entry(name), instructions=20_000)
+        for name in ("WordCount", "SPECWeb")
+    ]
+
+
+class TestExports:
+    def test_csv_roundtrip(self, chars):
+        text = to_csv(chars)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["workload"] == "WordCount"
+        assert set(rows[0]) == set(COLUMNS)
+        assert float(rows[0]["ipc"]) > 0
+
+    def test_json_roundtrip(self, chars):
+        data = json.loads(to_json(chars))
+        assert [row["workload"] for row in data] == ["WordCount", "SPECWeb"]
+        assert data[1]["group"] == "service"
+        stall_total = sum(data[0][f"stall_{c}"] for c in
+                          ("fetch", "rat", "load", "rs_full", "store", "rob_full"))
+        assert stall_total == pytest.approx(1.0)
+
+    def test_csv_and_json_agree(self, chars):
+        csv_rows = list(csv.DictReader(io.StringIO(to_csv(chars))))
+        json_rows = json.loads(to_json(chars))
+        for c_row, j_row in zip(csv_rows, json_rows):
+            assert float(c_row["l2_mpki"]) == pytest.approx(j_row["l2_mpki"])
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Naive Bayes" in out and "HPCC-STREAM" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table III" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "Grep", "--scale", "0.1", "--slaves", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Grep" in out
+        assert "Map input records" in out
+
+    def test_characterize_table(self, capsys):
+        assert main(["characterize", "Grep", "--instructions", "15000"]) == 0
+        out = capsys.readouterr().out
+        assert "Grep" in out and "ipc" in out
+
+    def test_characterize_csv(self, capsys):
+        assert main(
+            ["characterize", "Grep", "--instructions", "15000", "--format", "csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert rows[0]["workload"] == "Grep"
+
+    def test_characterize_json(self, capsys):
+        assert main(
+            ["characterize", "Grep", "--instructions", "15000", "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["workload"] == "Grep"
+
+    def test_domains(self, capsys):
+        assert main(["domains"]) == 0
+        out = capsys.readouterr().out
+        assert "Search Engine" in out and "40%" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "Sort", "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "# workload: Sort" in out
+        assert "overhead" in out
+
+    def test_colocate(self, capsys):
+        assert main(["colocate", "Grep", "WordCount", "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out and "Grep" in out and "WordCount" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["characterize", "NotAWorkload"])

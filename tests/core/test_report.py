@@ -1,0 +1,76 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.core import (
+    DCBench,
+    characterize,
+    render_figure_series,
+    render_metric_table,
+    render_stall_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.core.report import FIGURE_METRICS
+
+
+@pytest.fixture(scope="module")
+def mini_chars():
+    suite = DCBench.default()
+    names = ["Naive Bayes", "Sort", "SPECWeb", "HPCC-HPL"]
+    return [characterize(suite.entry(n), instructions=20_000) for n in names]
+
+
+class TestFigureRenderers:
+    def test_all_scalar_figures_covered(self):
+        assert set(FIGURE_METRICS) == {3, 4, 7, 8, 9, 10, 11, 12}
+
+    @pytest.mark.parametrize("figure", sorted(FIGURE_METRICS))
+    def test_series_has_avg_bar(self, figure, mini_chars):
+        series = render_figure_series(figure, mini_chars)
+        assert "avg" in series  # the data-analysis average bar
+        assert "Sort" in series
+
+    def test_avg_is_da_average(self, mini_chars):
+        series = render_figure_series(3, mini_chars)
+        da = [series["Naive Bayes"], series["Sort"]]
+        assert series["avg"] == pytest.approx(sum(da) / 2)
+
+    def test_series_rejects_figure_6(self, mini_chars):
+        with pytest.raises(ValueError):
+            render_figure_series(6, mini_chars)
+
+    @pytest.mark.parametrize("figure", sorted(FIGURE_METRICS))
+    def test_metric_table_renders(self, figure, mini_chars):
+        text = render_metric_table(figure, mini_chars)
+        assert f"Figure {figure}" in text
+        assert "Sort" in text
+
+    def test_stall_table(self, mini_chars):
+        text = render_stall_table(mini_chars)
+        assert "Figure 6" in text
+        assert "rs_full" in text
+        assert "SPECWeb" in text
+
+
+class TestTableRenderers:
+    def test_table1_rows(self):
+        text = render_table1()
+        assert "Table I" in text
+        assert "150 GB documents" in text
+        assert "68131" in text  # Naive Bayes retired instructions
+        assert "mahout" in text
+
+    def test_table2_scenarios(self):
+        text = render_table2()
+        assert "Table II" in text
+        assert "Spam recognition" in text
+        assert "Word frequency count" in text
+
+    def test_table3_matches_paper(self):
+        text = render_table3()
+        assert "Intel Xeon E5645" in text
+        assert "6 cores@2.4G" in text
+        assert "12 MB" in text
+        assert "32 GB , DDR3" in text

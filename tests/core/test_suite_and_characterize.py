@@ -1,0 +1,132 @@
+"""Tests for the DCBench suite and the characterization arc."""
+
+import pytest
+
+from repro.core import DCBench, FIGURE_ORDER, Metrics, characterize
+from repro.core.characterize import characterize_suite
+from repro.core.metrics import STALL_CATEGORIES, average_metrics
+from repro.core.suite import DATA_ANALYSIS_NAMES
+from repro.uarch.config import scaled_machine
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return DCBench.default()
+
+
+@pytest.fixture(scope="module")
+def sample_chars(suite):
+    """A small, fast characterization sample spanning all groups."""
+    names = ["WordCount", "Sort", "Data Serving", "SPECINT", "HPCC-HPL", "HPCC-STREAM"]
+    return [
+        characterize(suite.entry(name), instructions=40_000, scale=8) for name in names
+    ]
+
+
+class TestSuite:
+    def test_suite_has_26_entries(self, suite):
+        # 11 data-analysis + 5 CloudSuite + SPECFP/SPECINT/SPECWeb + 7 HPCC.
+        assert len(suite) == 26
+        assert suite.names() == FIGURE_ORDER
+
+    def test_naive_bayes_leads_the_figures(self, suite):
+        # "we report the Naive Bayes on the leftmost side" (§IV-A).
+        assert suite.names()[0] == "Naive Bayes"
+
+    def test_groups(self, suite):
+        assert len(suite.data_analysis()) == 11
+        assert len(suite.services()) == 5
+        assert len(suite.group("hpc")) == 7
+        assert len(suite.group("desktop")) == 2
+        assert len(suite.group("cloud")) == 1  # Software Testing
+
+    def test_data_analysis_names_match_table_one_set(self, suite):
+        assert set(DATA_ANALYSIS_NAMES) == {e.name for e in suite.data_analysis()}
+
+    def test_entry_lookup(self, suite):
+        entry = suite.entry("K-means")
+        assert entry.group == "data-analysis"
+        with pytest.raises(KeyError):
+            suite.entry("Quake")
+
+    def test_data_analysis_only_suite(self):
+        sub = DCBench.data_analysis_only()
+        assert len(sub) == 11
+        assert all(e.is_data_analysis for e in sub)
+
+    def test_entries_produce_trace_specs(self, suite):
+        for entry in suite:
+            spec = entry.trace_spec(1000)
+            assert spec.instructions == 1000
+
+
+class TestCharacterize:
+    def test_returns_metrics_and_counters(self, sample_chars):
+        c = sample_chars[0]
+        assert c.name == "WordCount"
+        assert c.group == "data-analysis"
+        assert c.metrics.ipc > 0
+        assert c.reading["instructions"] > 0
+
+    def test_deterministic(self, suite):
+        a = characterize(suite.entry("Grep"), instructions=20_000)
+        b = characterize(suite.entry("Grep"), instructions=20_000)
+        assert a.metrics == b.metrics
+
+    def test_explicit_machine_override(self, suite):
+        machine = scaled_machine(16)
+        c = characterize(suite.entry("Grep"), instructions=20_000, scale=16, machine=machine)
+        assert c.result.machine == machine.name
+
+    def test_stall_breakdown_normalised(self, sample_chars):
+        for c in sample_chars:
+            total = sum(c.metrics.stall_breakdown.values())
+            assert total == pytest.approx(1.0)
+
+    def test_sort_kernel_fraction_measured(self, sample_chars):
+        sort = next(c for c in sample_chars if c.name == "Sort")
+        assert sort.metrics.kernel_instruction_fraction == pytest.approx(0.24, abs=0.04)
+
+    def test_service_vs_da_shape(self, sample_chars):
+        wc = next(c for c in sample_chars if c.name == "WordCount")
+        ds = next(c for c in sample_chars if c.name == "Data Serving")
+        assert ds.metrics.kernel_instruction_fraction > wc.metrics.kernel_instruction_fraction
+        assert ds.metrics.l1i_mpki > wc.metrics.l1i_mpki
+        assert ds.metrics.ipc < wc.metrics.ipc
+        assert ds.metrics.frontend_stall_share() > wc.metrics.frontend_stall_share()
+
+    def test_hpl_fastest_of_sample(self, sample_chars):
+        hpl = next(c for c in sample_chars if c.name == "HPCC-HPL")
+        assert hpl.metrics.ipc == max(c.metrics.ipc for c in sample_chars)
+
+    def test_characterize_suite_subset(self):
+        sub = DCBench.data_analysis_only()
+        chars = characterize_suite(sub, instructions=10_000)
+        assert [c.name for c in chars] == [e.name for e in sub]
+
+
+class TestMetrics:
+    def test_average_metrics(self):
+        a = Metrics(1.0, 0.1, 10, 0.1, 5, 0.8, 0.2, 0.02, {c: 1 / 6 for c in STALL_CATEGORIES})
+        b = Metrics(3.0, 0.3, 30, 0.3, 15, 0.6, 0.4, 0.04, {c: 1 / 6 for c in STALL_CATEGORIES})
+        avg = average_metrics([a, b])
+        assert avg.ipc == 2.0
+        assert avg.l2_mpki == 10
+        assert avg.stall_breakdown["fetch"] == pytest.approx(1 / 6)
+
+    def test_average_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_metrics([])
+
+    def test_value_lookup(self):
+        m = Metrics(1.0, 0.1, 10, 0.1, 5, 0.8, 0.2, 0.02, {c: 0.0 for c in STALL_CATEGORIES})
+        assert m.value("ipc") == 1.0
+        assert m.value("fetch") == 0.0
+
+    def test_front_back_shares(self):
+        m = Metrics(
+            1.0, 0.1, 10, 0.1, 5, 0.8, 0.2, 0.02,
+            {"fetch": 0.2, "rat": 0.3, "load": 0.0, "rs_full": 0.3, "store": 0.0, "rob_full": 0.2},
+        )
+        assert m.frontend_stall_share() == pytest.approx(0.5)
+        assert m.backend_stall_share() == pytest.approx(0.5)

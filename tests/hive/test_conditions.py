@@ -1,0 +1,156 @@
+"""Tests for the extended WHERE grammar: OR, parentheses, BETWEEN, IN."""
+
+import random
+
+import pytest
+
+from repro.hive import HiveSession
+from repro.hive.parser import (
+    And,
+    HiveSyntaxError,
+    Or,
+    Predicate,
+    condition_predicates,
+    parse_query,
+)
+
+
+@pytest.fixture
+def session() -> HiveSession:
+    s = HiveSession()
+    s.create_table("t", [("name", "string"), ("x", "int"), ("y", "double")])
+    rng = random.Random(5)
+    s.load_rows(
+        "t",
+        [(f"n{i % 7}", rng.randrange(100), round(rng.random(), 3)) for i in range(400)],
+    )
+    return s
+
+
+class TestParsing:
+    def test_or_tree(self):
+        q = parse_query("SELECT * FROM t WHERE a > 1 OR b < 2")
+        assert isinstance(q.where, Or)
+        assert len(q.where.children) == 2
+
+    def test_and_binds_tighter_than_or(self):
+        q = parse_query("SELECT * FROM t WHERE a > 1 OR b < 2 AND c = 3")
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.children[1], And)
+
+    def test_parentheses_override_precedence(self):
+        q = parse_query("SELECT * FROM t WHERE (a > 1 OR b < 2) AND c = 3")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.children[0], Or)
+
+    def test_between(self):
+        q = parse_query("SELECT * FROM t WHERE x BETWEEN 5 AND 10")
+        assert isinstance(q.where, Predicate)
+        assert q.where.op == "between"
+        assert q.where.value == (5, 10)
+
+    def test_between_inside_conjunction(self):
+        q = parse_query("SELECT * FROM t WHERE x BETWEEN 5 AND 10 AND y = 1")
+        assert isinstance(q.where, And)
+        assert q.where.children[0].op == "between"
+
+    def test_in_list(self):
+        q = parse_query("SELECT * FROM t WHERE name IN ('a', 'b', 'c')")
+        assert q.where.op == "in"
+        assert q.where.value == ("a", "b", "c")
+
+    def test_in_numbers(self):
+        q = parse_query("SELECT * FROM t WHERE x IN (1, 2.5)")
+        assert q.where.value == (1, 2.5)
+
+    def test_predicates_property_flattens(self):
+        q = parse_query("SELECT * FROM t WHERE a = 1 OR (b = 2 AND c = 3)")
+        assert len(q.predicates) == 3
+
+    def test_condition_predicates_none(self):
+        assert condition_predicates(None) == []
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM t WHERE x BETWEEN 5",
+            "SELECT * FROM t WHERE x IN ()",
+            "SELECT * FROM t WHERE x IN (1",
+            "SELECT * FROM t WHERE (x = 1",
+            "SELECT * FROM t WHERE OR x = 1",
+        ],
+    )
+    def test_rejects_malformed(self, sql):
+        with pytest.raises(HiveSyntaxError):
+            parse_query(sql)
+
+
+class TestExecution:
+    def _reference(self, session, fn):
+        return {row for row in session.table("t").rows if fn(*row)}
+
+    def test_or_semantics(self, session):
+        r = session.execute("SELECT * FROM t WHERE x < 5 OR x > 95")
+        expected = self._reference(session, lambda n, x, y: x < 5 or x > 95)
+        assert set(r.rows) == expected
+
+    def test_between_semantics(self, session):
+        r = session.execute("SELECT * FROM t WHERE x BETWEEN 40 AND 60")
+        expected = self._reference(session, lambda n, x, y: 40 <= x <= 60)
+        assert set(r.rows) == expected
+
+    def test_in_semantics(self, session):
+        r = session.execute("SELECT * FROM t WHERE name IN ('n1', 'n4')")
+        expected = self._reference(session, lambda n, x, y: n in ("n1", "n4"))
+        assert set(r.rows) == expected
+
+    def test_nested_condition_semantics(self, session):
+        r = session.execute(
+            "SELECT * FROM t WHERE (name = 'n0' OR name = 'n1') AND x >= 50"
+        )
+        expected = self._reference(
+            session, lambda n, x, y: n in ("n0", "n1") and x >= 50
+        )
+        assert set(r.rows) == expected
+
+    def test_or_with_aggregation(self, session):
+        r = session.execute(
+            "SELECT name, COUNT(*) AS n FROM t WHERE x < 10 OR x > 90 GROUP BY name"
+        )
+        counts = {}
+        for n, x, _ in session.table("t").rows:
+            if x < 10 or x > 90:
+                counts[n] = counts.get(n, 0) + 1
+        assert dict(r.rows) == counts
+
+    def test_join_with_cross_side_or(self, session):
+        session.create_table("u", [("name", "string"), ("z", "int")])
+        session.load_rows("u", [(f"n{i % 7}", i) for i in range(20)])
+        r = session.execute(
+            "SELECT t.x, u.z FROM t JOIN u ON t.name = u.name "
+            "WHERE t.x > 90 OR u.z > 17"
+        )
+        u_rows = [(f"n{i % 7}", i) for i in range(20)]
+        expected = sorted(
+            (x, z)
+            for n, x, _ in session.table("t").rows
+            for m, z in u_rows
+            if n == m and (x > 90 or z > 17)
+        )
+        assert sorted(r.rows) == expected
+
+    def test_join_pushdown_still_works_with_mixed_conjuncts(self, session):
+        session.create_table("v", [("name", "string"), ("w", "int")])
+        session.load_rows("v", [(f"n{i % 7}", i * 10) for i in range(14)])
+        r = session.execute(
+            "SELECT t.x, v.w FROM t JOIN v ON t.name = v.name "
+            "WHERE t.x > 50 AND v.w BETWEEN 20 AND 80 AND (t.y > 0.5 OR v.w = 40)"
+        )
+        v_rows = [(f"n{i % 7}", i * 10) for i in range(14)]
+        expected = sorted(
+            (x, w)
+            for n, x, y in session.table("t").rows
+            for m, w in v_rows
+            if n == m and x > 50 and 20 <= w <= 80 and (y > 0.5 or w == 40)
+        )
+        assert sorted(r.rows) == expected

@@ -1,0 +1,261 @@
+"""Tests for the Hive planner and session against reference semantics."""
+
+import random
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.hive import HiveSession
+from repro.hive.planner import HivePlanError
+from repro.hive.schema import Column, Table
+
+
+@pytest.fixture
+def session() -> HiveSession:
+    s = HiveSession()
+    s.create_table(
+        "rankings",
+        [("pageURL", "string"), ("pageRank", "int"), ("avgDuration", "int")],
+    )
+    s.create_table(
+        "uservisits",
+        [("sourceIP", "string"), ("destURL", "string"), ("adRevenue", "double")],
+    )
+    rng = random.Random(42)
+    s.load_rows(
+        "rankings",
+        [(f"url{i}", rng.randrange(100), rng.randrange(10)) for i in range(200)],
+    )
+    s.load_rows(
+        "uservisits",
+        [
+            (f"ip{rng.randrange(20)}", f"url{rng.randrange(200)}", round(rng.random(), 6))
+            for _ in range(1000)
+        ],
+    )
+    return s
+
+
+class TestSchema:
+    def test_column_type_validation(self):
+        with pytest.raises(ValueError):
+            Column("x", "blob")
+
+    def test_column_coercion(self):
+        assert Column("x", "int").coerce("5") == 5
+        assert Column("x", "double").coerce(1) == 1.0
+        assert Column("x", "string").coerce(3) == "3"
+        assert Column("x", "int").coerce(None) is None
+
+    def test_table_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_table_rejects_wrong_width_row(self):
+        t = Table("t", [Column("a"), Column("b")])
+        with pytest.raises(ValueError):
+            t.insert((1,))
+
+    def test_unknown_column_lookup(self):
+        t = Table("t", [Column("a")])
+        with pytest.raises(KeyError):
+            t.column_index("zz")
+
+    def test_session_duplicate_table(self, session):
+        with pytest.raises(ValueError):
+            session.create_table("rankings", [("x", "int")])
+
+    def test_session_unknown_table(self, session):
+        with pytest.raises(KeyError):
+            session.table("ghost")
+
+
+class TestSelectSemantics:
+    def test_select_star_returns_all_rows(self, session):
+        r = session.execute("SELECT * FROM rankings")
+        assert len(r.rows) == 200
+        assert r.columns == ["pageURL", "pageRank", "avgDuration"]
+
+    def test_filter_matches_python_reference(self, session):
+        r = session.execute("SELECT pageURL, pageRank FROM rankings WHERE pageRank > 50")
+        expected = {
+            (url, rank) for url, rank, _ in session.table("rankings").rows if rank > 50
+        }
+        assert set(r.rows) == expected
+
+    def test_conjunction(self, session):
+        r = session.execute(
+            "SELECT pageURL FROM rankings WHERE pageRank > 20 AND pageRank <= 40"
+        )
+        expected = {
+            (url,) for url, rank, _ in session.table("rankings").rows if 20 < rank <= 40
+        }
+        assert set(r.rows) == expected
+
+    def test_like_contains(self, session):
+        r = session.execute("SELECT pageURL FROM rankings WHERE pageURL LIKE '%19%'")
+        expected = {(u,) for u, _, _ in session.table("rankings").rows if "19" in u}
+        assert set(r.rows) == expected
+
+    def test_like_prefix_suffix(self, session):
+        r = session.execute("SELECT pageURL FROM rankings WHERE pageURL LIKE 'url1%'")
+        assert all(u.startswith("url1") for (u,) in r.rows)
+        r2 = session.execute("SELECT pageURL FROM rankings WHERE pageURL LIKE '%9'")
+        assert all(u.endswith("9") for (u,) in r2.rows)
+
+    def test_string_equality(self, session):
+        r = session.execute("SELECT pageRank FROM rankings WHERE pageURL = 'url7'")
+        assert len(r.rows) == 1
+
+
+class TestAggregationSemantics:
+    def test_group_by_sum_matches_reference(self, session):
+        r = session.execute(
+            "SELECT sourceIP, SUM(adRevenue) AS rev FROM uservisits GROUP BY sourceIP"
+        )
+        expected: dict[str, float] = {}
+        for ip, _, rev in session.table("uservisits").rows:
+            expected[ip] = expected.get(ip, 0.0) + rev
+        got = dict(r.rows)
+        assert set(got) == set(expected)
+        for ip in expected:
+            assert got[ip] == pytest.approx(expected[ip])
+
+    def test_count_star_global(self, session):
+        r = session.execute("SELECT COUNT(*) FROM uservisits")
+        assert r.rows == [(1000,)]
+
+    def test_count_star_filtered(self, session):
+        r = session.execute("SELECT COUNT(*) FROM rankings WHERE pageRank >= 90")
+        expected = sum(1 for _, rank, _ in session.table("rankings").rows if rank >= 90)
+        assert r.rows == [(expected,)]
+
+    def test_avg_min_max(self, session):
+        r = session.execute(
+            "SELECT AVG(pageRank), MIN(pageRank), MAX(pageRank) FROM rankings"
+        )
+        ranks = [rank for _, rank, _ in session.table("rankings").rows]
+        avg, lo, hi = r.rows[0]
+        assert avg == pytest.approx(sum(ranks) / len(ranks))
+        assert (lo, hi) == (min(ranks), max(ranks))
+
+    def test_non_grouped_plain_column_rejected(self, session):
+        with pytest.raises(HivePlanError):
+            session.execute("SELECT pageURL, SUM(pageRank) FROM rankings GROUP BY avgDuration")
+
+    def test_multi_column_group(self, session):
+        r = session.execute(
+            "SELECT avgDuration, COUNT(*) AS n FROM rankings GROUP BY avgDuration"
+        )
+        total = sum(n for _, n in r.rows)
+        assert total == 200
+
+
+class TestJoinSemantics:
+    def test_join_matches_reference(self, session):
+        r = session.execute(
+            "SELECT r.pageURL, uv.adRevenue FROM rankings r "
+            "JOIN uservisits uv ON r.pageURL = uv.destURL WHERE r.pageRank > 80"
+        )
+        ranks = {u: pr for u, pr, _ in session.table("rankings").rows}
+        expected = [
+            (dest, rev)
+            for _, dest, rev in session.table("uservisits").rows
+            if dest in ranks and ranks[dest] > 80
+        ]
+        assert sorted(r.rows) == sorted(expected)
+
+    def test_join_then_group(self, session):
+        r = session.execute(
+            "SELECT uv.sourceIP, SUM(uv.adRevenue) AS rev FROM rankings r "
+            "JOIN uservisits uv ON r.pageURL = uv.destURL "
+            "WHERE r.pageRank > 50 GROUP BY uv.sourceIP"
+        )
+        ranks = {u: pr for u, pr, _ in session.table("rankings").rows}
+        expected: dict[str, float] = {}
+        for ip, dest, rev in session.table("uservisits").rows:
+            if ranks.get(dest, 0) > 50:
+                expected[ip] = expected.get(ip, 0.0) + rev
+        got = dict(r.rows)
+        assert set(got) == set(expected)
+        for ip in expected:
+            assert got[ip] == pytest.approx(expected[ip])
+
+    def test_ambiguous_column_rejected(self):
+        s = HiveSession()
+        s.create_table("a", [("k", "int"), ("x", "int")])
+        s.create_table("b", [("k", "int"), ("x", "int")])
+        with pytest.raises(HivePlanError):
+            s.execute("SELECT x FROM a JOIN b ON a.k = b.k")
+
+    def test_join_condition_must_span_tables(self):
+        s = HiveSession()
+        s.create_table("a", [("k", "int")])
+        s.create_table("b", [("j", "int")])
+        with pytest.raises(HivePlanError):
+            s.execute("SELECT a.k FROM a JOIN b ON a.k = a.k")
+
+
+class TestOrderLimit:
+    def test_order_by_ascending(self, session):
+        r = session.execute("SELECT pageURL, pageRank FROM rankings ORDER BY pageRank")
+        ranks = [rank for _, rank in r.rows]
+        assert ranks == sorted(ranks)
+
+    def test_order_by_descending_with_limit(self, session):
+        r = session.execute(
+            "SELECT sourceIP, SUM(adRevenue) AS rev FROM uservisits "
+            "GROUP BY sourceIP ORDER BY rev DESC LIMIT 3"
+        )
+        assert len(r.rows) == 3
+        revs = [rev for _, rev in r.rows]
+        assert revs == sorted(revs, reverse=True)
+
+    def test_limit_without_order(self, session):
+        r = session.execute("SELECT pageURL FROM rankings LIMIT 7")
+        assert len(r.rows) == 7
+
+    def test_order_by_unknown_output_column(self, session):
+        with pytest.raises(HivePlanError):
+            session.execute("SELECT pageURL FROM rankings ORDER BY pageRank")
+
+
+class TestPlansAndCluster:
+    def test_explain_mentions_stages(self, session):
+        text = session.explain(
+            "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP"
+        )
+        assert "scan" in text and "aggregate" in text
+
+    def test_join_plan_has_join_stage(self, session):
+        text = session.explain(
+            "SELECT r.pageURL FROM rankings r JOIN uservisits uv ON r.pageURL = uv.destURL"
+        )
+        assert "join" in text
+
+    def test_cluster_execution_produces_timelines(self):
+        cluster = make_cluster(2, block_size=4096)
+        s = HiveSession(cluster=cluster)
+        s.create_table("t", [("k", "string"), ("v", "int")])
+        rng = random.Random(1)
+        s.load_rows("t", [(f"k{rng.randrange(30)}", rng.randrange(10)) for _ in range(500)])
+        r = s.execute("SELECT k, SUM(v) FROM t GROUP BY k")
+        assert r.job_results
+        assert all(jr.timeline is not None for jr in r.job_results)
+        assert r.total_duration_s() > 0
+
+    def test_counters_merged_across_stages(self, session):
+        r = session.execute(
+            "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP"
+        )
+        # scan stage reads the 1000 input rows; aggregate stage reads its output.
+        assert r.counters.map_input_records >= 1000
+        assert len(r.job_results) == 2
+
+    def test_unknown_table_rejected(self, session):
+        with pytest.raises(HivePlanError):
+            session.execute("SELECT * FROM ghost")
+
+    def test_unknown_column_rejected(self, session):
+        with pytest.raises(HivePlanError):
+            session.execute("SELECT nothere FROM rankings")

@@ -1,0 +1,169 @@
+"""Tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.hive.parser import (
+    Aggregate,
+    ColumnRef,
+    HiveSyntaxError,
+    parse_query,
+)
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM t")
+        assert q.table == "t"
+        assert q.select_star
+        assert not q.has_aggregation
+
+    def test_select_columns(self):
+        q = parse_query("SELECT a, b FROM t")
+        assert [item.output_name() for item in q.items] == ["a", "b"]
+
+    def test_qualified_columns(self):
+        q = parse_query("SELECT t.a FROM t")
+        assert q.items[0].expr == ColumnRef("a", table="t")
+
+    def test_table_alias(self):
+        q = parse_query("SELECT r.a FROM rankings r")
+        assert q.table == "rankings"
+        assert q.table_alias == "r"
+
+    def test_column_alias(self):
+        q = parse_query("SELECT a AS x FROM t")
+        assert q.items[0].output_name() == "x"
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query("select a from t where a > 1 group by a")
+        assert q.table == "t"
+        assert len(q.group_by) == 1
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_query("SELECT * FROM t;").table == "t"
+
+
+class TestWhere:
+    def test_comparison_ops(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            q = parse_query(f"SELECT * FROM t WHERE a {op} 5")
+            assert q.predicates[0].op == op
+            assert q.predicates[0].value == 5
+
+    def test_diamond_normalised(self):
+        q = parse_query("SELECT * FROM t WHERE a <> 5")
+        assert q.predicates[0].op == "!="
+
+    def test_string_literal(self):
+        q = parse_query("SELECT * FROM t WHERE name = 'bob'")
+        assert q.predicates[0].value == "bob"
+
+    def test_float_literal(self):
+        q = parse_query("SELECT * FROM t WHERE x > 1.5")
+        assert q.predicates[0].value == 1.5
+
+    def test_negative_literal(self):
+        q = parse_query("SELECT * FROM t WHERE x > -3")
+        assert q.predicates[0].value == -3
+
+    def test_like(self):
+        q = parse_query("SELECT * FROM t WHERE s LIKE '%xyz%'")
+        assert q.predicates[0].op == "like"
+        assert q.predicates[0].value == "%xyz%"
+
+    def test_and_chain(self):
+        q = parse_query("SELECT * FROM t WHERE a > 1 AND b < 2 AND c = 'z'")
+        assert len(q.predicates) == 3
+
+    def test_escaped_quote_in_string(self):
+        q = parse_query(r"SELECT * FROM t WHERE s = 'o\'brien'")
+        assert q.predicates[0].value == "o'brien"
+
+
+class TestAggregation:
+    def test_sum_with_group_by(self):
+        q = parse_query("SELECT k, SUM(v) FROM t GROUP BY k")
+        assert q.has_aggregation
+        assert q.aggregates[0].func == "sum"
+        assert q.group_by == [ColumnRef("k")]
+
+    def test_count_star(self):
+        q = parse_query("SELECT COUNT(*) FROM t")
+        agg = q.aggregates[0]
+        assert agg.func == "count" and agg.arg is None
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_query("SELECT SUM(*) FROM t")
+
+    def test_all_agg_functions(self):
+        q = parse_query("SELECT SUM(a), COUNT(a), AVG(a), MIN(a), MAX(a) FROM t")
+        assert [a.func for a in q.aggregates] == ["sum", "count", "avg", "min", "max"]
+
+    def test_agg_alias(self):
+        q = parse_query("SELECT SUM(v) AS total FROM t")
+        assert q.aggregates[0].default_name() == "total"
+
+    def test_agg_default_name(self):
+        q = parse_query("SELECT SUM(v) FROM t")
+        assert q.aggregates[0].default_name() == "sum(v)"
+
+    def test_multi_column_group_by(self):
+        q = parse_query("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert len(q.group_by) == 2
+
+
+class TestJoin:
+    def test_join_on(self):
+        q = parse_query(
+            "SELECT r.a FROM rankings r JOIN uservisits uv ON r.url = uv.dest"
+        )
+        assert q.join.table == "uservisits"
+        assert q.join.alias == "uv"
+        assert q.join.left == ColumnRef("url", "r")
+        assert q.join.right == ColumnRef("dest", "uv")
+
+    def test_join_on_parenthesised(self):
+        q = parse_query("SELECT a FROM x JOIN y ON (x.k = y.k)")
+        assert q.join is not None
+
+
+class TestOrderLimit:
+    def test_order_asc_default(self):
+        q = parse_query("SELECT a FROM t ORDER BY a")
+        assert q.order_by.column == "a"
+        assert not q.order_by.descending
+
+    def test_order_desc(self):
+        q = parse_query("SELECT a FROM t ORDER BY a DESC")
+        assert q.order_by.descending
+
+    def test_limit(self):
+        q = parse_query("SELECT a FROM t LIMIT 10")
+        assert q.limit == 10
+
+    def test_qualified_order_target(self):
+        q = parse_query("SELECT t.a FROM t ORDER BY t.a")
+        assert q.order_by.column == "a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "INSERT INTO t VALUES (1)",
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a >",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t extra garbage ~~",
+            "SELECT a FROM t WHERE s LIKE 5",
+            "SELECT a FROM t WHERE a ! 5",
+        ],
+    )
+    def test_rejects_bad_sql(self, sql):
+        with pytest.raises(HiveSyntaxError):
+            parse_query(sql)

@@ -1,0 +1,125 @@
+"""Tests for CREATE TABLE AS, DROP TABLE and script execution."""
+
+import pytest
+
+from repro.hive import HiveSession
+from repro.hive.parser import (
+    CreateTableAs,
+    DropTable,
+    HiveSyntaxError,
+    Query,
+    parse_statement,
+    split_statements,
+)
+from repro.workloads import datagen
+
+
+@pytest.fixture
+def session() -> HiveSession:
+    s = HiveSession()
+    s.create_table(
+        "rankings", [("pageURL", "string"), ("pageRank", "int"), ("avgDuration", "int")]
+    )
+    s.load_rows("rankings", datagen.generate_rankings(300))
+    return s
+
+
+class TestParseStatement:
+    def test_select_returns_query(self):
+        assert isinstance(parse_statement("SELECT * FROM t"), Query)
+
+    def test_create_table_as(self):
+        stmt = parse_statement("CREATE TABLE x AS SELECT a FROM t")
+        assert isinstance(stmt, CreateTableAs)
+        assert stmt.table == "x"
+        assert stmt.query.table == "t"
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE x")
+        assert isinstance(stmt, DropTable)
+        assert stmt.table == "x"
+
+    def test_drop_rejects_trailing(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("DROP TABLE x y")
+
+    def test_create_requires_as(self):
+        with pytest.raises(HiveSyntaxError):
+            parse_statement("CREATE TABLE x SELECT a FROM t")
+
+
+class TestSplitStatements:
+    def test_basic_split(self):
+        assert split_statements("a; b ;c") == ["a", "b", "c"]
+
+    def test_semicolon_inside_string_preserved(self):
+        stmts = split_statements("SELECT * FROM t WHERE s = 'a;b'; SELECT 1 FROM u")
+        assert len(stmts) == 2
+        assert "'a;b'" in stmts[0]
+
+    def test_trailing_semicolon_and_blank(self):
+        assert split_statements("a;;\n;  b;") == ["a", "b"]
+
+    def test_empty_script(self):
+        assert split_statements("  \n ") == []
+
+
+class TestCtas:
+    def test_ctas_materialises(self, session):
+        session.execute_statement(
+            "CREATE TABLE hot AS SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100"
+        )
+        hot = session.table("hot")
+        expected = [
+            (u, r) for u, r, _ in session.table("rankings").rows if r > 100
+        ]
+        assert sorted(hot.rows) == sorted(expected)
+        assert [c.name for c in hot.columns] == ["pageURL", "pageRank"]
+
+    def test_ctas_types_inferred(self, session):
+        session.execute_statement(
+            "CREATE TABLE agg AS SELECT pageURL, AVG(pageRank) AS meanRank "
+            "FROM rankings GROUP BY pageURL"
+        )
+        cols = {c.name: c.type for c in session.table("agg").columns}
+        assert cols["pageURL"] == "string"
+        assert cols["meanRank"] == "double"
+
+    def test_ctas_sanitises_aggregate_names(self, session):
+        session.execute_statement(
+            "CREATE TABLE c AS SELECT pageRank, COUNT(*) FROM rankings GROUP BY pageRank"
+        )
+        names = [c.name for c in session.table("c").columns]
+        assert all(name.isidentifier() for name in names)
+
+    def test_ctas_result_queryable(self, session):
+        session.execute_statement(
+            "CREATE TABLE hot AS SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100"
+        )
+        count = session.execute("SELECT COUNT(*) FROM hot").rows[0][0]
+        expected = sum(1 for _, r, _ in session.table("rankings").rows if r > 100)
+        assert count == expected
+
+    def test_ctas_duplicate_name_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.execute_statement("CREATE TABLE rankings AS SELECT * FROM rankings")
+
+
+class TestScripts:
+    def test_multi_statement_pipeline(self, session):
+        executions = session.execute_script(
+            """
+            CREATE TABLE hot AS SELECT pageURL, pageRank FROM rankings WHERE pageRank > 50;
+            CREATE TABLE hottest AS SELECT pageURL FROM hot WHERE pageRank > 200;
+            SELECT COUNT(*) FROM hottest;
+            DROP TABLE hot;
+            DROP TABLE hottest;
+            """
+        )
+        assert len(executions) == 3  # two CTAS + one SELECT
+        expected = sum(1 for _, r, _ in session.table("rankings").rows if r > 200)
+        assert executions[-1].rows == [(expected,)]
+        assert "hot" not in session.tables and "hottest" not in session.tables
+
+    def test_drop_is_silent_and_returns_none(self, session):
+        assert session.execute_statement("DROP TABLE nothere") is None

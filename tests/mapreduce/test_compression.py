@@ -1,0 +1,73 @@
+"""Tests for map-output compression (mapred.compress.map.output)."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.mapreduce import JobConf, LocalEngine, MapReduceJob
+
+
+def wc_map(key, value):
+    for word in value.split():
+        yield word, 1
+
+
+def wc_reduce(key, values):
+    yield key, sum(values)
+
+
+DOCS = [("d%d" % i, "alpha beta gamma delta " * 20) for i in range(40)]
+
+
+def run(compress: bool, cluster=None):
+    job = MapReduceJob(
+        wc_map,
+        wc_reduce,
+        JobConf("wc", num_reduces=4, compress_map_output=compress,
+                compression_ratio=0.4),
+    )
+    return LocalEngine().execute(job, DOCS, cluster=cluster)
+
+
+class TestConfValidation:
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            JobConf("j", compression_ratio=0.0)
+        with pytest.raises(ValueError):
+            JobConf("j", compression_ratio=1.5)
+
+    def test_rejects_negative_codec_cost(self):
+        with pytest.raises(ValueError):
+            JobConf("j", compression_cost_per_byte=-1e-9)
+
+
+class TestCompressionSemantics:
+    def test_output_identical(self):
+        assert dict(run(False).output) == dict(run(True).output)
+
+    def test_shuffle_bytes_shrink(self):
+        plain = run(False).counters
+        packed = run(True).counters
+        assert packed.shuffle_bytes == pytest.approx(plain.shuffle_bytes * 0.4, rel=0.02)
+        assert packed.spilled_bytes < plain.spilled_bytes
+
+    def test_record_counts_unchanged(self):
+        plain = run(False).counters
+        packed = run(True).counters
+        assert packed.map_output_records == plain.map_output_records
+        assert packed.reduce_input_records == plain.reduce_input_records
+
+    def test_map_work_bytes_shrink_but_cpu_grows(self):
+        plain = run(False).work
+        packed = run(True).work
+        assert sum(m.output_bytes for m in packed.maps) < sum(
+            m.output_bytes for m in plain.maps
+        )
+        assert sum(m.cpu_seconds for m in packed.maps) > sum(
+            m.cpu_seconds for m in plain.maps
+        )
+
+    def test_compression_reduces_cluster_network_traffic(self):
+        c_plain, c_packed = make_cluster(4), make_cluster(4)
+        plain = run(False, cluster=c_plain)
+        packed = run(True, cluster=c_packed)
+        assert packed.timeline.network_bytes < plain.timeline.network_bytes

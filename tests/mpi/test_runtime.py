@@ -1,0 +1,115 @@
+"""Tests for the MPI runtime collectives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.runtime import MpiRuntime
+
+
+def make(num_ranks=4) -> MpiRuntime:
+    return MpiRuntime(num_ranks)
+
+
+class TestConstruction:
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            MpiRuntime(0)
+
+    def test_rejects_bad_cpu_speed(self):
+        with pytest.raises(ValueError):
+            MpiRuntime(4, cpu_speed=0)
+
+    def test_ranks_map_round_robin(self):
+        rt = MpiRuntime(10)
+        assert rt.node_of(0) is rt.node_of(8)
+        assert rt.node_of(0) is not rt.node_of(1)
+
+
+class TestCompute:
+    def test_runs_fn_per_rank(self):
+        rt = make()
+        assert rt.compute(lambda rank: rank * 2) == [0, 2, 4, 6]
+
+    def test_cost_advances_clocks(self):
+        rt = make()
+        rt.compute(lambda r: None, cost=1.0)
+        assert all(clock >= 1.0 for clock in rt.clocks)
+
+    def test_per_rank_cost(self):
+        rt = make()
+        rt.compute(lambda r: None, cost=lambda r: float(r))
+        assert rt.clocks[0] == 0.0
+        assert rt.clocks[3] == pytest.approx(3.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            make().compute(lambda r: None, cost=-1.0)
+
+
+class TestCollectives:
+    def test_barrier_synchronises(self):
+        rt = make()
+        rt.compute(lambda r: None, cost=lambda r: float(r))
+        rt.barrier()
+        assert len(set(rt.clocks)) == 1
+        assert rt.clocks[0] >= 3.0
+
+    def test_broadcast_returns_value_and_costs_time(self):
+        rt = make()
+        assert rt.broadcast({"w": [1, 2, 3]}) == {"w": [1, 2, 3]}
+        assert rt.elapsed() > 0
+
+    def test_broadcast_rejects_bad_root(self):
+        with pytest.raises(ValueError):
+            make().broadcast(1, root=9)
+
+    def test_allreduce_sum(self):
+        rt = make()
+        assert rt.allreduce([1, 2, 3, 4], lambda a, b: a + b) == 10
+
+    def test_allreduce_non_power_of_two(self):
+        rt = MpiRuntime(5)
+        assert rt.allreduce([1] * 5, lambda a, b: a + b) == 5
+
+    def test_allreduce_single_rank(self):
+        rt = MpiRuntime(1)
+        assert rt.allreduce([7], lambda a, b: a + b) == 7
+
+    def test_allreduce_wrong_arity(self):
+        with pytest.raises(ValueError):
+            make().allreduce([1, 2], lambda a, b: a + b)
+
+    def test_alltoall_transposes(self):
+        rt = make()
+        send = [[f"{i}->{j}" for j in range(4)] for i in range(4)]
+        recv = rt.alltoall(send)
+        for i in range(4):
+            for j in range(4):
+                assert recv[j][i] == send[i][j]
+
+    def test_alltoall_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            make().alltoall([[1, 2], [3]])
+
+    def test_gather(self):
+        rt = make()
+        assert rt.gather(["a", "b", "c", "d"]) == ["a", "b", "c", "d"]
+
+    def test_stats_accumulate(self):
+        rt = make()
+        rt.allreduce([1, 2, 3, 4], lambda a, b: a + b)
+        assert rt.stats.messages > 0
+        assert rt.stats.bytes_sent > 0
+        assert "allreduce" in rt.stats.collectives
+
+    def test_bigger_payloads_take_longer(self):
+        small, big = make(), make()
+        small.broadcast("x")
+        big.broadcast("x" * 500_000)
+        assert big.elapsed() > small.elapsed()
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=2, max_size=9))
+    @settings(max_examples=30, deadline=None)
+    def test_allreduce_matches_python_sum(self, values):
+        rt = MpiRuntime(len(values))
+        assert rt.allreduce(values, lambda a, b: a + b) == sum(values)

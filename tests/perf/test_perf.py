@@ -1,0 +1,139 @@
+"""Tests for the perf-style measurement layer."""
+
+import pytest
+
+from repro.perf import EVENT_CATALOG, PerfSession, ProcFs, lookup_event
+from repro.uarch.config import scaled_machine
+from repro.uarch.trace import TraceSpec
+
+
+class TestEventCatalog:
+    def test_paper_scale_event_count(self):
+        # "We collect about 20 events" (§III-D).
+        assert len(EVENT_CATALOG) >= 20
+
+    def test_core_events_present(self):
+        for name in (
+            "cycles",
+            "instructions",
+            "branch-misses",
+            "L1-icache-load-misses",
+            "l2_rqsts.miss",
+            "llc.misses",
+            "itlb_misses.walk_completed",
+            "dtlb_misses.walk_completed",
+            "resource_stalls.rs_full",
+            "resource_stalls.rob_full",
+            "rat_stalls.any",
+        ):
+            assert name in EVENT_CATALOG
+
+    def test_event_codes_formatted(self):
+        event = lookup_event("l2_rqsts.miss")
+        assert event.code == "raa24"
+
+    def test_lookup_unknown_event(self):
+        with pytest.raises(KeyError):
+            lookup_event("cpu_clk_unhalted.fantasy")
+
+    def test_descriptions_nonempty(self):
+        assert all(e.description for e in EVENT_CATALOG.values())
+
+
+class TestPerfSession:
+    MACHINE = scaled_machine(8)
+
+    def test_measure_reads_all_events(self):
+        session = PerfSession(machine=self.MACHINE)
+        reading = session.measure(TraceSpec("t", 20_000))
+        assert set(reading.counts) >= set(EVENT_CATALOG)
+        assert reading.counts["instructions"] > 0
+        assert reading.counts["cycles"] > 0
+
+    def test_selected_events_only(self):
+        session = PerfSession(events=["cycles", "branches"], machine=self.MACHINE)
+        reading = session.measure(TraceSpec("t", 10_000))
+        assert "cycles" in reading.counts and "branches" in reading.counts
+        assert "l2_rqsts.miss" not in reading.counts
+        # instructions always included for rate computation
+        assert "instructions" in reading.counts
+
+    def test_per_kilo_instructions(self):
+        session = PerfSession(machine=self.MACHINE)
+        reading = session.measure(TraceSpec("t", 20_000))
+        rate = reading.per_kilo_instructions("l2_rqsts.miss")
+        assert rate == pytest.approx(
+            1000 * reading["l2_rqsts.miss"] / reading["instructions"]
+        )
+
+    def test_ratio(self):
+        session = PerfSession(machine=self.MACHINE)
+        reading = session.measure(TraceSpec("t", 20_000))
+        ipc = reading.ratio("instructions", "cycles")
+        assert 0 < ipc <= 4.0
+
+    def test_consistency_with_result(self):
+        session = PerfSession(machine=self.MACHINE)
+        reading = session.measure(TraceSpec("t", 20_000))
+        assert reading.counts["cycles"] == reading.result.cycles
+        assert reading.counts["instructions"] == reading.result.instructions
+
+    def test_unknown_event_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            PerfSession(events=["bogus-event"])
+
+
+class TestProcFs:
+    def test_disk_write_recording(self):
+        p = ProcFs()
+        p.record_disk_write(1024)
+        assert p.writes_completed == 1
+        assert p.sectors_written == 2
+
+    def test_rate_from_samples(self):
+        p = ProcFs()
+        p.sample(0.0)
+        for _ in range(10):
+            p.record_disk_write(512)
+        p.sample(2.0)
+        assert p.disk_writes_per_second() == pytest.approx(5.0)
+
+    def test_rate_needs_two_samples(self):
+        p = ProcFs()
+        p.sample(0.0)
+        with pytest.raises(ValueError):
+            p.disk_writes_per_second()
+
+    def test_zero_elapsed_rate(self):
+        p = ProcFs()
+        p.sample(1.0)
+        p.sample(1.0)
+        assert p.disk_writes_per_second() == 0.0
+
+    def test_rejects_negative_io(self):
+        p = ProcFs()
+        with pytest.raises(ValueError):
+            p.record_disk_write(-1)
+        with pytest.raises(ValueError):
+            p.record_disk_read(-5)
+
+    def test_bytes_written(self):
+        p = ProcFs()
+        p.record_disk_write(1000)
+        assert p.bytes_written() == 1024  # rounded up to sectors
+
+    def test_render_diskstats_shape(self):
+        p = ProcFs()
+        p.record_disk_write(512)
+        p.record_disk_read(512)
+        line = p.render_diskstats()
+        assert "sda" in line
+        fields = line.split()
+        assert fields[3] == "1"  # reads completed
+
+    def test_render_netdev_shape(self):
+        p = ProcFs()
+        p.record_net(rx_bytes=100, tx_bytes=50)
+        line = p.render_netdev()
+        assert line.strip().startswith("eth0:")
+        assert " 100 " in line and " 50 " in line

@@ -1,0 +1,78 @@
+"""Tests for the sampled profiler."""
+
+import pytest
+
+from repro.perf.sampling import FlatProfile, profile_trace
+from repro.uarch.trace import MemoryRegion, TraceSpec
+
+
+def spec(**kw) -> TraceSpec:
+    defaults = dict(name="p", instructions=30_000)
+    defaults.update(kw)
+    return TraceSpec(**defaults)
+
+
+class TestProfileTrace:
+    def test_sample_count_matches_period(self):
+        profile = profile_trace(spec(instructions=10_000), period=100)
+        assert profile.samples == 100
+
+    def test_prime_period_default(self):
+        profile = profile_trace(spec(instructions=9_700))
+        assert profile.samples == 100
+
+    def test_kernel_share_tracks_kernel_fraction(self):
+        profile = profile_trace(spec(kernel_fraction=0.3), period=53)
+        assert profile.kernel_share == pytest.approx(0.3, abs=0.08)
+
+    def test_zero_kernel(self):
+        profile = profile_trace(spec(kernel_fraction=0.0), period=53)
+        assert profile.kernel_share == 0.0
+
+    def test_hot_code_concentrates_samples(self):
+        concentrated = profile_trace(
+            spec(code_footprint=512 * 1024, hot_code_fraction=0.02, hot_code_weight=0.98,
+                 kernel_fraction=0.0),
+            period=31,
+        )
+        flat = profile_trace(
+            spec(code_footprint=512 * 1024, hot_code_fraction=0.9, hot_code_weight=0.5,
+                 kernel_fraction=0.0),
+            period=31,
+        )
+        assert concentrated.coverage(10) > flat.coverage(10)
+
+    def test_small_footprint_fewer_blocks(self):
+        small = profile_trace(spec(code_footprint=2048, kernel_fraction=0.0), period=31)
+        big = profile_trace(
+            spec(code_footprint=1 << 20, hot_code_fraction=0.8, kernel_fraction=0.0),
+            period=31,
+        )
+        assert small.distinct_blocks() < big.distinct_blocks()
+
+    def test_blocks_are_aligned(self):
+        profile = profile_trace(spec(), period=41, block_bytes=256)
+        assert all(base % 256 == 0 for base in profile.blocks)
+
+    def test_block_counts_sum_to_samples(self):
+        profile = profile_trace(spec(), period=41)
+        assert sum(profile.blocks.values()) == profile.samples
+
+    def test_render_contains_header_and_modes(self):
+        text = profile_trace(spec(kernel_fraction=0.3), period=31).render(5)
+        assert "# workload: p" in text
+        assert "kernel" in text
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            profile_trace(spec(), period=0)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            profile_trace(spec(), block_bytes=100)
+
+    def test_empty_profile_metrics(self):
+        profile = FlatProfile("x", 97, 256)
+        assert profile.kernel_share == 0.0
+        assert profile.coverage() == 0.0
+        assert profile.hot_blocks() == []

@@ -1,0 +1,113 @@
+"""Cross-subsystem integration invariants.
+
+These tie the layers together per workload: the functional engine, the
+cluster timing model, HDFS placement, and the characterization arc must
+agree about the same execution.
+"""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core import DCBench, characterize
+from repro.mapreduce.io import records_bytes
+from repro.workloads import WORKLOAD_NAMES, workload
+
+
+@pytest.fixture(scope="module")
+def clustered_runs():
+    """One small clustered run per Table I workload."""
+    runs = {}
+    for name in WORKLOAD_NAMES:
+        cluster = make_cluster(3, block_size=32 * 1024)
+        runs[name] = (workload(name).run(scale=0.15, cluster=cluster), cluster)
+    return runs
+
+
+class TestEngineClusterConsistency:
+    def test_every_workload_produces_jobs_and_timelines(self, clustered_runs):
+        for name, (run, _cluster) in clustered_runs.items():
+            assert run.job_results, name
+            assert len(run.timelines) == len(run.job_results), name
+
+    def test_timelines_are_ordered_and_contiguous(self, clustered_runs):
+        for name, (run, _cluster) in clustered_runs.items():
+            previous_end = 0.0
+            for timeline in run.timelines:
+                assert timeline.start_s == pytest.approx(previous_end, abs=1e-9), name
+                assert timeline.map_phase_end_s >= timeline.start_s, name
+                assert timeline.end_s >= timeline.map_phase_end_s, name
+                previous_end = timeline.end_s
+
+    def test_map_input_bytes_match_hdfs_files(self, clustered_runs):
+        for name, (run, cluster) in clustered_runs.items():
+            total_input = sum(
+                m.input_bytes for jr in run.job_results for m in jr.work.maps
+            )
+            total_files = sum(f.size_bytes for f in cluster.hdfs.files.values())
+            # Every map split's bytes come from an HDFS file of this run.
+            assert total_input <= total_files + 1, name
+
+    def test_shuffle_counter_matches_reduce_work(self, clustered_runs):
+        for name, (run, _cluster) in clustered_runs.items():
+            for jr in run.job_results:
+                assert jr.counters.shuffle_bytes == sum(
+                    r.shuffle_bytes for r in jr.work.reduces
+                ), name
+
+    def test_output_bytes_counter_matches_output(self, clustered_runs):
+        for name, (run, _cluster) in clustered_runs.items():
+            for jr in run.job_results:
+                assert jr.counters.reduce_output_bytes == records_bytes(jr.output), name
+
+    def test_disk_and_network_activity_recorded(self, clustered_runs):
+        write_heavy = 0
+        for name, (run, cluster) in clustered_runs.items():
+            # multi-slave runs with replication must touch the network
+            assert cluster.network.bytes_moved > 0, name
+            if sum(n.procfs.writes_completed for n in cluster.slaves) > 0:
+                write_heavy += 1
+        # At this tiny scale the lightest writers (Grep, HMM) stay below
+        # one merged 16 KB request, but most workloads must flush writes.
+        assert write_heavy >= 8
+
+    def test_task_counts_match_work(self, clustered_runs):
+        for name, (run, _cluster) in clustered_runs.items():
+            for jr in run.job_results:
+                assert jr.timeline.map_tasks == len(jr.work.maps), name
+                assert jr.timeline.reduce_tasks == len(jr.work.reduces), name
+
+
+class TestCharacterizationConsistency:
+    @pytest.fixture(scope="class")
+    def char(self):
+        return characterize(DCBench.default().entry("WordCount"), instructions=60_000)
+
+    def test_reading_and_metrics_agree(self, char):
+        reading = char.reading
+        assert reading["cycles"] == char.result.cycles
+        assert char.metrics.ipc == pytest.approx(
+            reading["instructions"] / reading["cycles"]
+        )
+        assert char.metrics.l2_mpki == pytest.approx(
+            reading.per_kilo_instructions("l2_rqsts.miss")
+        )
+        assert char.metrics.branch_misprediction_ratio == pytest.approx(
+            reading.ratio("branch-misses", "branches")
+        )
+
+    def test_stall_events_match_result_fields(self, char):
+        reading = char.reading
+        assert reading["resource_stalls.rs_full"] == char.result.rs_full_stall_cycles
+        assert reading["rat_stalls.any"] == char.result.rat_stall_cycles
+        assert reading["ild_stall.any"] == char.result.fetch_stall_cycles
+
+    def test_trace_spec_scaling_consistency(self):
+        entry = DCBench.default().entry("Sort")
+        paper_scale = entry.trace_spec(1000)
+        scaled = paper_scale.scaled(8)
+        assert scaled.code_footprint == paper_scale.code_footprint // 8
+        for a, b in zip(paper_scale.regions, scaled.regions):
+            assert b.size_bytes == pytest.approx(a.size_bytes / 8, rel=0.01)
+        # behaviourals unchanged
+        assert scaled.kernel_fraction == paper_scale.kernel_fraction
+        assert scaled.load_fraction == paper_scale.load_fraction

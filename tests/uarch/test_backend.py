@@ -1,0 +1,109 @@
+"""Tests for back-end resource trackers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.backend import BufferTracker, ExecutionModel, RingTracker
+from repro.uarch.isa import OpClass
+
+
+class TestBufferTracker:
+    def test_free_buffer_admits_immediately(self):
+        b = BufferTracker(2)
+        assert b.earliest_slot(10) == 10
+
+    def test_full_buffer_waits_for_release(self):
+        b = BufferTracker(2)
+        b.occupy(20)
+        b.occupy(30)
+        assert b.earliest_slot(10) == 20
+
+    def test_released_entries_freed(self):
+        b = BufferTracker(1)
+        b.occupy(5)
+        assert b.earliest_slot(6) == 6
+
+    def test_entries_releasing_at_now_are_reusable(self):
+        b = BufferTracker(1)
+        b.occupy(5)
+        assert b.earliest_slot(5) == 5
+
+    def test_occupancy(self):
+        b = BufferTracker(4)
+        b.occupy(100)
+        b.occupy(200)
+        assert b.occupancy == 2
+
+    def test_clear(self):
+        b = BufferTracker(1)
+        b.occupy(100)
+        b.clear()
+        assert b.earliest_slot(0) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BufferTracker(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_earliest_slot_monotone_with_capacity(self, releases):
+        """A bigger buffer never admits later than a smaller one."""
+        small, big = BufferTracker(2), BufferTracker(8)
+        t_small = t_big = 0
+        for r in releases:
+            s = small.earliest_slot(t_small)
+            b = big.earliest_slot(t_big)
+            assert b <= s
+            small.occupy(s + r)
+            big.occupy(b + r)
+            t_small, t_big = s, b
+
+
+class TestRingTracker:
+    def test_admits_until_capacity(self):
+        r = RingTracker(3)
+        for _ in range(3):
+            assert r.earliest_slot(0) == 0
+            r.push_release(100)
+
+    def test_blocks_on_oldest_entry(self):
+        r = RingTracker(2)
+        r.push_release(50)
+        r.push_release(60)
+        assert r.earliest_slot(0) == 50
+        r.push_release(70)
+        assert r.earliest_slot(0) == 60
+
+    def test_fifo_reuse(self):
+        r = RingTracker(2)
+        r.push_release(10)
+        r.push_release(20)
+        assert r.earliest_slot(15) == 15  # oldest released at 10
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingTracker(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_never_admits_before_now(self, deltas):
+        r = RingTracker(4)
+        t = 0
+        for d in deltas:
+            slot = r.earliest_slot(t)
+            assert slot >= t
+            r.push_release(slot + d)
+            t = slot
+
+
+class TestExecutionModel:
+    def test_default_latencies(self):
+        ex = ExecutionModel()
+        assert ex.latency(OpClass.ALU) == 1
+        assert ex.latency(OpClass.DIV) > ex.latency(OpClass.MUL)
+        assert ex.latency(OpClass.FP) == 4
+
+    def test_override(self):
+        ex = ExecutionModel({OpClass.FP: 9})
+        assert ex.latency(OpClass.FP) == 9
+        assert ex.latency(OpClass.ALU) == 1

@@ -1,0 +1,136 @@
+"""Tests for the machine configuration (the paper's Table III)."""
+
+import pytest
+
+from repro.uarch.config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    TlbConfig,
+    XEON_E5645,
+    scaled_machine,
+)
+
+
+class TestCacheConfig:
+    def test_table_iii_l1i_geometry(self):
+        assert XEON_E5645.l1i.size_bytes == 32 * 1024
+        assert XEON_E5645.l1i.associativity == 4
+        assert XEON_E5645.l1i.line_bytes == 64
+
+    def test_table_iii_l1d_geometry(self):
+        assert XEON_E5645.l1d.size_bytes == 32 * 1024
+        assert XEON_E5645.l1d.associativity == 8
+
+    def test_table_iii_l2_geometry(self):
+        assert XEON_E5645.l2.size_bytes == 256 * 1024
+        assert XEON_E5645.l2.associativity == 8
+
+    def test_table_iii_l3_geometry(self):
+        assert XEON_E5645.l3.size_bytes == 12 * 1024 * 1024
+        assert XEON_E5645.l3.associativity == 16
+
+    def test_num_sets(self):
+        cache = CacheConfig("c", 32 * 1024, 4, 64)
+        assert cache.num_sets == 128
+        assert cache.num_lines == 512
+
+    def test_l3_sets_not_power_of_two(self):
+        # The real 12 MB L3 has 12288 sets; the model must accept it.
+        assert XEON_E5645.l3.num_sets == 12288
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 0, 4, 64)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 3, 64)
+
+
+class TestTlbConfig:
+    def test_table_iii_tlbs(self):
+        assert XEON_E5645.itlb.entries == 64
+        assert XEON_E5645.itlb.associativity == 4
+        assert XEON_E5645.dtlb.entries == 64
+        assert XEON_E5645.l2tlb.entries == 512
+
+    def test_reach(self):
+        assert XEON_E5645.itlb.reach_bytes == 64 * 4096
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            TlbConfig("bad", 64, 7)
+
+
+class TestCoreConfig:
+    def test_defaults_are_westmere_like(self):
+        core = CoreConfig()
+        assert core.fetch_width == 4
+        assert core.rob_entries == 128
+        assert core.rs_entries == 36
+
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(ValueError):
+            CoreConfig(fetch_width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(rob_entries=-1)
+
+
+class TestMachineDescribe:
+    def test_describe_matches_table_iii_rows(self):
+        rows = XEON_E5645.describe()
+        assert rows["CPU Type"] == "Intel Xeon E5645"
+        assert rows["# Cores"] == "6 cores@2.4G"
+        assert rows["# threads"] == "12 threads"
+        assert rows["# Sockets"] == "2"
+        assert rows["ITLB"] == "4-way set associative, 64 entries"
+        assert rows["L2 TLB"] == "4-way associative, 512 entries"
+        assert "32KB" in rows["L1 ICache"]
+        assert "256 KB" in rows["L2 Cache"]
+        assert "12 MB" in rows["L3 Cache"]
+        assert rows["Memory"] == "32 GB , DDR3"
+
+
+class TestScaledMachine:
+    def test_scale_one_is_identity(self):
+        assert scaled_machine(1) is XEON_E5645
+
+    def test_scale_divides_capacities(self):
+        m = scaled_machine(8)
+        assert m.l1i.size_bytes == XEON_E5645.l1i.size_bytes // 8
+        assert m.l3.size_bytes == XEON_E5645.l3.size_bytes // 8
+        assert m.itlb.entries == XEON_E5645.itlb.entries // 8
+        assert m.l2tlb.entries == XEON_E5645.l2tlb.entries // 8
+
+    def test_scale_preserves_associativity_and_lines(self):
+        m = scaled_machine(4)
+        assert m.l2.associativity == XEON_E5645.l2.associativity
+        assert m.l2.line_bytes == XEON_E5645.l2.line_bytes
+        assert m.dtlb.associativity == XEON_E5645.dtlb.associativity
+
+    def test_scale_preserves_latencies(self):
+        m = scaled_machine(8)
+        assert m.memory_latency == XEON_E5645.memory_latency
+        assert m.l3.hit_latency == XEON_E5645.l3.hit_latency
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            scaled_machine(0)
+
+    def test_rejects_non_dividing_scale(self):
+        with pytest.raises(ValueError):
+            scaled_machine(7)
+
+    def test_name_records_scaling(self):
+        assert "1/8" in scaled_machine(8).name
+
+
+class TestCustomMachine:
+    def test_machine_is_composable(self):
+        m = MachineConfig(
+            name="tiny",
+            l3=CacheConfig("L3", 1024 * 1024, 16, 64, hit_latency=30),
+        )
+        assert m.l3.num_sets == 1024
+        assert m.l1i.size_bytes == 32 * 1024  # untouched defaults

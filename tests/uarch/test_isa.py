@@ -1,0 +1,41 @@
+"""Unit tests for the micro-op model."""
+
+from repro.uarch.isa import DEFAULT_LATENCY, MEMORY_OPS, MicroOp, OpClass
+
+
+class TestOpClass:
+    def test_eight_classes(self):
+        assert len(OpClass) == 8
+
+    def test_memory_ops_set(self):
+        assert MEMORY_OPS == {OpClass.LOAD, OpClass.STORE}
+
+    def test_latency_table_covers_all_classes(self):
+        assert set(DEFAULT_LATENCY) == set(OpClass)
+
+    def test_latency_ordering(self):
+        assert DEFAULT_LATENCY[OpClass.ALU] <= DEFAULT_LATENCY[OpClass.MUL]
+        assert DEFAULT_LATENCY[OpClass.MUL] < DEFAULT_LATENCY[OpClass.DIV]
+
+
+class TestMicroOp:
+    def test_defaults(self):
+        uop = MicroOp(OpClass.ALU, 0x400000)
+        assert uop.addr == 0
+        assert not uop.taken
+        assert uop.dep1 == 0 and uop.dep2 == 0
+        assert not uop.kernel
+
+    def test_is_memory(self):
+        assert MicroOp(OpClass.LOAD, 0, addr=8).is_memory()
+        assert MicroOp(OpClass.STORE, 0, addr=8).is_memory()
+        assert not MicroOp(OpClass.BRANCH, 0).is_memory()
+        assert not MicroOp(OpClass.FP, 0).is_memory()
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        uop = MicroOp(OpClass.ALU, 0)
+        try:
+            uop.color = "red"
+        except AttributeError:
+            return
+        raise AssertionError("MicroOp must use __slots__")

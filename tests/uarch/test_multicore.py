@@ -1,0 +1,101 @@
+"""Tests for the multi-core consolidation model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.uarch.config import CacheConfig, scaled_machine
+from repro.uarch.multicore import MultiCoreSystem
+from repro.uarch.trace import MemoryRegion, TraceSpec
+
+#: Scaled machine with a 384 KB LLC so the test working sets exercise
+#: capacity contention within short traces.
+MACHINE = replace(
+    scaled_machine(8), l3=CacheConfig("L3", 384 * 1024, 16, 64, hit_latency=38)
+)
+
+
+def cache_friendly(name="friendly", n=100_000):
+    """128 KB hot set: two of these coexist in the 384 KB LLC, but a
+    streaming antagonist evicts the set between revisits."""
+    return TraceSpec(
+        name,
+        n,
+        code_footprint=4 * 1024,
+        kernel_fraction=0.0,
+        regions=(MemoryRegion("hot", 128 << 10, 1.0, "random", burst=4),),
+    )
+
+
+def thrasher(name="thrasher", n=100_000):
+    """Line-per-access streaming antagonist: floods LLC and DRAM."""
+    return TraceSpec(
+        name,
+        n,
+        code_footprint=4 * 1024,
+        kernel_fraction=0.0,
+        load_fraction=0.4,
+        store_fraction=0.15,
+        regions=(MemoryRegion("stream", 512 << 20, 1.0, "strided", stride=64),),
+    )
+
+
+class TestMultiCore:
+    def test_solo_is_deterministic(self):
+        system = MultiCoreSystem(MACHINE)
+        spec = cache_friendly(n=30_000)
+        a = system.run_solo(spec)
+        b = system.run_solo(spec)
+        assert a.cycles == b.cycles
+
+    def test_friendly_pair_coexists(self):
+        system = MultiCoreSystem(MACHINE)
+        result = system.run_colocated([cache_friendly("a"), cache_friendly("b")])
+        # Two sets that fit the LLC together: negligible interference.
+        assert result.slowdown("a") < 1.15
+        assert result.slowdown("b") < 1.15
+
+    def test_thrasher_hurts_cache_friendly_workload(self):
+        system = MultiCoreSystem(MACHINE)
+        result = system.run_colocated([cache_friendly(), thrasher()])
+        assert result.slowdown("friendly") > 1.5
+
+    def test_friendly_pair_interferes_less_than_thrasher_pair(self):
+        system = MultiCoreSystem(MACHINE)
+        pair = system.run_colocated([cache_friendly("a"), cache_friendly("b")])
+        with_thrasher = system.run_colocated([cache_friendly("a"), thrasher("b")])
+        assert with_thrasher.slowdown("a") > pair.slowdown("a")
+
+    def test_victim_l3_hit_ratio_collapses_under_thrashing(self):
+        system = MultiCoreSystem(MACHINE)
+        result = system.run_colocated([cache_friendly(), thrasher()])
+        solo_ratio = result.solo["friendly"].l3_hit_ratio_of_l2_misses()
+        shared_ratio = result.shared["friendly"].l3_hit_ratio_of_l2_misses()
+        assert solo_ratio > 0.8
+        assert shared_ratio < solo_ratio - 0.3
+
+    def test_worst_reports_largest_slowdown(self):
+        system = MultiCoreSystem(MACHINE)
+        result = system.run_colocated([cache_friendly(), thrasher()])
+        name, value = result.worst()
+        assert value == max(result.slowdowns.values())
+        assert name in ("friendly", "thrasher")
+
+    def test_single_workload_colocation_is_near_solo(self):
+        system = MultiCoreSystem(MACHINE)
+        result = system.run_colocated([cache_friendly()])
+        assert result.slowdown("friendly") == pytest.approx(1.0, abs=0.25)
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError):
+            MultiCoreSystem(MACHINE).run_colocated([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            MultiCoreSystem(MACHINE).run_colocated([thrasher("x"), thrasher("x")])
+
+    def test_shared_results_cover_all_workloads(self):
+        system = MultiCoreSystem(MACHINE)
+        result = system.run_colocated([cache_friendly("a"), thrasher("b")])
+        assert set(result.shared) == {"a", "b"}
+        assert all(r.instructions > 0 for r in result.shared.values())

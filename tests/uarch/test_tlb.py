@@ -1,0 +1,147 @@
+"""Unit and property tests for TLBs and the page walker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.config import TlbConfig
+from repro.uarch.tlb import PageWalker, Tlb, TlbHierarchy
+
+
+def small_tlb(entries=8, assoc=2) -> Tlb:
+    return Tlb(TlbConfig("T", entries, assoc))
+
+
+def make_hierarchy(l1_entries=4, l2_entries=16, walk=30):
+    walker = PageWalker(walk)
+    l2 = small_tlb(l2_entries, 4)
+    return TlbHierarchy(small_tlb(l1_entries, 2), l2, walker), walker
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        t = small_tlb()
+        assert t.access(0) is False
+        assert t.misses == 1
+
+    def test_same_page_hits(self):
+        t = small_tlb()
+        t.access(0)
+        assert t.access(4095) is True
+
+    def test_next_page_misses(self):
+        t = small_tlb()
+        t.access(0)
+        assert t.access(4096) is False
+
+    def test_lru_within_set(self):
+        t = small_tlb(entries=4, assoc=2)  # 2 sets
+        page = 4096
+        set_stride = 2 * page  # same set
+        t.access(0)
+        t.access(set_stride)
+        t.access(0)
+        t.access(2 * set_stride)  # evicts set_stride
+        assert t.access(0) is True
+        assert t.access(set_stride) is False
+
+    def test_miss_ratio(self):
+        t = small_tlb()
+        t.access(0)
+        t.access(0)
+        t.access(0)
+        assert t.miss_ratio() == pytest.approx(1 / 3)
+
+    def test_reset_preserves_contents(self):
+        t = small_tlb()
+        t.access(0)
+        t.reset_counters()
+        assert t.access(0) is True
+        assert t.hits == 1 and t.misses == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded(self, addrs):
+        t = small_tlb(entries=8, assoc=2)
+        for addr in addrs:
+            t.access(addr)
+        for ways in t._sets:
+            assert len(ways) <= t.ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_accounting_consistent(self, addrs):
+        t = small_tlb()
+        for addr in addrs:
+            t.access(addr)
+        assert t.hits + t.misses == len(addrs)
+
+
+class TestPageWalker:
+    def test_walk_returns_latency_and_counts(self):
+        w = PageWalker(30)
+        assert w.walk() == 30
+        assert w.walk() == 30
+        assert w.completed_walks == 2
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            PageWalker(-1)
+
+    def test_reset(self):
+        w = PageWalker(10)
+        w.walk()
+        w.reset_counters()
+        assert w.completed_walks == 0
+
+
+class TestTlbHierarchy:
+    def test_l1_hit_is_free(self):
+        h, _ = make_hierarchy()
+        h.translate(0)
+        assert h.translate(100) == 0
+
+    def test_cold_miss_walks(self):
+        h, walker = make_hierarchy(walk=30)
+        assert h.translate(0) == 30
+        assert walker.completed_walks == 1
+        assert h.completed_walks == 1
+
+    def test_l2_hit_is_cheap_refill(self):
+        h, walker = make_hierarchy(l1_entries=2, l2_entries=64)
+        pages = [i * 4096 for i in range(8)]
+        for p in pages:
+            h.translate(p)
+        walks_before = walker.completed_walks
+        # All 8 pages fit the L2 TLB but not the 2-entry L1.
+        latency = h.translate(pages[0])
+        assert latency == 7
+        assert walker.completed_walks == walks_before
+
+    def test_completed_walks_per_side(self):
+        """The paper counts walks caused by each side's L1 TLB separately."""
+        walker = PageWalker(30)
+        l2 = small_tlb(64, 4)
+        iside = TlbHierarchy(small_tlb(4, 2), l2, walker)
+        dside = TlbHierarchy(small_tlb(4, 2), l2, walker)
+        iside.translate(0)
+        dside.translate(1 << 30)
+        dside.translate(2 << 30)
+        assert iside.completed_walks == 1
+        assert dside.completed_walks == 2
+        assert walker.completed_walks == 3
+
+    def test_shared_l2_tlb_visible_to_both_sides(self):
+        walker = PageWalker(30)
+        l2 = small_tlb(64, 4)
+        iside = TlbHierarchy(small_tlb(2, 2), l2, walker)
+        dside = TlbHierarchy(small_tlb(2, 2), l2, walker)
+        iside.translate(0)
+        # Data side misses its L1 TLB but hits the shared L2 TLB.
+        assert dside.translate(0) == 7
+        assert dside.completed_walks == 0
+
+    def test_reset_counters(self):
+        h, _ = make_hierarchy()
+        h.translate(0)
+        h.reset_counters()
+        assert h.completed_walks == 0

@@ -1,0 +1,84 @@
+"""Tests for the virtualized-execution model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.uarch.config import scaled_machine, virtualized_machine, XEON_E5645
+from repro.uarch.pipeline import Core
+from repro.uarch.trace import MemoryRegion, SyntheticTrace, TraceSpec
+
+NATIVE = scaled_machine(8)
+VIRTUAL = virtualized_machine(NATIVE)
+
+
+def run(spec: TraceSpec, machine):
+    return Core(machine).run(SyntheticTrace(spec))
+
+
+def kernel_heavy(n=40_000):
+    return TraceSpec("svc-like", n, kernel_fraction=0.45, kernel_episode_len=200)
+
+
+def user_only(n=40_000):
+    return TraceSpec("compute", n, kernel_fraction=0.0)
+
+
+class TestConfig:
+    def test_virtualized_machine_flag(self):
+        assert not XEON_E5645.virtualized
+        assert virtualized_machine().virtualized
+        assert "virtualized" in virtualized_machine().name
+
+    def test_base_config_untouched(self):
+        vm = virtualized_machine(NATIVE)
+        assert vm.l3.size_bytes == NATIVE.l3.size_bytes
+        assert not NATIVE.virtualized
+
+
+class TestVmOverheads:
+    def test_vm_exits_counted_for_kernel_heavy_trace(self):
+        result = run(kernel_heavy(), VIRTUAL)
+        assert result.extra["vm_exits"] > 0
+        assert result.extra["vm_exit_cycles"] == (
+            result.extra["vm_exits"] * VIRTUAL.vm_transition_cycles
+        )
+
+    def test_no_vm_counters_on_native(self):
+        result = run(kernel_heavy(), NATIVE)
+        assert "vm_exits" not in result.extra
+
+    def test_user_only_trace_never_exits(self):
+        result = run(user_only(), VIRTUAL)
+        assert result.extra["vm_exits"] == 0
+
+    def test_virtualization_slows_kernel_heavy_more_than_compute(self):
+        svc_native = run(kernel_heavy(), NATIVE)
+        svc_virtual = run(kernel_heavy(), VIRTUAL)
+        cpu_native = run(user_only(), NATIVE)
+        cpu_virtual = run(user_only(), VIRTUAL)
+        svc_slowdown = svc_native.ipc() / svc_virtual.ipc()
+        cpu_slowdown = cpu_native.ipc() / cpu_virtual.ipc()
+        assert svc_slowdown > cpu_slowdown
+        assert svc_slowdown > 1.1
+        assert cpu_slowdown < 1.3
+
+    def test_nested_paging_amplifies_tlb_miss_cost(self):
+        spec = TraceSpec(
+            "tlb-heavy",
+            40_000,
+            kernel_fraction=0.0,
+            regions=(MemoryRegion("sprawl", 64 << 20, 1.0, "random", burst=1),),
+        )
+        native = run(spec, NATIVE)
+        virtual = run(spec, VIRTUAL)
+        # Same walk *count*, much higher walk cost.
+        assert virtual.dtlb_walks == native.dtlb_walks
+        assert virtual.ipc() < native.ipc() * 0.9
+
+    def test_transition_cycles_configurable(self):
+        cheap = replace(VIRTUAL, vm_transition_cycles=50)
+        costly = replace(VIRTUAL, vm_transition_cycles=5000)
+        fast = run(kernel_heavy(), cheap)
+        slow = run(kernel_heavy(), costly)
+        assert slow.cycles > fast.cycles

@@ -1,0 +1,166 @@
+"""Tests for the synthetic data generators."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import datagen
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = datagen.make_vocabulary(500)
+        assert len(vocab) == len(set(vocab)) == 500
+
+    def test_deterministic(self):
+        assert datagen.make_vocabulary(100, seed=3) == datagen.make_vocabulary(100, seed=3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            datagen.make_vocabulary(0)
+
+
+class TestDocuments:
+    def test_count_and_ids(self):
+        docs = datagen.generate_documents(50)
+        assert len(docs) == 50
+        assert len({doc_id for doc_id, _ in docs}) == 50
+
+    def test_zipf_skew(self):
+        docs = datagen.generate_documents(200, vocabulary_size=500)
+        counts = collections.Counter(w for _, text in docs for w in text.split())
+        frequencies = sorted(counts.values(), reverse=True)
+        # Zipf: the head dominates the tail.
+        assert frequencies[0] > 10 * frequencies[len(frequencies) // 2]
+
+    def test_deterministic(self):
+        assert datagen.generate_documents(10) == datagen.generate_documents(10)
+
+
+class TestSortRecords:
+    def test_shape(self):
+        records = datagen.generate_sort_records(100, payload_bytes=20)
+        assert len(records) == 100
+        for key, payload in records:
+            assert len(key) == 10
+            assert len(payload) == 20
+
+    def test_keys_mostly_distinct(self):
+        records = datagen.generate_sort_records(1000)
+        assert len({k for k, _ in records}) > 990
+
+
+class TestLabeledDocuments:
+    def test_labels_balanced(self):
+        docs = datagen.generate_labeled_documents(100)
+        counts = collections.Counter(label for _, (label, _) in docs)
+        assert set(counts) == {"spam", "ham"}
+        assert abs(counts["spam"] - counts["ham"]) <= 1
+
+    def test_class_signal_present(self):
+        docs = datagen.generate_labeled_documents(200, class_signal=0.4)
+        words_by_class = collections.defaultdict(set)
+        for _, (label, text) in docs:
+            words_by_class[label].update(text.split())
+        only_spam = words_by_class["spam"] - words_by_class["ham"]
+        only_ham = words_by_class["ham"] - words_by_class["spam"]
+        assert len(only_spam) > 20 and len(only_ham) > 20
+
+
+class TestClusterPoints:
+    def test_counts_and_dims(self):
+        points, centers = datagen.generate_cluster_points(100, num_clusters=4, dims=3)
+        assert len(points) == 100
+        assert len(centers) == 4
+        assert all(len(p) == 3 for _, p in points)
+
+    def test_points_near_their_centers(self):
+        points, centers = datagen.generate_cluster_points(
+            200, num_clusters=3, dims=4, spread=0.1
+        )
+        for i, (pid, point) in enumerate(points):
+            center = centers[i % 3]
+            dist = sum((a - b) ** 2 for a, b in zip(point, center)) ** 0.5
+            assert dist < 2.0
+
+
+class TestRatings:
+    def test_user_item_bounds(self):
+        ratings = datagen.generate_ratings(num_users=50, num_items=30)
+        for user, (item, rating) in ratings:
+            assert 0 <= user < 50
+            assert 0 <= item < 30
+            assert 1.0 <= rating <= 5.0
+
+    def test_no_duplicate_user_item_pairs(self):
+        ratings = datagen.generate_ratings(num_users=40, num_items=20)
+        pairs = [(u, i) for u, (i, _) in ratings]
+        assert len(pairs) == len(set(pairs))
+
+
+class TestWebGraph:
+    def test_shape(self):
+        graph = datagen.generate_web_graph(100)
+        assert len(graph) == 100
+        for page, links in graph:
+            assert page not in links
+            assert all(0 <= t < 100 for t in links)
+
+    def test_preferential_attachment_skew(self):
+        graph = datagen.generate_web_graph(300)
+        indegree = collections.Counter()
+        for _, links in graph:
+            for t in links:
+                indegree[t] += 1
+        degrees = sorted(indegree.values(), reverse=True)
+        assert degrees[0] > 5 * max(1, degrees[len(degrees) // 2])
+
+
+class TestSegmentedCorpus:
+    def test_tags_align_with_chars(self):
+        corpus = datagen.generate_segmented_corpus(50)
+        for _, (chars, tags) in corpus:
+            assert len(tags) == len(chars) or len(tags) <= len(chars) * 2
+            assert set(tags) <= set("BMES")
+
+    def test_tag_structure_valid(self):
+        corpus = datagen.generate_segmented_corpus(50)
+        for _, (_chars, tags) in corpus:
+            previous = None
+            for tag in tags:
+                if tag == "M" or tag == "E":
+                    assert previous in ("B", "M")
+                else:
+                    assert previous in (None, "E", "S")
+                previous = tag
+            assert previous in ("E", "S")
+
+
+class TestWarehouseTables:
+    def test_rankings_shape(self):
+        rows = datagen.generate_rankings(100)
+        assert len(rows) == 100
+        for url, rank, duration in rows:
+            assert url.startswith("url")
+            assert 0 <= rank <= 1000
+            assert 1 <= duration < 100
+
+    def test_uservisits_reference_pages(self):
+        rows = datagen.generate_uservisits(500, 100)
+        for ip, url, revenue, word in rows:
+            assert 0 <= int(url[3:]) < 100
+            assert revenue >= 0
+            assert ip.count(".") == 3
+
+    def test_visit_popularity_skewed(self):
+        rows = datagen.generate_uservisits(2000, 200)
+        counts = collections.Counter(url for _, url, _, _ in rows)
+        top = counts.most_common(20)
+        assert sum(c for _, c in top) > 0.3 * len(rows)
+
+    @given(st.integers(1, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_generators_deterministic(self, n):
+        assert datagen.generate_rankings(n) == datagen.generate_rankings(n)
+        assert datagen.generate_web_graph(n) == datagen.generate_web_graph(n)

@@ -1,0 +1,101 @@
+"""Tests for the extension workloads (TF-IDF, connected components)."""
+
+import collections
+import math
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core.characterize import characterize
+from repro.core.suite import SuiteEntry
+from repro.workloads import WORKLOAD_NAMES, datagen
+from repro.workloads.extra import ConnectedComponentsWorkload, TfIdfWorkload
+
+
+class TestTfIdf:
+    def test_matches_pure_python_reference(self):
+        wl = TfIdfWorkload()
+        run = wl.run(scale=0.2)
+        docs = datagen.generate_documents(int(600 * 0.2), seed=71)
+        n = len(docs)
+        tf = collections.Counter()
+        df_sets: dict[str, set] = collections.defaultdict(set)
+        for doc_id, text in docs:
+            for word in text.split():
+                tf[(doc_id, word)] += 1
+                df_sets[word].add(doc_id)
+        expected = {
+            (doc, word): count * math.log(n / len(df_sets[word]))
+            for (doc, word), count in tf.items()
+        }
+        assert set(run.output) == set(expected)
+        for key in list(expected)[:200]:
+            assert run.output[key] == pytest.approx(expected[key])
+
+    def test_three_jobs(self):
+        run = TfIdfWorkload().run(scale=0.1)
+        assert len(run.job_results) == 3
+
+    def test_stopwords_score_lowest(self):
+        """Zipf head words appear everywhere → near-zero idf."""
+        run = TfIdfWorkload().run(scale=0.3)
+        by_word: dict[str, list[float]] = collections.defaultdict(list)
+        for (_doc, word), score in run.output.items():
+            by_word[word].append(score)
+        docs = datagen.generate_documents(int(600 * 0.3), seed=71)
+        counts = collections.Counter(w for _, t in docs for w in t.split())
+        most_common = counts.most_common(1)[0][0]
+        rare = min(counts, key=counts.get)
+        assert max(by_word[most_common]) < max(by_word[rare]) * 5
+
+    def test_cluster_run(self):
+        run = TfIdfWorkload().run(scale=0.1, cluster=make_cluster(2, block_size=8192))
+        assert run.duration_s > 0
+        assert len(run.timelines) == 3
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        wl = ConnectedComponentsWorkload()
+        run = wl.run(scale=0.3)
+        graph = wl._make_undirected_graph(int(1200 * 0.3))
+        g = nx.Graph()
+        g.add_nodes_from(node for node, _ in graph)
+        for node, neighbors in graph:
+            g.add_edges_from((node, t) for t in neighbors)
+        expected_components = list(nx.connected_components(g))
+        assert run.details["num_components"] == len(expected_components)
+        # Every expected component must carry exactly one label.
+        labels = run.output
+        for component in expected_components:
+            assert len({labels[node] for node in component}) == 1
+
+    def test_labels_are_component_minima(self):
+        wl = ConnectedComponentsWorkload()
+        run = wl.run(scale=0.2)
+        groups: dict[int, list[int]] = collections.defaultdict(list)
+        for node, label in run.output.items():
+            groups[label].append(node)
+        for label, nodes in groups.items():
+            assert label == min(nodes)
+
+    def test_converges_before_cap(self):
+        run = ConnectedComponentsWorkload().run(scale=0.2)
+        assert run.details["iterations"] < ConnectedComponentsWorkload.MAX_ITERATIONS
+
+
+class TestExtensionIntegration:
+    def test_not_in_table_one_registry(self):
+        assert "TF-IDF" not in WORKLOAD_NAMES
+        assert "ConnectedComponents" not in WORKLOAD_NAMES
+
+    @pytest.mark.parametrize("cls", [TfIdfWorkload, ConnectedComponentsWorkload])
+    def test_characterizable_next_to_the_suite(self, cls):
+        wl = cls()
+        entry = SuiteEntry(name=wl.info.name, group="data-analysis", impl=wl)
+        result = characterize(entry, instructions=30_000)
+        assert 0 < result.metrics.ipc < 2.0
+        assert result.metrics.kernel_instruction_fraction < 0.1
+        assert sum(result.metrics.stall_breakdown.values()) == pytest.approx(1.0)

@@ -1,0 +1,283 @@
+"""Functional tests for the eleven data-analysis workloads."""
+
+import collections
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.uarch.trace import SyntheticTrace, TraceSpec
+from repro.workloads import WORKLOAD_NAMES, all_workloads, workload
+from repro.workloads import datagen
+from repro.workloads.kmeans import nearest_centroid, squared_distance
+from repro.workloads.fuzzy_kmeans import memberships
+from repro.workloads.hmm import HmmModel, segment
+from repro.workloads.ibcf import build_similarity
+from repro.workloads.svm import extract_features, FEATURE_DIM
+
+
+SCALE = 0.25
+
+
+class TestRegistry:
+    def test_eleven_workloads(self):
+        assert len(WORKLOAD_NAMES) == 11
+        assert len(all_workloads()) == 11
+
+    def test_names_match_table_one(self):
+        assert WORKLOAD_NAMES == [
+            "Sort", "WordCount", "Grep", "Naive Bayes", "SVM", "K-means",
+            "Fuzzy K-means", "IBCF", "HMM", "PageRank", "Hive-bench",
+        ]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload("Frobnicate")
+
+    def test_table_one_metadata(self):
+        for wl in all_workloads():
+            assert 147 <= wl.info.input_gb_low <= 187
+            assert wl.info.retired_instructions_1e9 > 1000
+            assert wl.info.source
+
+    def test_table_two_scenarios_present(self):
+        for wl in all_workloads():
+            assert wl.info.scenarios, f"{wl.info.name} lacks Table II scenarios"
+
+    def test_trace_specs_build_and_generate(self):
+        for wl in all_workloads():
+            spec = wl.trace_spec(2000)
+            assert isinstance(spec, TraceSpec)
+            assert spec.name == wl.info.name
+            assert sum(1 for _ in SyntheticTrace(spec)) == 2000
+
+    def test_trace_specs_distinct_across_workloads(self):
+        footprints = {wl.trace_spec(1000).code_footprint for wl in all_workloads()}
+        kernels = {wl.trace_spec(1000).kernel_fraction for wl in all_workloads()}
+        assert len(footprints) > 1
+        assert len(kernels) > 2
+
+
+class TestSort:
+    def test_output_sorted_and_permutation(self):
+        run = workload("Sort").run(scale=SCALE)
+        keys = [k for k, _ in run.output]
+        assert keys == sorted(keys)
+        assert len(keys) == run.details["records"]
+
+    def test_sort_kernel_fraction_highest(self):
+        sort_spec = workload("Sort").trace_spec(1000)
+        others = [w.trace_spec(1000) for w in all_workloads() if w.info.name != "Sort"]
+        assert sort_spec.kernel_fraction == pytest.approx(0.24, abs=0.01)
+        assert all(sort_spec.kernel_fraction > o.kernel_fraction for o in others)
+
+
+class TestWordCount:
+    def test_matches_counter_reference(self):
+        run = workload("WordCount").run(scale=SCALE)
+        docs = datagen.generate_documents(int(1200 * SCALE))
+        expected = collections.Counter(w for _, text in docs for w in text.split())
+        assert run.output == dict(expected)
+
+
+class TestGrep:
+    def test_matches_re_reference(self):
+        import re
+
+        wl = workload("Grep")
+        run = wl.run(scale=SCALE)
+        docs = datagen.generate_documents(int(1200 * SCALE), seed=14)
+        pattern = re.compile(wl.pattern)
+        expected = collections.Counter(
+            m for _, text in docs for m in pattern.findall(text)
+        )
+        assert run.output == dict(expected)
+
+    def test_custom_pattern(self):
+        from repro.workloads.grep import GrepWorkload
+
+        run = GrepWorkload(pattern=r"zz\w+").run(scale=0.1)
+        assert all(match.startswith("zz") for match in run.output)
+
+
+class TestNaiveBayes:
+    def test_classifies_held_out_docs_well(self):
+        run = workload("Naive Bayes").run(scale=SCALE)
+        assert run.details["accuracy"] > 0.9
+
+    def test_two_jobs(self):
+        run = workload("Naive Bayes").run(scale=0.1)
+        assert len(run.job_results) == 2
+
+    def test_bayes_profile_is_the_documented_outlier(self):
+        bayes = workload("Naive Bayes").trace_spec(1000)
+        others = [
+            w.trace_spec(1000) for w in all_workloads() if w.info.name != "Naive Bayes"
+        ]
+        # Smallest instruction footprint of the eleven (paper §IV-C).
+        assert all(bayes.code_footprint < o.code_footprint for o in others)
+
+
+class TestSvm:
+    def test_training_beats_chance_clearly(self):
+        run = workload("SVM").run(scale=0.5)
+        assert run.details["accuracy"] > 0.75
+
+    def test_one_job_per_iteration(self):
+        run = workload("SVM").run(scale=0.1)
+        assert len(run.job_results) == run.details["iterations"]
+
+    def test_feature_extraction(self):
+        features = extract_features("<html><body>hello world hello</body></html>")
+        assert features
+        assert all(0 <= i < FEATURE_DIM for i in features)
+        norm = sum(v * v for v in features.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_feature_extraction_empty(self):
+        assert extract_features("<html></html>") == {}
+
+
+class TestKMeans:
+    def test_recovers_true_centers(self):
+        run = workload("K-means").run(scale=0.5)
+        centroids = run.output
+        true_centers = run.details["true_centers"]
+        # every true center has a recovered centroid nearby
+        for center in true_centers:
+            best = min(squared_distance(center, c) ** 0.5 for c in centroids)
+            assert best < 1.0
+
+    def test_assignments_consistent(self):
+        run = workload("K-means").run(scale=0.2)
+        centroids = run.output
+        for pid, cid in list(run.details["assignments"].items())[:50]:
+            assert 0 <= cid < len(centroids)
+
+    def test_nearest_centroid_helper(self):
+        centroids = [(0.0, 0.0), (10.0, 10.0)]
+        assert nearest_centroid((1.0, 1.0), centroids) == 0
+        assert nearest_centroid((9.0, 9.0), centroids) == 1
+
+
+class TestFuzzyKMeans:
+    def test_memberships_sum_to_one(self):
+        centroids = [(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)]
+        u = memberships((2.0, 2.0), centroids, m=2.0)
+        assert sum(u) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in u)
+
+    def test_membership_at_centroid_is_one(self):
+        centroids = [(0.0, 0.0), (5.0, 5.0)]
+        u = memberships((0.0, 0.0), centroids, m=2.0)
+        assert u == [1.0, 0.0]
+
+    def test_converges_near_true_centers(self):
+        run = workload("Fuzzy K-means").run(scale=0.5)
+        for center in run.details["true_centers"]:
+            best = min(squared_distance(center, c) ** 0.5 for c in run.output)
+            assert best < 1.5
+
+
+class TestIbcf:
+    def test_recommends_unrated_items(self):
+        run = workload("IBCF").run(scale=0.5)
+        ratings = datagen.generate_ratings(num_users=int(400 * 0.5))
+        rated = collections.defaultdict(set)
+        for user, (item, _) in ratings:
+            rated[user].add(item)
+        for user, recs in run.output.items():
+            assert not (set(recs) & rated[user])
+
+    def test_three_job_pipeline(self):
+        run = workload("IBCF").run(scale=0.2)
+        assert len(run.job_results) == 3
+
+    def test_similarity_symmetric_and_bounded(self):
+        cooc = {(0, 0): 4.0, (1, 1): 9.0, (0, 1): 5.0}
+        sims = build_similarity(cooc)
+        assert sims[(0, 1)] == pytest.approx(sims[(1, 0)])
+        assert 0 < sims[(0, 1)] <= 1.0
+
+
+class TestHmm:
+    def test_tagging_beats_chance(self):
+        run = workload("HMM").run(scale=0.5)
+        assert run.details["tag_accuracy"] > 0.7
+
+    def test_viterbi_output_shape(self):
+        counts = {
+            ("init", "B", ""): 5, ("init", "S", ""): 5,
+            ("trans", "B", "E"): 8, ("trans", "E", "B"): 4, ("trans", "E", "S"): 2,
+            ("trans", "S", "B"): 3, ("trans", "S", "S"): 3,
+            ("emit", "B", "a"): 5, ("emit", "E", "b"): 5, ("emit", "S", "c"): 4,
+        }
+        model = HmmModel(counts, alphabet=["a", "b", "c"])
+        tags = model.viterbi("abc")
+        assert len(tags) == 3
+        assert set(tags) <= set("BMES")
+
+    def test_segment_helper(self):
+        assert segment("abcd", "BEBE") == ["ab", "cd"]
+        assert segment("abc", "SBE") == ["a", "bc"]
+        assert segment("ab", "BM") == ["ab"]  # unterminated word flushed
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self):
+        run = workload("PageRank").run(scale=0.2)
+        assert sum(run.output.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_popular_pages_rank_higher(self):
+        run = workload("PageRank").run(scale=0.3)
+        graph = datagen.generate_web_graph(int(2000 * 0.3))
+        indegree = collections.Counter()
+        for _, links in graph:
+            for t in links:
+                indegree[t] += 1
+        ranks = run.output
+        top_by_degree = [p for p, _ in indegree.most_common(5)]
+        median_rank = sorted(ranks.values())[len(ranks) // 2]
+        assert all(ranks[p] > median_rank for p in top_by_degree)
+
+    def test_matches_networkx_reference(self):
+        import networkx as nx
+
+        run = workload("PageRank").run(scale=0.15)
+        graph = datagen.generate_web_graph(int(2000 * 0.15))
+        g = nx.DiGraph()
+        g.add_nodes_from(p for p, _ in graph)
+        for page, links in graph:
+            g.add_edges_from((page, t) for t in links)
+        reference = nx.pagerank(g, alpha=0.85, max_iter=200)
+        ours = run.output
+        # rank correlation on the top pages
+        top_ref = sorted(reference, key=reference.get, reverse=True)[:10]
+        top_ours = sorted(ours, key=ours.get, reverse=True)[:10]
+        assert len(set(top_ref) & set(top_ours)) >= 6
+
+
+class TestHiveBench:
+    def test_four_queries_run(self):
+        run = workload("Hive-bench").run(scale=0.3)
+        assert run.details["queries"] == 4
+        assert len(run.output) == 4
+
+    def test_join_query_has_limited_output(self):
+        run = workload("Hive-bench").run(scale=0.3)
+        join_sql = [sql for sql in run.output if "JOIN" in sql][0]
+        assert len(run.output[join_sql]) <= 10
+
+
+class TestClusterRuns:
+    @pytest.mark.parametrize("name", ["Sort", "WordCount", "K-means"])
+    def test_cluster_run_produces_timelines(self, name):
+        cluster = make_cluster(4, block_size=64 * 1024)
+        run = workload(name).run(scale=0.15, cluster=cluster)
+        assert run.timelines
+        assert run.duration_s > 0
+        assert run.disk_writes_per_second() >= 0
+
+    def test_disk_rates_need_cluster(self):
+        run = workload("Sort").run(scale=0.1)
+        with pytest.raises(ValueError):
+            run.disk_writes_per_second()
