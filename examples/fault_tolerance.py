@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Fault tolerance: failures, stragglers and speculative execution.
+"""Fault tolerance: failures, stragglers, node crashes and recovery.
 
 The paper's cluster runs Hadoop 1.0.2, whose resilience mechanisms shape
-every long job's runtime.  This example injects the two everyday
-pathologies into a Sort run and shows what the jobtracker's counter-
-measures buy:
+every long job's runtime.  This example injects the everyday pathologies
+into a Sort run and shows what the jobtracker's countermeasures buy:
 
 * task failures → re-execution on another node (bounded damage),
-* a straggling node → speculative backup attempts (bounded tail).
+* a straggling node → speculative backup attempts for maps *and*
+  reduces (bounded tail),
+* a whole-node crash mid-job → heartbeat detection, HDFS
+  re-replication, and re-execution of the maps whose output died
+  with the node,
+* flaky shuffle fetches → bounded retries, escalating to a map re-run.
 
 Run:  python examples/fault_tolerance.py
 """
 
-from repro.cluster import FaultPlan, FaultyCluster, make_cluster
+from repro.cluster import FaultPlan, FaultyCluster, RetryPolicy, make_cluster
 from repro.workloads import workload
 
 
@@ -32,6 +36,9 @@ def main() -> None:
     work = sort_work()
     print(f"Sort: {len(work.maps)} map tasks, {len(work.reduces)} reduce tasks\n")
 
+    healthy = simulate(FaultPlan(), work)
+    crash_at = healthy.map_phase_end_s * 0.6
+
     scenarios = [
         ("healthy cluster", FaultPlan()),
         ("10% map failures", FaultPlan.random_plan(len(work.maps), failure_rate=0.10, seed=3)),
@@ -41,22 +48,46 @@ def main() -> None:
         ("one 8x straggler, with speculation",
          FaultPlan(straggler_nodes=("slave2",), straggler_factor=8.0,
                    speculative_execution=True)),
+        ("slave2 crashes mid map phase",
+         FaultPlan(node_crashes=(("slave2", crash_at),))),
+        ("flaky shuffle (fetch retries + escalation)",
+         FaultPlan(shuffle_failures=((0, 0, 2), (1, 3, 4)),
+                   policy=RetryPolicy(max_fetch_retries=3))),
     ]
 
     baseline = None
-    print(f"{'scenario':<38s}{'duration':>10s}{'vs healthy':>12s}"
-          f"{'failures':>10s}{'backups':>9s}{'wasted':>9s}")
-    print("-" * 88)
+    print(f"{'scenario':<44s}{'duration':>10s}{'vs healthy':>12s}"
+          f"{'failures':>10s}{'kills':>7s}{'backups':>9s}{'wasted':>9s}")
+    print("-" * 101)
     for label, plan in scenarios:
         result = simulate(plan, work)
         if baseline is None:
             baseline = result.timeline.duration_s
-        print(f"{label:<38s}{result.timeline.duration_s:>9.2f}s"
+        print(f"{label:<44s}{result.timeline.duration_s:>9.2f}s"
               f"{result.timeline.duration_s / baseline:>11.2f}x"
-              f"{result.failed_attempts:>10d}{result.speculative_attempts:>9d}"
+              f"{result.failed_attempts:>10d}{result.killed_attempts:>7d}"
+              f"{result.speculative_attempts:>9d}"
               f"{result.wasted_seconds:>8.2f}s")
+
+    # Re-run the crash through the workload itself: the input file lives in
+    # this cluster's HDFS, so the namenode has real blocks to re-replicate.
+    crash_cluster = FaultyCluster(
+        make_cluster(4, block_size=64 * 1024),
+        FaultPlan(node_crashes=(("slave2", crash_at),)),
+    )
+    crash = workload("Sort").run(scale=1.0, cluster=crash_cluster).timelines[0]
+    fetch = simulate(scenarios[-1][1], work)
+    print("\nnode-crash recovery: "
+          f"crashed={', '.join(crash.nodes_crashed)}, "
+          f"maps re-executed={crash.maps_reexecuted}, "
+          f"re-replicated={crash.re_replicated_bytes / 1024:.0f} KiB of HDFS blocks")
+    print("shuffle recovery:    "
+          f"fetch failures={fetch.shuffle_fetch_failures}, "
+          f"escalated to map re-runs={fetch.fetch_escalations}")
     print("\nreading: failures cost bounded re-execution; speculation trades"
-          "\nwasted duplicate work for a much shorter straggler tail.")
+          "\nwasted duplicate work for a much shorter straggler tail; a dead"
+          "\nnode costs its in-flight attempts, its finished map outputs and"
+          "\nthe background traffic that restores HDFS replication.")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,9 @@ Sub-commands mirror how the paper's artefacts are used:
 
 * ``list``               — show the DCBench suite (groups, Table I info)
 * ``tables``             — print Tables I, II and III
-* ``run <workload>``     — execute a workload on a simulated cluster
+* ``run <workload>``     — execute a workload on a simulated cluster,
+                            optionally under fault injection
+                            (``--faults``, ``--crash-node``, ``--seed``)
 * ``characterize [...]`` — Figures 3–12 metrics for named workloads
                             (or the whole suite) with optional CSV/JSON
 * ``speedup``            — the Figure 2 scaling study
@@ -48,17 +50,52 @@ def _cmd_tables(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.cluster import make_cluster
+    from repro.cluster import FaultPlan, FaultyCluster, JobFailedError, make_cluster
+    from repro.cluster.chaos import aggregate_accounting
     from repro.workloads import workload
 
     wl = workload(args.workload)
+    if args.faults < 0 or args.faults > 1:
+        print(f"error: --faults must be a rate in [0, 1], got {args.faults}",
+              file=sys.stderr)
+        return 2
     cluster = make_cluster(args.slaves, block_size=64 * 1024)
-    run = wl.run(scale=args.scale, cluster=cluster)
+    if args.crash_node:
+        known = [node.name for node in cluster.slaves]
+        if args.crash_node not in known:
+            print(f"error: --crash-node {args.crash_node!r} is not a slave "
+                  f"(have: {', '.join(known)})", file=sys.stderr)
+            return 2
+    faulty = args.faults > 0 or args.crash_node
+    if faulty:
+        node_crashes = ()
+        if args.crash_node:
+            node_crashes = ((args.crash_node, args.crash_time),)
+        plan = FaultPlan(
+            map_failure_rate=args.faults,
+            reduce_failure_rate=args.faults,
+            node_crashes=node_crashes,
+            seed=args.seed,
+        )
+        cluster = FaultyCluster(cluster, plan)
+    try:
+        run = wl.run(scale=args.scale, cluster=cluster)
+    except JobFailedError as error:
+        print(f"{wl.info.name}: {error}", file=sys.stderr)
+        return 1
     print(f"{wl.info.name}: {len(run.job_results)} job(s), "
           f"{run.duration_s:.3f}s simulated on {args.slaves} slave(s)")
     for key, value in run.counters.as_dict().items():
         print(f"  {key:<28s}{value}")
     print(f"  {'Disk writes per second':<28s}{run.disk_writes_per_second():.1f}")
+    if faulty:
+        print("resilience accounting:")
+        for key, value in aggregate_accounting(run.timelines).items():
+            if isinstance(value, tuple):
+                value = ", ".join(value) or "-"
+            elif isinstance(value, float):
+                value = f"{value:.3f}"
+            print(f"  {key:<28s}{value}")
     return 0
 
 
@@ -158,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload")
     run.add_argument("--scale", type=float, default=0.5)
     run.add_argument("--slaves", type=int, default=4)
+    run.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                     help="per-attempt task failure probability (0 disables)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="fault-injection seed (runs are reproducible)")
+    run.add_argument("--crash-node", metavar="NAME",
+                     help="crash this slave mid-run (e.g. slave2)")
+    run.add_argument("--crash-time", type=float, default=1.0, metavar="SECONDS",
+                     help="simulated time of the --crash-node crash")
     run.set_defaults(fn=_cmd_run)
 
     ch = sub.add_parser("characterize", help="Figures 3-12 metrics")

@@ -9,10 +9,16 @@ paper measures it:
   accounting into the simulated ``/proc`` (Figure 5's disk writes/s);
 * :mod:`repro.cluster.network` — 1 GbE NICs with serialised transfers;
 * :mod:`repro.cluster.node` — a node bundling slots, disk, NIC;
-* :mod:`repro.cluster.hdfs` — block placement with replication and
-  locality queries;
+* :mod:`repro.cluster.hdfs` — block placement with replication, locality
+  queries, datanode loss and background re-replication;
 * :mod:`repro.cluster.cluster` — the cluster itself plus the discrete-event
-  timeline executor for MapReduce jobs (map waves, shuffle, reduce).
+  timeline executor for MapReduce jobs (map waves, shuffle, reduce);
+* :mod:`repro.cluster.attempts` — the task-attempt state machine
+  (retries, backoff, blacklisting, typed job aborts);
+* :mod:`repro.cluster.faults` — the resilience scheduler: task/node/
+  shuffle/replica fault injection with Hadoop-1.x countermeasures;
+* :mod:`repro.cluster.chaos` — seeded chaos schedules over real workload
+  runs, asserting outputs survive every fault class.
 """
 
 from repro.cluster.disk import Disk
@@ -27,7 +33,17 @@ from repro.cluster.cluster import (
     ReduceWork,
     make_cluster,
 )
+from repro.cluster.attempts import (
+    AttemptState,
+    DataLossError,
+    JobFailedError,
+    NodeBlacklist,
+    RetryPolicy,
+    TaskAttempt,
+    TaskAttempts,
+)
 from repro.cluster.faults import FaultPlan, FaultyCluster, FaultyTimeline
+from repro.cluster.chaos import ChaosResult, chaos_plan, run_chaos
 
 __all__ = [
     "Disk",
@@ -43,7 +59,17 @@ __all__ = [
     "MapWork",
     "ReduceWork",
     "make_cluster",
+    "AttemptState",
+    "DataLossError",
+    "JobFailedError",
+    "NodeBlacklist",
+    "RetryPolicy",
+    "TaskAttempt",
+    "TaskAttempts",
     "FaultPlan",
     "FaultyCluster",
     "FaultyTimeline",
+    "ChaosResult",
+    "chaos_plan",
+    "run_chaos",
 ]

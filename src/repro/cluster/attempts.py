@@ -1,0 +1,217 @@
+"""Task-attempt state machine (Hadoop 1.x's TaskInProgress/TaskAttempt).
+
+Hadoop 1.x tracks every task through a sequence of *attempts*: each
+attempt runs on one tasktracker and ends ``SUCCEEDED``, ``FAILED`` (the
+task itself errored — counted against ``mapred.map.max.attempts`` /
+``mapred.reduce.max.attempts``) or ``KILLED`` (the framework withdrew it,
+e.g. the node was lost or a speculative sibling won — *not* counted).
+When a task accumulates ``max_attempts`` failures the whole job aborts.
+
+This module models that machinery for the cluster simulator:
+
+* :class:`RetryPolicy` — the resilience knobs, named after the Hadoop 1.x
+  configuration they mirror;
+* :class:`TaskAttempt` / :class:`AttemptState` — one attempt's record;
+* :class:`TaskAttempts` — the per-task state machine (attempt numbering,
+  exponential backoff, tried-node memory, exhaustion);
+* :class:`NodeBlacklist` — per-job tracker blacklisting
+  (``mapred.max.tracker.failures``);
+* :class:`JobFailedError` / :class:`DataLossError` — typed job aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AttemptState(Enum):
+    """Terminal states of one task attempt."""
+
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+class JobFailedError(RuntimeError):
+    """A job aborted: some task exhausted its attempts (or lost its data).
+
+    Mirrors Hadoop's ``Job failed as tasks failed`` terminal state.
+    """
+
+    def __init__(self, task_id: str, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"job failed: task {task_id} after {attempts} attempt(s): {reason}"
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+        self.reason = reason
+
+
+class DataLossError(JobFailedError):
+    """All replicas of a task's input split are gone — the job cannot run."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resilience configuration, named after the Hadoop 1.x properties.
+
+    Attributes:
+        max_attempts: failures tolerated per task before the job aborts
+            (``mapred.map.max.attempts`` / ``mapred.reduce.max.attempts``,
+            both 4 in stock Hadoop 1.x).
+        backoff_base_s: wait before the first re-attempt of a failed task.
+        backoff_factor: multiplier applied per subsequent failure
+            (exponential backoff between attempts).
+        prefer_different_node: retry on a node that has not yet failed
+            this task when one is available (the jobtracker's behaviour).
+        max_fetch_retries: shuffle fetch failures of one map output a
+            reducer tolerates before reporting it to the jobtracker, which
+            re-runs the map (``mapred.reduce.copy.backoff`` window).
+        fetch_backoff_base_s: wait before re-fetching a failed map output,
+            doubled per consecutive failure.
+        node_failure_threshold: task failures on one node within a job
+            before the node is blacklisted for that job
+            (``mapred.max.tracker.failures``, 4 in Hadoop 1.x).
+        heartbeat_timeout_s: silence after which the jobtracker declares a
+            tasktracker lost (``mapred.tasktracker.expiry.interval``,
+            600 s real-world; scaled to the simulator's second-scale jobs).
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.1
+    backoff_factor: float = 2.0
+    prefer_different_node: bool = True
+    max_fetch_retries: int = 3
+    fetch_backoff_base_s: float = 0.05
+    node_failure_threshold: int = 4
+    heartbeat_timeout_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.fetch_backoff_base_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_fetch_retries < 1:
+            raise ValueError("max_fetch_retries must be at least 1")
+        if self.node_failure_threshold < 1:
+            raise ValueError("node_failure_threshold must be at least 1")
+        if self.heartbeat_timeout_s < 0:
+            raise ValueError("heartbeat timeout must be non-negative")
+
+    def backoff_s(self, failures: int) -> float:
+        """Backoff before the attempt following the *failures*-th failure."""
+        if failures < 1:
+            raise ValueError("backoff applies after at least one failure")
+        return self.backoff_base_s * self.backoff_factor ** (failures - 1)
+
+    def fetch_backoff_s(self, failures: int) -> float:
+        """Backoff before re-fetching after *failures* consecutive misses."""
+        if failures < 1:
+            raise ValueError("backoff applies after at least one failure")
+        return self.fetch_backoff_base_s * 2.0 ** (failures - 1)
+
+
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One attempt of one task, Hadoop-attempt-id style."""
+
+    task_id: str  # "m_000003" or "r_000001"
+    attempt: int
+    node: str
+    start_s: float
+    end_s: float
+    state: AttemptState
+    reason: str = ""
+
+    @property
+    def attempt_id(self) -> str:
+        return f"attempt_{self.task_id}_{self.attempt}"
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class TaskAttempts:
+    """State machine for one task's attempts."""
+
+    def __init__(self, task_id: str, policy: RetryPolicy) -> None:
+        self.task_id = task_id
+        self.policy = policy
+        self.attempts: list[TaskAttempt] = []
+        self.failures = 0
+
+    def record(
+        self,
+        node: str,
+        start_s: float,
+        end_s: float,
+        state: AttemptState,
+        reason: str = "",
+    ) -> TaskAttempt:
+        """Append one finished attempt; failures advance the failure count."""
+        attempt = TaskAttempt(
+            task_id=self.task_id,
+            attempt=len(self.attempts),
+            node=node,
+            start_s=start_s,
+            end_s=end_s,
+            state=state,
+            reason=reason,
+        )
+        self.attempts.append(attempt)
+        if state is AttemptState.FAILED:
+            self.failures += 1
+        return attempt
+
+    @property
+    def tried_nodes(self) -> set[str]:
+        """Nodes where this task already failed or was killed."""
+        return {
+            a.node
+            for a in self.attempts
+            if a.state in (AttemptState.FAILED, AttemptState.KILLED)
+        }
+
+    @property
+    def exhausted(self) -> bool:
+        return self.failures >= self.policy.max_attempts
+
+    def check_exhausted(self, reason: str) -> None:
+        """Abort the job if this task has burnt all its attempts."""
+        if self.exhausted:
+            raise JobFailedError(self.task_id, self.failures, reason)
+
+    def next_retry_time(self, failure_time_s: float) -> float:
+        """When the next attempt may start (exponential backoff)."""
+        return failure_time_s + self.policy.backoff_s(self.failures)
+
+
+class NodeBlacklist:
+    """Per-job tracker blacklist (``mapred.max.tracker.failures``)."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("blacklist threshold must be at least 1")
+        self.threshold = threshold
+        self.failure_counts: dict[str, int] = {}
+        self._blacklisted: set[str] = set()
+
+    def record_failure(self, node_name: str) -> bool:
+        """Count one task failure on *node_name*; True if newly blacklisted."""
+        count = self.failure_counts.get(node_name, 0) + 1
+        self.failure_counts[node_name] = count
+        if count >= self.threshold and node_name not in self._blacklisted:
+            self._blacklisted.add(node_name)
+            return True
+        return False
+
+    def is_blacklisted(self, node_name: str) -> bool:
+        return node_name in self._blacklisted
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._blacklisted))

@@ -1,0 +1,195 @@
+"""Chaos harness: seeded fault schedules over real workload executions.
+
+Chen et al.'s cross-industry study (arXiv:1208.4174) shows production
+MapReduce clusters run *permanently* in a degraded regime — tasks fail,
+nodes die, fetches flake — yet jobs finish with correct output.  The
+chaos harness asserts our model has the same property: it runs a real
+workload through the :class:`~repro.mapreduce.engine.LocalEngine` twice —
+once on a healthy cluster, once through a :class:`FaultyCluster` with a
+seeded schedule mixing every fault class (task failures, stragglers, a
+node crash, shuffle-fetch failures, replica loss) — and checks that
+
+* the functional output is bit-identical to the fault-free run,
+* the simulated duration is no shorter than the fault-free baseline,
+* the resilience accounting shows the injected faults were actually hit.
+
+Everything is seeded (``random.Random``), so a chaos run is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster.attempts import RetryPolicy
+from repro.cluster.cluster import make_cluster
+from repro.cluster.faults import FaultPlan, FaultyCluster, FaultyTimeline
+
+#: Accounting keys that aggregate by summation (the rest are name tuples).
+_SUM_KEYS = (
+    "failed_attempts",
+    "failed_map_attempts",
+    "failed_reduce_attempts",
+    "killed_attempts",
+    "speculative_attempts",
+    "speculative_wins",
+    "wasted_seconds",
+    "shuffle_fetch_failures",
+    "fetch_escalations",
+    "maps_reexecuted",
+    "re_replicated_bytes",
+    "blocks_lost",
+)
+
+
+def chaos_plan(
+    seed: int,
+    num_maps: int,
+    num_reduces: int,
+    node_names: list[str],
+    map_window_s: float | None = None,
+    policy: RetryPolicy | None = None,
+) -> FaultPlan:
+    """Sample a mixed fault schedule for one job shape.
+
+    Always injects at least one map failure; with seed-dependent
+    probability adds a reduce failure, one straggler node, one node crash
+    during the map phase (needs *map_window_s*, the fault-free map-phase
+    duration, to aim the crash), shuffle-fetch failures (sometimes enough
+    to escalate into a map re-run) and the loss of one input replica.
+    The mix is bounded so a healthy retry policy always completes the job.
+    """
+    if num_maps < 1:
+        raise ValueError("chaos needs at least one map task")
+    if not node_names:
+        raise ValueError("chaos needs at least one node")
+    rng = random.Random(seed)
+    policy = policy or RetryPolicy()
+
+    k = max(1, num_maps // 8)
+    map_failures = tuple(sorted(rng.sample(range(num_maps), min(k, num_maps))))
+
+    reduce_failures: tuple[int, ...] = ()
+    if num_reduces and rng.random() < 0.7:
+        reduce_failures = (rng.randrange(num_reduces),)
+
+    straggler_nodes: tuple[str, ...] = ()
+    straggler_factor = 4.0
+    if len(node_names) > 1 and rng.random() < 0.6:
+        straggler_nodes = (rng.choice(node_names),)
+        straggler_factor = rng.uniform(2.0, 5.0)
+
+    node_crashes: tuple[tuple[str, float], ...] = ()
+    if map_window_s and len(node_names) > 2 and rng.random() < 0.5:
+        victims = [n for n in node_names if n not in straggler_nodes]
+        node_crashes = (
+            (rng.choice(victims), map_window_s * rng.uniform(0.3, 0.8)),
+        )
+
+    shuffle_failures: tuple[tuple[int, int, int], ...] = ()
+    if num_reduces and rng.random() < 0.7:
+        times = rng.choice([1, 2, policy.max_fetch_retries + 1])
+        shuffle_failures = (
+            (rng.randrange(num_reduces), rng.randrange(num_maps), times),
+        )
+
+    lost_replicas: tuple[tuple[int, str], ...] = ()
+    if rng.random() < 0.5:
+        lost_replicas = ((rng.randrange(num_maps), rng.choice(node_names)),)
+
+    return FaultPlan(
+        map_failures=map_failures,
+        reduce_failures=reduce_failures,
+        straggler_nodes=straggler_nodes,
+        straggler_factor=straggler_factor,
+        node_crashes=node_crashes,
+        shuffle_failures=shuffle_failures,
+        lost_replicas=lost_replicas,
+        seed=seed,
+        policy=policy,
+    )
+
+
+def aggregate_accounting(timelines) -> dict[str, object]:
+    """Sum resilience counters across a workload's (faulty) job timelines."""
+    totals: dict[str, object] = {key: 0 for key in _SUM_KEYS}
+    crashed: set[str] = set()
+    blacklisted: set[str] = set()
+    for timeline in timelines:
+        if not isinstance(timeline, FaultyTimeline):
+            continue
+        accounting = timeline.accounting()
+        for key in _SUM_KEYS:
+            totals[key] += accounting[key]
+        crashed.update(accounting["nodes_crashed"])
+        blacklisted.update(accounting["blacklisted_nodes"])
+    totals["nodes_crashed"] = tuple(sorted(crashed))
+    totals["blacklisted_nodes"] = tuple(sorted(blacklisted))
+    return totals
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Outcome of one chaos run compared with its fault-free twin."""
+
+    workload: str
+    seed: int
+    plan: FaultPlan
+    baseline_duration_s: float
+    chaotic_duration_s: float
+    identical_output: bool
+    accounting: dict[str, object]
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_duration_s <= 0:
+            return 1.0
+        return self.chaotic_duration_s / self.baseline_duration_s
+
+
+def run_chaos(
+    workload_name: str,
+    seed: int,
+    scale: float = 0.3,
+    num_slaves: int = 4,
+    block_size: int = 64 * 1024,
+    policy: RetryPolicy | None = None,
+) -> ChaosResult:
+    """Run *workload_name* healthy and under a seeded chaos schedule.
+
+    The fault-free run both provides the comparison baseline and sizes the
+    chaos plan (task counts, map-phase window for aiming the node crash).
+    """
+    from repro.workloads import workload as load_workload
+
+    baseline_cluster = make_cluster(num_slaves, block_size=block_size)
+    baseline = load_workload(workload_name).run(
+        scale=scale, cluster=baseline_cluster
+    )
+    if not baseline.timelines:
+        raise ValueError("chaos needs a clustered workload run")
+    first = baseline.timelines[0]
+    plan = chaos_plan(
+        seed,
+        num_maps=first.map_tasks,
+        num_reduces=first.reduce_tasks,
+        node_names=[node.name for node in baseline_cluster.slaves],
+        map_window_s=first.map_phase_end_s - first.start_s,
+        policy=policy,
+    )
+
+    chaos_cluster = FaultyCluster(
+        make_cluster(num_slaves, block_size=block_size), plan
+    )
+    chaotic = load_workload(workload_name).run(scale=scale, cluster=chaos_cluster)
+
+    return ChaosResult(
+        workload=workload_name,
+        seed=seed,
+        plan=plan,
+        baseline_duration_s=baseline.duration_s,
+        chaotic_duration_s=chaotic.duration_s,
+        identical_output=repr(baseline.output) == repr(chaotic.output),
+        accounting=aggregate_accounting(chaotic.timelines),
+    )

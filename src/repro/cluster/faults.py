@@ -1,32 +1,60 @@
-"""Fault and straggler models for the cluster (Hadoop's resilience story).
+"""The resilience subsystem: faults, retries, crashes, and recovery.
 
-Hadoop 1.x survives two everyday pathologies that shape job runtimes:
+Hadoop 1.x survives a whole taxonomy of everyday pathologies, and the
+paper's runtimes (Figure 2 speedups, Figure 5 disk writes) are measured on
+a scheduler that is permanently ready for them:
 
-* **task failures** — a task dies (bad disk sector, JVM OOM) and the
-  jobtracker re-executes it, preferring a different node;
-* **stragglers** — a task runs on a degraded node far slower than its
-  siblings; *speculative execution* launches a backup copy elsewhere and
-  takes whichever finishes first.
+* **task failures** — an attempt dies (bad disk sector, JVM OOM); the
+  jobtracker re-executes it with exponential backoff, preferring a node
+  that has not yet failed this task, up to ``mapred.map.max.attempts`` /
+  ``mapred.reduce.max.attempts`` failures before the job aborts;
+* **stragglers** — a degraded node runs tasks far slower than its
+  siblings; *speculative execution* launches backup attempts elsewhere
+  (for maps and reduces) and takes whichever finishes first;
+* **node loss** — a tasktracker stops heartbeating; after
+  ``mapred.tasktracker.expiry.interval`` it is declared dead, its running
+  attempts are killed and rescheduled, and its *completed map outputs*
+  are re-executed (they lived on the dead node's local disks);
+* **shuffle-fetch failures** — a reducer's copy of one map output fails;
+  it retries with backoff, and after enough failures reports the output
+  to the jobtracker, which re-runs the map;
+* **repeatedly-failing nodes** are blacklisted for the job
+  (``mapred.max.tracker.failures``);
+* **HDFS replica loss** — splits on a dead datanode are re-read from
+  surviving replicas while the namenode re-replicates in the background
+  (or the job dies with :class:`~repro.cluster.attempts.DataLossError`
+  when every replica is gone).
 
-:class:`FaultPlan` describes deterministic fault injections for one job
-run; :class:`FaultyCluster` wraps a :class:`~repro.cluster.cluster.
-HadoopCluster` and replays the plan during scheduling.  The model keeps
-the paper's semantics: failures cost re-execution time, speculation
-bounds straggler damage at the price of duplicate work (visible in the
-disk/network counters).
+:class:`FaultPlan` describes a deterministic (seeded) fault schedule for
+one job; :class:`FaultyCluster` wraps a
+:class:`~repro.cluster.cluster.HadoopCluster` and schedules jobs through
+the full attempt state machine in :mod:`repro.cluster.attempts`.  With an
+empty plan the scheduler reproduces the stock cluster's timeline exactly,
+so the paper's fault-free figures are untouched.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.cluster.attempts import (
+    AttemptState,
+    DataLossError,
+    JobFailedError,
+    NodeBlacklist,
+    RetryPolicy,
+    TaskAttempt,
+    TaskAttempts,
+)
 from repro.cluster.cluster import (
     HadoopCluster,
     JobTimeline,
     JobWork,
+    MapWork,
     TASK_LOG_BYTES,
 )
+from repro.cluster.node import Node
 
 
 @dataclass(frozen=True)
@@ -36,25 +64,95 @@ class FaultPlan:
     Attributes:
         map_failures: indices of map tasks whose first attempt fails at
             ``failure_point`` of their runtime.
+        reduce_failures: like ``map_failures`` for reduce tasks.
+        map_failure_counts: ``(map_index, n)`` pairs — the task's first
+            *n* attempts all fail (set ``n >= max_attempts`` to exhaust
+            the task and abort the job).
+        reduce_failure_counts: like ``map_failure_counts`` for reduces.
+        map_failure_rate: probability (seeded by ``seed``) that any given
+            map attempt fails — Chen et al.'s "permanently degraded"
+            production regime.
+        reduce_failure_rate: like ``map_failure_rate`` for reduce attempts.
         straggler_nodes: node names running at ``straggler_factor`` speed.
-        failure_point: fraction of the attempt's runtime spent before the
+        failure_point: fraction of an attempt's runtime spent before its
             failure is detected.
         straggler_factor: slowdown multiplier for straggler nodes.
         speculative_execution: launch backup attempts for straggler tasks
-            (Hadoop's mapred.map.tasks.speculative.execution).
+            (``mapred.map.tasks.speculative.execution`` and its reduce
+            twin).
+        node_crashes: ``(node_name, crash_time_s)`` pairs — the node stops
+            heartbeating at ``crash_time_s`` after the first job's start
+            and stays dead for the cluster's lifetime.
+        shuffle_failures: ``(reduce_index, map_index, times)`` triples —
+            that reducer's fetch of that map output fails ``times``
+            consecutive times before succeeding (or escalating to a map
+            re-run once ``max_fetch_retries`` is reached).
+        lost_replicas: ``(map_index, node_name)`` pairs — that input
+            split's replica on that node is gone (latent disk corruption).
+        seed: seed for the rate-based injections.
+        policy: the :class:`~repro.cluster.attempts.RetryPolicy` knobs.
     """
 
     map_failures: tuple[int, ...] = ()
+    reduce_failures: tuple[int, ...] = ()
+    map_failure_counts: tuple[tuple[int, int], ...] = ()
+    reduce_failure_counts: tuple[tuple[int, int], ...] = ()
+    map_failure_rate: float = 0.0
+    reduce_failure_rate: float = 0.0
     straggler_nodes: tuple[str, ...] = ()
     failure_point: float = 0.5
     straggler_factor: float = 4.0
     speculative_execution: bool = True
+    node_crashes: tuple[tuple[str, float], ...] = ()
+    shuffle_failures: tuple[tuple[int, int, int], ...] = ()
+    lost_replicas: tuple[tuple[int, str], ...] = ()
+    seed: int = 0
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_point <= 1.0:
             raise ValueError("failure_point must be in [0, 1]")
         if self.straggler_factor < 1.0:
             raise ValueError("straggler_factor must be >= 1")
+        for rate, label in (
+            (self.map_failure_rate, "map_failure_rate"),
+            (self.reduce_failure_rate, "reduce_failure_rate"),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+        for index in self.map_failures + self.reduce_failures:
+            if index < 0:
+                raise ValueError("task indices must be non-negative")
+        for index, count in self.map_failure_counts + self.reduce_failure_counts:
+            if index < 0 or count < 1:
+                raise ValueError("failure counts need index >= 0 and count >= 1")
+        for _name, at in self.node_crashes:
+            if at < 0:
+                raise ValueError("crash times must be non-negative")
+        for r_index, m_index, times in self.shuffle_failures:
+            if r_index < 0 or m_index < 0 or times < 1:
+                raise ValueError(
+                    "shuffle failures need indices >= 0 and times >= 1"
+                )
+        for m_index, _node in self.lost_replicas:
+            if m_index < 0:
+                raise ValueError("lost replica map indices must be non-negative")
+
+    @property
+    def injects_faults(self) -> bool:
+        """True when any fault class is configured."""
+        return bool(
+            self.map_failures
+            or self.reduce_failures
+            or self.map_failure_counts
+            or self.reduce_failure_counts
+            or self.map_failure_rate
+            or self.reduce_failure_rate
+            or self.straggler_nodes
+            or self.node_crashes
+            or self.shuffle_failures
+            or self.lost_replicas
+        )
 
     @classmethod
     def random_plan(
@@ -71,125 +169,826 @@ class FaultPlan:
         failures = tuple(
             i for i in range(num_maps) if rng.random() < failure_rate
         )
+        kwargs.setdefault("seed", seed)
         return cls(map_failures=failures, **kwargs)
 
 
 @dataclass
 class FaultyTimeline:
-    """A job timeline annotated with resilience accounting."""
+    """A job timeline annotated with resilience accounting.
+
+    Quacks like a :class:`~repro.cluster.cluster.JobTimeline` (duration,
+    phase ends, disk rates), so workloads and analyses accept it wherever
+    a plain timeline goes.
+    """
 
     timeline: JobTimeline
     failed_attempts: int = 0
+    failed_map_attempts: int = 0
+    failed_reduce_attempts: int = 0
+    killed_attempts: int = 0
     speculative_attempts: int = 0
     speculative_wins: int = 0
     wasted_seconds: float = 0.0
+    shuffle_fetch_failures: int = 0
+    fetch_escalations: int = 0
+    maps_reexecuted: int = 0
+    re_replicated_bytes: int = 0
+    blocks_lost: int = 0
+    nodes_crashed: tuple[str, ...] = ()
+    blacklisted_nodes: tuple[str, ...] = ()
+    attempts: tuple[TaskAttempt, ...] = ()
+
+    # -- JobTimeline protocol -------------------------------------------------
+
+    @property
+    def job_name(self) -> str:
+        return self.timeline.job_name
+
+    @property
+    def start_s(self) -> float:
+        return self.timeline.start_s
+
+    @property
+    def map_phase_end_s(self) -> float:
+        return self.timeline.map_phase_end_s
+
+    @property
+    def end_s(self) -> float:
+        return self.timeline.end_s
+
+    @property
+    def map_tasks(self) -> int:
+        return self.timeline.map_tasks
+
+    @property
+    def reduce_tasks(self) -> int:
+        return self.timeline.reduce_tasks
+
+    @property
+    def disk_writes_per_second(self) -> dict[str, float]:
+        return self.timeline.disk_writes_per_second
+
+    @property
+    def network_bytes(self) -> int:
+        return self.timeline.network_bytes
 
     @property
     def duration_s(self) -> float:
         return self.timeline.duration_s
 
+    def accounting(self) -> dict[str, object]:
+        """The resilience counters as a flat dict (CLI / report rendering)."""
+        return {
+            "failed_attempts": self.failed_attempts,
+            "failed_map_attempts": self.failed_map_attempts,
+            "failed_reduce_attempts": self.failed_reduce_attempts,
+            "killed_attempts": self.killed_attempts,
+            "speculative_attempts": self.speculative_attempts,
+            "speculative_wins": self.speculative_wins,
+            "wasted_seconds": round(self.wasted_seconds, 6),
+            "shuffle_fetch_failures": self.shuffle_fetch_failures,
+            "fetch_escalations": self.fetch_escalations,
+            "maps_reexecuted": self.maps_reexecuted,
+            "re_replicated_bytes": self.re_replicated_bytes,
+            "blocks_lost": self.blocks_lost,
+            "nodes_crashed": self.nodes_crashed,
+            "blacklisted_nodes": self.blacklisted_nodes,
+        }
+
+
+class _RunStats:
+    """Mutable accumulator for one run's resilience counters.
+
+    The :class:`FaultyTimeline` is assembled from this *after* the
+    :class:`JobTimeline` exists, so the timeline field is never a lie.
+    """
+
+    def __init__(self) -> None:
+        self.failed_map_attempts = 0
+        self.failed_reduce_attempts = 0
+        self.killed_attempts = 0
+        self.speculative_attempts = 0
+        self.speculative_wins = 0
+        self.wasted_seconds = 0.0
+        self.shuffle_fetch_failures = 0
+        self.fetch_escalations = 0
+        self.maps_reexecuted = 0
+        self.re_replicated_bytes = 0
+        self.blocks_lost = 0
+        self.nodes_crashed: list[str] = []
+        self.attempts: list[TaskAttempt] = []
+
+    def finish(self, timeline: JobTimeline, blacklist: NodeBlacklist) -> FaultyTimeline:
+        return FaultyTimeline(
+            timeline=timeline,
+            failed_attempts=self.failed_map_attempts + self.failed_reduce_attempts,
+            failed_map_attempts=self.failed_map_attempts,
+            failed_reduce_attempts=self.failed_reduce_attempts,
+            killed_attempts=self.killed_attempts,
+            speculative_attempts=self.speculative_attempts,
+            speculative_wins=self.speculative_wins,
+            wasted_seconds=self.wasted_seconds,
+            shuffle_fetch_failures=self.shuffle_fetch_failures,
+            fetch_escalations=self.fetch_escalations,
+            maps_reexecuted=self.maps_reexecuted,
+            re_replicated_bytes=self.re_replicated_bytes,
+            blocks_lost=self.blocks_lost,
+            nodes_crashed=tuple(self.nodes_crashed),
+            blacklisted_nodes=blacklist.nodes,
+            attempts=tuple(self.attempts),
+        )
+
 
 class FaultyCluster:
-    """A cluster that injects faults/stragglers while scheduling maps.
+    """A cluster that schedules jobs through the resilience subsystem.
 
-    Only the map phase is fault-injected (maps dominate task counts in
-    these jobs and Hadoop's speculation story is map-centric); the reduce
-    phase runs through the wrapped cluster untouched.
+    Wraps a :class:`HadoopCluster`; with an empty :class:`FaultPlan` the
+    produced timeline is identical to the stock scheduler's.  The wrapper
+    exposes the cluster surface the MapReduce engine needs (``hdfs``,
+    ``run_job``, ``reset``), so it can be passed anywhere a plain cluster
+    goes — including ``workload(...).run(cluster=...)``.
+
+    Crash times in the plan are relative to the *first* job's start; a
+    crashed node stays dead for every subsequent job until :meth:`reset`.
+    The blacklist is per-job, like Hadoop 1.x's ``mapred.max.tracker.failures``:
+    a tracker with too many failures stops getting *that job's* tasks but
+    rejoins the pool for the next job.
     """
 
     def __init__(self, cluster: HadoopCluster, plan: FaultPlan):
         self.cluster = cluster
         self.plan = plan
+        self.policy = plan.policy
+        self.blacklist = NodeBlacklist(plan.policy.node_failure_threshold)
+        self._origin: float | None = None
+        self._jobs_run = 0
+        self._crash_at: dict[str, float] = {}
+        self._crashes_processed: set[str] = set()
+
+    # -- cluster surface ------------------------------------------------------
+
+    @property
+    def hdfs(self):
+        return self.cluster.hdfs
+
+    @property
+    def network(self):
+        return self.cluster.network
+
+    @property
+    def slaves(self) -> list[Node]:
+        return self.cluster.slaves
+
+    @property
+    def master(self) -> Node:
+        return self.cluster.master
+
+    @property
+    def clock(self) -> float:
+        return self.cluster.clock
+
+    def reset(self) -> None:
+        """Fresh experiment: clears cluster state and fault bookkeeping."""
+        self.cluster.reset()
+        self.blacklist = NodeBlacklist(self.plan.policy.node_failure_threshold)
+        self._origin = None
+        self._jobs_run = 0
+        self._crash_at = {}
+        self._crashes_processed = set()
+
+    # -- job execution --------------------------------------------------------
 
     def run_job(self, work: JobWork) -> FaultyTimeline:
         cluster = self.cluster
         plan = self.plan
+        policy = self.policy
         start = cluster.clock
+        if self._origin is None:
+            self._origin = start
+            self._crash_at = {
+                name: self._origin + at for name, at in plan.node_crashes
+            }
+        rng = random.Random(plan.seed + 1_000_003 * self._jobs_run)
+        self._jobs_run += 1
+        # Per-job blacklist (mapred.max.tracker.failures semantics).
+        self.blacklist = NodeBlacklist(policy.node_failure_threshold)
+
         net_before = cluster.network.bytes_moved
         for node in cluster.slaves:
             node.procfs.sample(start)
 
-        failed = set(plan.map_failures)
+        stats = _RunStats()
         stragglers = set(plan.straggler_nodes)
-        stats = FaultyTimeline(timeline=None)  # type: ignore[arg-type]
+        lost_replicas = set(plan.lost_replicas)
+        map_fail_budget = {i: 1 for i in plan.map_failures}
+        map_fail_budget.update(dict(plan.map_failure_counts))
+        reduce_fail_budget = {i: 1 for i in plan.reduce_failures}
+        reduce_fail_budget.update(dict(plan.reduce_failure_counts))
+        shuffle_faults = {
+            (r, m): times for r, m, times in plan.shuffle_failures
+        }
 
+        # ---- map phase through the attempt state machine ----
         map_end_times: list[float] = []
-        map_nodes = []
+        map_nodes: list[Node] = []
         map_outputs: list[int] = []
-        for index, task in enumerate(work.maps):
-            node, slot, ready = cluster._pick_map_slot(task, start, cluster.locality_wait_s)
-            attempt_start = max(ready, start)
-
-            def attempt(on_node, at):
-                now = at
-                if task.input_bytes:
-                    now = on_node.disk.read(now, task.input_bytes)
-                now += on_node.cpu_time(task.cpu_seconds)
-                now = on_node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
-                if on_node.name in stragglers:
-                    # A degraded node is slow across the board (thermal
-                    # throttling, dying disk): stretch the whole attempt.
-                    now = at + (now - at) * plan.straggler_factor
-                return now
-
-            end = attempt(node, attempt_start)
-
-            if index in failed:
-                # The first attempt dies part-way; rerun elsewhere.
-                stats.failed_attempts += 1
-                failure_time = attempt_start + (end - attempt_start) * plan.failure_point
-                stats.wasted_seconds += failure_time - attempt_start
-                retry_node, retry_slot, retry_ready = cluster._pick_map_slot(
-                    task, failure_time, cluster.locality_wait_s
-                )
-                retry_start = max(retry_ready, failure_time)
-                end = attempt(retry_node, retry_start)
-                retry_node.map_slot_free[retry_slot] = end
-                node.map_slot_free[slot] = failure_time
-                node = retry_node
-            elif (
-                plan.speculative_execution
-                and node.name in stragglers
-                and len(cluster.slaves) > 1
-            ):
-                # Launch a backup on the fastest non-straggler node once
-                # the original is clearly behind.
-                stats.speculative_attempts += 1
-                candidates = [n for n in cluster.slaves if n.name not in stragglers]
-                if candidates:
-                    backup_node = min(
-                        candidates, key=lambda n: n.map_slot_free[n.earliest_map_slot()]
-                    )
-                    backup_slot = backup_node.earliest_map_slot()
-                    backup_start = max(
-                        backup_node.map_slot_free[backup_slot], attempt_start
-                    )
-                    backup_end = attempt(backup_node, backup_start)
-                    if backup_end < end:
-                        stats.speculative_wins += 1
-                        stats.wasted_seconds += end - backup_end
-                        backup_node.map_slot_free[backup_slot] = backup_end
-                        node.map_slot_free[slot] = end  # original runs to kill
-                        node = backup_node
-                        end = backup_end
-                    else:
-                        stats.wasted_seconds += backup_end - backup_start
-                        backup_node.map_slot_free[backup_slot] = backup_end
-                        node.map_slot_free[slot] = end
-                else:
-                    node.map_slot_free[slot] = end
-            else:
-                node.map_slot_free[slot] = end
-
+        map_attempts: list[TaskAttempts] = []
+        for m_index, task in enumerate(work.maps):
+            attempts = TaskAttempts(f"m_{m_index:06d}", policy)
+            end, node = self._run_map_to_success(
+                task, m_index, attempts, start, stragglers, lost_replicas,
+                map_fail_budget, rng, stats,
+            )
+            map_attempts.append(attempts)
             map_end_times.append(end)
             map_nodes.append(node)
             map_outputs.append(task.output_bytes)
 
-        # Reduce phase: reuse the stock cluster logic by running a
-        # map-less continuation — simplest correct route is to finish the
-        # job with the same code path the cluster uses.
-        timeline = cluster._finish_reduce_phase(
-            work, start, net_before, map_end_times, map_nodes, map_outputs
+        map_phase_end = max(map_end_times) if map_end_times else start
+
+        # ---- node-loss recovery: detection, HDFS repair, map re-execution ----
+        for name, crash_time in sorted(self._crash_at.items(), key=lambda kv: kv[1]):
+            if name in self._crashes_processed or crash_time > map_phase_end:
+                continue
+            self._crashes_processed.add(name)
+            stats.nodes_crashed.append(name)
+            detection = crash_time + policy.heartbeat_timeout_s
+            self._re_replicate(name, detection, stats)
+            if work.reduces:
+                # Completed maps whose output lived on the dead node must
+                # re-run: reducers fetch from tasktracker-local disks.
+                for m_index, (end, node) in enumerate(zip(map_end_times, map_nodes)):
+                    if node.name != name or end > crash_time:
+                        continue
+                    stats.maps_reexecuted += 1
+                    stats.wasted_seconds += end - max(
+                        a.start_s
+                        for a in map_attempts[m_index].attempts
+                        if a.state is AttemptState.SUCCEEDED
+                    )
+                    new_end, new_node = self._run_map_to_success(
+                        work.maps[m_index], m_index, map_attempts[m_index],
+                        detection, stragglers, lost_replicas, {}, rng, stats,
+                        reason="map output lost with node",
+                    )
+                    map_end_times[m_index] = new_end
+                    map_nodes[m_index] = new_node
+            map_phase_end = max(map_end_times) if map_end_times else start
+
+        # ---- shuffle (reducers pull as maps finish), with fetch faults ----
+        end = map_phase_end
+        total_map_output = sum(map_outputs)
+        placements = [
+            self._pick_reduce_slot(i, start, map_phase_end)
+            for i in range(len(work.reduces))
+        ]
+        shuffle_done_times: list[float] = []
+        for r_index, ((node, _slot, ready), task) in enumerate(
+            zip(placements, work.reduces)
+        ):
+            shuffle_done = max(ready, start)
+            if total_map_output and task.shuffle_bytes:
+                for m_index in range(len(work.maps)):
+                    m_out = map_outputs[m_index]
+                    segment = int(task.shuffle_bytes * (m_out / total_map_output))
+                    if segment <= 0:
+                        continue
+                    done = self._fetch_segment(
+                        r_index, m_index, segment, node, work,
+                        map_end_times, map_nodes, map_attempts,
+                        shuffle_faults, stragglers, lost_replicas, rng, stats,
+                    )
+                    if done > shuffle_done:
+                        shuffle_done = done
+            shuffle_done_times.append(shuffle_done)
+        map_phase_end = max(map_end_times) if map_end_times else start
+
+        # ---- reduce execution through the attempt state machine ----
+        for r_index, (placement, task, shuffle_done) in enumerate(
+            zip(placements, work.reduces, shuffle_done_times)
+        ):
+            attempts = TaskAttempts(f"r_{r_index:06d}", policy)
+            reduce_end = self._run_reduce_to_success(
+                task, r_index, attempts, placement, shuffle_done,
+                map_phase_end, stragglers, reduce_fail_budget, rng, stats,
+            )
+            if reduce_end > end:
+                end = reduce_end
+
+        cluster.clock = end
+        rates: dict[str, float] = {}
+        for node in cluster.slaves:
+            node.procfs.sample(end)
+            rates[node.name] = node.procfs.disk_writes_per_second()
+        timeline = JobTimeline(
+            job_name=work.name,
+            start_s=start,
+            map_phase_end_s=map_phase_end,
+            end_s=end,
+            map_tasks=len(work.maps),
+            reduce_tasks=len(work.reduces),
+            disk_writes_per_second=rates,
+            network_bytes=cluster.network.bytes_moved - net_before,
         )
-        stats.timeline = timeline
-        return stats
+        return stats.finish(timeline, self.blacklist)
+
+    # -- map attempts ---------------------------------------------------------
+
+    def _run_map_to_success(
+        self,
+        task: MapWork,
+        m_index: int,
+        attempts: TaskAttempts,
+        not_before: float,
+        stragglers: set[str],
+        lost_replicas: set[tuple[int, str]],
+        fail_budget: dict[int, int],
+        rng: random.Random,
+        stats: _RunStats,
+        reason: str = "task error",
+    ) -> tuple[float, Node]:
+        """Drive one map task's attempts until one succeeds (or the job dies)."""
+        cluster = self.cluster
+        plan = self.plan
+        policy = self.policy
+        t = not_before
+        while True:
+            exclude = set(self.blacklist.nodes)
+            if policy.prefer_different_node:
+                exclude |= attempts.tried_nodes
+            node, slot, ready = self._pick_map_slot(task, t, exclude)
+            attempt_start = max(ready, t)
+            end = self._map_attempt_time(
+                task, m_index, node, attempt_start, stragglers, lost_replicas
+            )
+
+            crash_time = self._crash_at.get(node.name)
+            if crash_time is not None and attempt_start < crash_time < end:
+                # The node dies under the attempt: killed, not failed.
+                stats.attempts.append(attempts.record(
+                    node.name, attempt_start, crash_time,
+                    AttemptState.KILLED, "node lost",
+                ))
+                stats.killed_attempts += 1
+                stats.wasted_seconds += crash_time - attempt_start
+                node.procfs.record_task_kill()
+                node.map_slot_free[slot] = crash_time
+                t = crash_time + policy.heartbeat_timeout_s
+                continue
+
+            fails = fail_budget.get(m_index, 0) > attempts.failures or (
+                plan.map_failure_rate > 0.0
+                and rng.random() < plan.map_failure_rate
+            )
+            if fails:
+                failure_time = attempt_start + (end - attempt_start) * plan.failure_point
+                stats.attempts.append(attempts.record(
+                    node.name, attempt_start, failure_time,
+                    AttemptState.FAILED, reason,
+                ))
+                stats.failed_map_attempts += 1
+                stats.wasted_seconds += failure_time - attempt_start
+                node.procfs.record_task_failure()
+                node.map_slot_free[slot] = failure_time
+                self.blacklist.record_failure(node.name)
+                attempts.check_exhausted(reason)
+                t = attempts.next_retry_time(failure_time)
+                continue
+
+            # Success — possibly racing a speculative backup off a straggler.
+            node.map_slot_free[slot] = end
+            if (
+                plan.speculative_execution
+                and node.name in stragglers
+                and len(cluster.slaves) > 1
+            ):
+                end, node = self._speculate_map(
+                    task, m_index, node, slot, attempt_start, end,
+                    stragglers, lost_replicas, stats,
+                )
+            stats.attempts.append(attempts.record(
+                node.name, attempt_start, end, AttemptState.SUCCEEDED,
+                reason if reason != "task error" else "",
+            ))
+            return end, node
+
+    def _map_attempt_time(
+        self,
+        task: MapWork,
+        m_index: int,
+        node: Node,
+        at: float,
+        stragglers: set[str],
+        lost_replicas: set[tuple[int, str]],
+    ) -> float:
+        """Charge one map attempt's I/O and CPU; return its finish time."""
+        cluster = self.cluster
+        now = at
+        if task.input_bytes:
+            survivors = [
+                name
+                for name in task.preferred_nodes
+                if (m_index, name) not in lost_replicas
+                and not self._node_dead_at(name, now)
+            ]
+            if task.preferred_nodes and not survivors:
+                raise DataLossError(
+                    f"m_{m_index:06d}", 0,
+                    "all replicas of the input split are gone",
+                )
+            if task.preferred_nodes and node.name not in survivors:
+                # Remote read: replica holder's disk, then the network.
+                src = cluster._slave_by_name.get(survivors[0])
+                if src is not None and src is not node:
+                    read_done = src.disk.read(now, task.input_bytes)
+                    now = cluster.network.transfer(
+                        read_done, src.nic, node.nic, task.input_bytes
+                    )
+                else:
+                    now = node.disk.read(now, task.input_bytes)
+            else:
+                now = node.disk.read(now, task.input_bytes)
+        now += node.cpu_time(task.cpu_seconds)
+        now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
+        if node.name in stragglers:
+            # A degraded node is slow across the board (thermal throttling,
+            # dying disk): stretch the whole attempt.
+            now = at + (now - at) * self.plan.straggler_factor
+        return now
+
+    def _speculate_map(
+        self,
+        task: MapWork,
+        m_index: int,
+        node: Node,
+        slot: int,
+        attempt_start: float,
+        end: float,
+        stragglers: set[str],
+        lost_replicas: set[tuple[int, str]],
+        stats: _RunStats,
+    ) -> tuple[float, Node]:
+        """Launch a backup attempt on the fastest non-straggler node."""
+        candidates = [
+            n
+            for n in self.cluster.slaves
+            if n.name not in stragglers
+            and not self.blacklist.is_blacklisted(n.name)
+            and not self._node_dead_at(n.name, attempt_start)
+        ]
+        if not candidates:
+            return end, node
+        stats.speculative_attempts += 1
+        backup_node = min(
+            candidates, key=lambda n: n.map_slot_free[n.earliest_map_slot()]
+        )
+        backup_slot = backup_node.earliest_map_slot()
+        backup_start = max(backup_node.map_slot_free[backup_slot], attempt_start)
+        backup_end = self._map_attempt_time(
+            task, m_index, backup_node, backup_start, stragglers, lost_replicas
+        )
+        backup_node.procfs.record_speculative()
+        if backup_end < end:
+            # The jobtracker kills the slower original the moment the
+            # backup commits — it does not run to completion.
+            stats.speculative_wins += 1
+            stats.killed_attempts += 1
+            stats.wasted_seconds += max(0.0, backup_end - attempt_start)
+            node.procfs.record_task_kill()
+            backup_node.map_slot_free[backup_slot] = backup_end
+            node.map_slot_free[slot] = backup_end
+            return backup_end, backup_node
+        stats.wasted_seconds += backup_end - backup_start
+        backup_node.map_slot_free[backup_slot] = backup_end
+        node.map_slot_free[slot] = end
+        return end, node
+
+    # -- shuffle --------------------------------------------------------------
+
+    def _fetch_segment(
+        self,
+        r_index: int,
+        m_index: int,
+        segment: int,
+        reduce_node: Node,
+        work: JobWork,
+        map_end_times: list[float],
+        map_nodes: list[Node],
+        map_attempts: list[TaskAttempts],
+        shuffle_faults: dict[tuple[int, int], int],
+        stragglers: set[str],
+        lost_replicas: set[tuple[int, str]],
+        rng: random.Random,
+        stats: _RunStats,
+    ) -> float:
+        """One reducer's copy of one map output, with bounded fetch retries.
+
+        Each failed fetch still moves the bytes (the connection dies after
+        the transfer — the pessimistic Hadoop case) and backs off before
+        retrying; once ``max_fetch_retries`` fetches of the same output
+        have failed, the reducer reports it and the jobtracker re-runs the
+        map, after which the copy is served from the fresh output.
+        """
+        policy = self.policy
+        faults = shuffle_faults.get((r_index, m_index), 0)
+        fetch_at = map_end_times[m_index]
+        failures = 0
+        while faults > 0 and failures < policy.max_fetch_retries:
+            done = self._transfer_segment(
+                map_nodes[m_index], reduce_node, fetch_at, segment
+            )
+            stats.shuffle_fetch_failures += 1
+            stats.wasted_seconds += done - fetch_at
+            reduce_node.procfs.record_fetch_failure()
+            failures += 1
+            faults -= 1
+            fetch_at = done + policy.fetch_backoff_s(failures)
+        if faults > 0:
+            # Fetch-failure escalation: the jobtracker re-runs the map.
+            stats.fetch_escalations += 1
+            new_end, new_node = self._run_map_to_success(
+                work.maps[m_index], m_index, map_attempts[m_index],
+                fetch_at, stragglers, lost_replicas, {}, rng, stats,
+                reason="too many fetch failures",
+            )
+            map_end_times[m_index] = new_end
+            map_nodes[m_index] = new_node
+            fetch_at = new_end
+        return self._transfer_segment(
+            map_nodes[m_index], reduce_node, fetch_at, segment
+        )
+
+    def _transfer_segment(
+        self, src: Node, dst: Node, at: float, segment: int
+    ) -> float:
+        if src is dst:
+            return src.disk.read(at, segment)
+        read_done = src.disk.read(at, segment)
+        return self.cluster.network.transfer(read_done, src.nic, dst.nic, segment)
+
+    # -- reduce attempts ------------------------------------------------------
+
+    def _run_reduce_to_success(
+        self,
+        task,
+        r_index: int,
+        attempts: TaskAttempts,
+        placement: tuple[Node, int, float],
+        shuffle_done: float,
+        map_phase_end: float,
+        stragglers: set[str],
+        fail_budget: dict[int, int],
+        rng: random.Random,
+        stats: _RunStats,
+    ) -> float:
+        cluster = self.cluster
+        plan = self.plan
+        policy = self.policy
+        node, slot, _ready = placement
+        t = 0.0
+        while True:
+            exec_start = max(
+                shuffle_done, map_phase_end, node.reduce_slot_free[slot], t
+            )
+            end = self._reduce_attempt_time(task, node, exec_start, stragglers)
+
+            crash_time = self._crash_at.get(node.name)
+            if crash_time is not None and exec_start < crash_time < end:
+                stats.attempts.append(attempts.record(
+                    node.name, exec_start, crash_time,
+                    AttemptState.KILLED, "node lost",
+                ))
+                stats.killed_attempts += 1
+                stats.wasted_seconds += crash_time - exec_start
+                node.procfs.record_task_kill()
+                node.reduce_slot_free[slot] = crash_time
+                if node.name not in self._crashes_processed:
+                    self._crashes_processed.add(node.name)
+                    stats.nodes_crashed.append(node.name)
+                    self._re_replicate(
+                        node.name, crash_time + policy.heartbeat_timeout_s, stats
+                    )
+                t = crash_time + policy.heartbeat_timeout_s
+                node, slot = self._pick_reduce_retry_slot(t, attempts.tried_nodes)
+                continue
+
+            fails = fail_budget.get(r_index, 0) > attempts.failures or (
+                plan.reduce_failure_rate > 0.0
+                and rng.random() < plan.reduce_failure_rate
+            )
+            if fails:
+                failure_time = exec_start + (end - exec_start) * plan.failure_point
+                stats.attempts.append(attempts.record(
+                    node.name, exec_start, failure_time,
+                    AttemptState.FAILED, "task error",
+                ))
+                stats.failed_reduce_attempts += 1
+                stats.wasted_seconds += failure_time - exec_start
+                node.procfs.record_task_failure()
+                node.reduce_slot_free[slot] = failure_time
+                self.blacklist.record_failure(node.name)
+                attempts.check_exhausted("task error")
+                t = attempts.next_retry_time(failure_time)
+                exclude = attempts.tried_nodes if policy.prefer_different_node else set()
+                node, slot = self._pick_reduce_retry_slot(t, exclude)
+                continue
+
+            # Success — possibly racing a speculative backup off a straggler.
+            if (
+                plan.speculative_execution
+                and node.name in stragglers
+                and len(cluster.slaves) > 1
+            ):
+                backup = self._speculate_reduce(
+                    task, node, slot, exec_start, shuffle_done, map_phase_end,
+                    end, stragglers, stats,
+                )
+                if backup is not None:
+                    end, node, slot = backup
+            stats.attempts.append(attempts.record(
+                node.name, exec_start, end, AttemptState.SUCCEEDED,
+            ))
+            end = self._replicate_output(task, node, end)
+            node.reduce_slot_free[slot] = end
+            return end
+
+    def _reduce_attempt_time(
+        self, task, node: Node, exec_start: float, stragglers: set[str]
+    ) -> float:
+        now = exec_start + node.cpu_time(task.cpu_seconds)
+        now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
+        if node.name in stragglers:
+            now = exec_start + (now - exec_start) * self.plan.straggler_factor
+        return now
+
+    def _speculate_reduce(
+        self,
+        task,
+        node: Node,
+        slot: int,
+        exec_start: float,
+        shuffle_done: float,
+        map_phase_end: float,
+        end: float,
+        stragglers: set[str],
+        stats: _RunStats,
+    ) -> tuple[float, Node, int] | None:
+        """Backup reduce attempt on the fastest non-straggler node.
+
+        The backup's shuffle is assumed to have run concurrently with the
+        original's (reducers fetch eagerly), so only execution and output
+        writing are charged to the backup node.
+        """
+        candidates = [
+            n
+            for n in self.cluster.slaves
+            if n.name not in stragglers
+            and not self.blacklist.is_blacklisted(n.name)
+            and not self._node_dead_at(n.name, map_phase_end)
+        ]
+        if not candidates:
+            return None
+        stats.speculative_attempts += 1
+        backup_node = min(
+            candidates,
+            key=lambda n: n.reduce_slot_free[n.earliest_reduce_slot()],
+        )
+        backup_slot = backup_node.earliest_reduce_slot()
+        backup_start = max(
+            shuffle_done, map_phase_end, backup_node.reduce_slot_free[backup_slot]
+        )
+        backup_end = self._reduce_attempt_time(
+            task, backup_node, backup_start, stragglers
+        )
+        backup_node.procfs.record_speculative()
+        if backup_end < end:
+            # The jobtracker kills the slower original the moment the
+            # backup commits — it does not run to completion.
+            stats.speculative_wins += 1
+            stats.killed_attempts += 1
+            stats.wasted_seconds += max(0.0, backup_end - exec_start)
+            node.procfs.record_task_kill()
+            node.reduce_slot_free[slot] = backup_end
+            return backup_end, backup_node, backup_slot
+        stats.wasted_seconds += backup_end - backup_start
+        backup_node.reduce_slot_free[backup_slot] = backup_end
+        return None
+
+    def _replicate_output(self, task, node: Node, now: float) -> float:
+        """HDFS replication of the reduce output: pipeline to live slaves."""
+        cluster = self.cluster
+        if not task.output_bytes:
+            return now
+        live = [
+            n for n in cluster.slaves if not self._node_dead_at(n.name, now)
+        ]
+        if node not in live:
+            return now
+        copies = min(cluster.hdfs.replication - 1, len(live) - 1)
+        for c in range(copies):
+            dst = live[(live.index(node) + 1 + c) % len(live)]
+            sent = cluster.network.transfer(
+                now, node.nic, dst.nic, task.output_bytes
+            )
+            now = max(now, dst.disk.write(sent, task.output_bytes))
+        return now
+
+    # -- node loss and HDFS repair --------------------------------------------
+
+    def _node_dead_at(self, node_name: str, time_s: float) -> bool:
+        crash_time = self._crash_at.get(node_name)
+        return crash_time is not None and time_s >= crash_time
+
+    def _re_replicate(self, node_name: str, at: float, stats: _RunStats) -> None:
+        """Namenode repair after datanode loss, charged to disks and NICs."""
+        cluster = self.cluster
+        under_replicated, lost = cluster.hdfs.fail_node(node_name)
+        stats.blocks_lost += len(lost)
+        for block in under_replicated:
+            pair = cluster.hdfs.re_replicate_block(block)
+            if pair is None:
+                continue
+            src_name, dst_name = pair
+            src = cluster._slave_by_name.get(src_name)
+            dst = cluster._slave_by_name.get(dst_name)
+            if src is None or dst is None or src is dst:
+                continue
+            read_done = src.disk.read(at, block.size_bytes)
+            sent = cluster.network.transfer(
+                read_done, src.nic, dst.nic, block.size_bytes
+            )
+            dst.disk.write(sent, block.size_bytes)
+            stats.re_replicated_bytes += block.size_bytes
+
+    # -- slot selection -------------------------------------------------------
+
+    def _pick_map_slot(
+        self, task: MapWork, at: float, exclude: set[str]
+    ) -> tuple[Node, int, float]:
+        """Stock slot policy, minus excluded/blacklisted/dead nodes.
+
+        Falls back to ignoring the soft exclusions (tried nodes,
+        blacklist) when they would leave no candidate; dead nodes are
+        never eligible.
+        """
+        for soft_exclude in (exclude, set()):
+            best_node, best_slot, best_time = None, -1, float("inf")
+            local_node, local_slot, local_time = None, -1, float("inf")
+            for node in self.cluster.slaves:
+                if node.name in soft_exclude:
+                    continue
+                slot = node.earliest_map_slot()
+                t = max(node.map_slot_free[slot], at)
+                if self._node_dead_at(node.name, t):
+                    continue
+                if t < best_time:
+                    best_node, best_slot, best_time = node, slot, t
+                if (
+                    task.preferred_nodes
+                    and node.name in task.preferred_nodes
+                    and t < local_time
+                ):
+                    local_node, local_slot, local_time = node, slot, t
+            if local_node is not None and local_time <= best_time + self.cluster.locality_wait_s:
+                return local_node, local_slot, local_time
+            if best_node is not None:
+                return best_node, best_slot, best_time
+        raise JobFailedError("cluster", 0, "no live nodes left to schedule on")
+
+    def _pick_reduce_slot(
+        self, r_index: int, job_start: float, map_phase_end: float
+    ) -> tuple[Node, int, float]:
+        """Stock round-robin placement over the nodes alive at reduce time."""
+        live = [
+            n
+            for n in self.cluster.slaves
+            if not self._node_dead_at(n.name, map_phase_end)
+            and not self.blacklist.is_blacklisted(n.name)
+        ]
+        if not live:
+            raise JobFailedError("cluster", 0, "no live nodes left for reduces")
+        node = live[r_index % len(live)]
+        slot = node.earliest_reduce_slot()
+        return node, slot, max(node.reduce_slot_free[slot], job_start)
+
+    def _pick_reduce_retry_slot(
+        self, at: float, exclude: set[str]
+    ) -> tuple[Node, int]:
+        for soft_exclude in (exclude, set()):
+            candidates = [
+                n
+                for n in self.cluster.slaves
+                if n.name not in soft_exclude
+                and not self.blacklist.is_blacklisted(n.name)
+                and not self._node_dead_at(
+                    n.name, max(at, n.reduce_slot_free[n.earliest_reduce_slot()])
+                )
+            ]
+            if candidates:
+                node = min(
+                    candidates,
+                    key=lambda n: n.reduce_slot_free[n.earliest_reduce_slot()],
+                )
+                return node, node.earliest_reduce_slot()
+        raise JobFailedError("cluster", 0, "no live nodes left for reduces")

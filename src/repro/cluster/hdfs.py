@@ -5,11 +5,18 @@ distinct slave nodes (round-robin with a rotating offset, which is how a
 balanced HDFS cluster ends up distributing a large sequentially-written
 file).  The scheduler queries :meth:`Hdfs.nodes_with_block` for map-task
 locality.
+
+The namenode side of datanode loss is modelled too: :meth:`Hdfs.fail_node`
+drops a dead node from every replica set (reporting which blocks became
+under-replicated and which are gone entirely), and
+:meth:`Hdfs.re_replicate_block` picks the source/target pair the namenode
+would use to restore the replication degree — the cluster charges the
+actual disk reads and network transfer for that background copy traffic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.node import Node
 
@@ -54,6 +61,7 @@ class Hdfs:
         self.replication = min(replication, len(self.nodes))
         self.files: dict[str, HdfsFile] = {}
         self._placement_cursor = 0
+        self._dead_nodes: set[str] = set()
 
     def create_file(self, name: str, size_bytes: int) -> HdfsFile:
         """Create a file of *size_bytes*, splitting and placing its blocks."""
@@ -78,12 +86,75 @@ class Hdfs:
         self.files.pop(name, None)
 
     def _place(self) -> tuple[str, ...]:
-        n = len(self.nodes)
-        chosen = tuple(
-            self.nodes[(self._placement_cursor + i) % n].name for i in range(self.replication)
-        )
+        live = [node.name for node in self.nodes if node.name not in self._dead_nodes]
+        if not live:
+            raise ValueError("no live datanodes to place blocks on")
+        n = len(live)
+        degree = min(self.replication, n)
+        chosen = tuple(live[(self._placement_cursor + i) % n] for i in range(degree))
         self._placement_cursor = (self._placement_cursor + 1) % n
         return chosen
+
+    # -- datanode loss and re-replication ------------------------------------
+
+    @property
+    def dead_nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._dead_nodes))
+
+    def live_node_names(self) -> list[str]:
+        return [node.name for node in self.nodes if node.name not in self._dead_nodes]
+
+    def fail_node(self, name: str) -> tuple[list[Block], list[Block]]:
+        """Declare datanode *name* dead and drop it from every replica set.
+
+        Returns ``(under_replicated, lost)``: blocks that still have at
+        least one surviving replica (candidates for re-replication) and
+        blocks whose every replica lived on dead nodes (data loss).
+        Idempotent for an already-dead node.
+        """
+        already_dead = name in self._dead_nodes
+        self._dead_nodes.add(name)
+        under_replicated: list[Block] = []
+        lost: list[Block] = []
+        if already_dead:
+            return under_replicated, lost
+        for hfile in self.files.values():
+            for i, block in enumerate(hfile.blocks):
+                if name not in block.replicas:
+                    continue
+                survivors = tuple(r for r in block.replicas if r != name)
+                block = replace(block, replicas=survivors)
+                hfile.blocks[i] = block
+                (under_replicated if survivors else lost).append(block)
+        return under_replicated, lost
+
+    def re_replicate_block(self, block: Block) -> tuple[str, str] | None:
+        """Restore one replica of an under-replicated *block*.
+
+        Picks a surviving replica holder as the source and a live node not
+        yet holding the block as the target (rotating like initial
+        placement), records the new replica in the directory, and returns
+        ``(src_name, dst_name)`` so the caller can charge the copy to the
+        disk/network models.  Returns ``None`` when no replica survives or
+        no eligible target exists.
+        """
+        current = self.files[block.file_name].blocks[block.index]
+        if not current.replicas:
+            return None
+        candidates = [
+            name
+            for name in self.live_node_names()
+            if name not in current.replicas
+        ]
+        if not candidates:
+            return None
+        dst = candidates[self._placement_cursor % len(candidates)]
+        self._placement_cursor += 1
+        src = current.replicas[0]
+        self.files[block.file_name].blocks[block.index] = replace(
+            current, replicas=current.replicas + (dst,)
+        )
+        return src, dst
 
     def nodes_with_block(self, block: Block) -> tuple[str, ...]:
         return block.replicas

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass
 
 from repro.cluster.cluster import HadoopCluster, JobTimeline, JobWork, MapWork, ReduceWork
+from repro.cluster.faults import FaultyCluster, FaultyTimeline
 from repro.mapreduce.counters import JobCounters
 from repro.mapreduce.io import DistributedInput, record_bytes, records_bytes
 from repro.mapreduce.job import MapReduceJob
@@ -24,14 +25,19 @@ from repro.mapreduce.job import MapReduceJob
 
 @dataclass
 class JobResult:
-    """Everything one job execution produced."""
+    """Everything one job execution produced.
+
+    When the job was scheduled through a :class:`FaultyCluster`, the
+    timeline is a :class:`FaultyTimeline` carrying the resilience
+    accounting alongside the usual timing fields.
+    """
 
     job_name: str
     output: list[tuple[object, object]]
     reducer_outputs: list[list[tuple[object, object]]]
     counters: JobCounters
     work: JobWork
-    timeline: JobTimeline | None = None
+    timeline: JobTimeline | FaultyTimeline | None = None
 
     def output_dict(self) -> dict:
         return dict(self.output)
@@ -52,7 +58,7 @@ class LocalEngine:
         self,
         job: MapReduceJob,
         inputs,
-        cluster: HadoopCluster | None = None,
+        cluster: HadoopCluster | FaultyCluster | None = None,
         input_name: str | None = None,
     ) -> JobResult:
         """Run *job* over *inputs*.
@@ -61,7 +67,11 @@ class LocalEngine:
         ``(key, value)`` records.  With a cluster, plain records are first
         put into its HDFS (under ``input_name`` or an auto name) so map
         splits get block placement; the returned result then carries the
-        scheduled :class:`JobTimeline`.
+        scheduled :class:`JobTimeline`.  A :class:`FaultyCluster` works in
+        place of a plain cluster: the functional output is unchanged while
+        the timeline reflects the injected faults (and may raise
+        :class:`~repro.cluster.attempts.JobFailedError` when a task
+        exhausts its attempts).
         """
         dist = self._as_distributed(inputs, cluster, input_name)
         counters = JobCounters()

@@ -43,6 +43,13 @@ class ProcFs:
         self.sectors_read = 0
         self.net_rx_bytes = 0
         self.net_tx_bytes = 0
+        # Resilience counters (the tasktracker's view of Hadoop's fault
+        # handling): failed/killed/speculative attempts hosted by this
+        # node, plus shuffle fetches that died on this node's reducers.
+        self.tasks_failed = 0
+        self.tasks_killed = 0
+        self.tasks_speculative = 0
+        self.fetch_failures = 0
         self.samples: list[DiskSample] = []
 
     # -- recording (called by the cluster model) ---------------------------
@@ -62,6 +69,18 @@ class ProcFs:
     def record_net(self, rx_bytes: int = 0, tx_bytes: int = 0) -> None:
         self.net_rx_bytes += rx_bytes
         self.net_tx_bytes += tx_bytes
+
+    def record_task_failure(self) -> None:
+        self.tasks_failed += 1
+
+    def record_task_kill(self) -> None:
+        self.tasks_killed += 1
+
+    def record_speculative(self) -> None:
+        self.tasks_speculative += 1
+
+    def record_fetch_failure(self) -> None:
+        self.fetch_failures += 1
 
     # -- sampling -----------------------------------------------------------
 
@@ -107,4 +126,13 @@ class ProcFs:
         return (
             f"  eth0: {self.net_rx_bytes} 0 0 0 0 0 0 0 "
             f"{self.net_tx_bytes} 0 0 0 0 0 0 0"
+        )
+
+    def render_resilience(self) -> str:
+        """A tasktracker-status-flavoured line of the resilience counters."""
+        return (
+            f"{self.node_name}: tasks_failed {self.tasks_failed} "
+            f"tasks_killed {self.tasks_killed} "
+            f"tasks_speculative {self.tasks_speculative} "
+            f"fetch_failures {self.fetch_failures}"
         )

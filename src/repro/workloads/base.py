@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cluster.cluster import HadoopCluster, JobTimeline
+from repro.cluster.faults import FaultyCluster, FaultyTimeline
 from repro.mapreduce.counters import JobCounters
 from repro.mapreduce.engine import JobResult, LocalEngine
 from repro.uarch.trace import MemoryRegion, TraceSpec
@@ -60,7 +61,7 @@ class WorkloadRun:
     details: dict[str, Any] = field(default_factory=dict)
 
     @property
-    def timelines(self) -> list[JobTimeline]:
+    def timelines(self) -> list[JobTimeline | FaultyTimeline]:
         return [r.timeline for r in self.job_results if r.timeline is not None]
 
     @property
@@ -128,11 +129,12 @@ class DataAnalysisWorkload(ABC):
     def run(
         self,
         scale: float = 1.0,
-        cluster: HadoopCluster | None = None,
+        cluster: HadoopCluster | FaultyCluster | None = None,
         engine: LocalEngine | None = None,
     ) -> WorkloadRun:
         """Execute the workload for real at *scale* (1.0 = default MB-scale
-        input).  With a cluster, job timelines are attached."""
+        input).  With a cluster, job timelines are attached; with a
+        :class:`FaultyCluster` they carry resilience accounting too."""
 
     # -- micro-architecture ----------------------------------------------------
 

@@ -1,0 +1,124 @@
+"""Unit tests for the task-attempt state machine."""
+
+import pytest
+
+from repro.cluster.attempts import (
+    AttemptState,
+    DataLossError,
+    JobFailedError,
+    NodeBlacklist,
+    RetryPolicy,
+    TaskAttempts,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_match_hadoop_1x(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4          # mapred.map.max.attempts
+        assert policy.node_failure_threshold == 4  # mapred.max.tracker.failures
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_fetch_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(node_failure_threshold=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(heartbeat_timeout_s=-0.1)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+
+    def test_fetch_backoff_grows_too(self):
+        policy = RetryPolicy(fetch_backoff_base_s=0.05, backoff_factor=2.0)
+        assert policy.fetch_backoff_s(1) == pytest.approx(0.05)
+        assert policy.fetch_backoff_s(2) == pytest.approx(0.1)
+
+
+class TestTaskAttempts:
+    def attempts(self, max_attempts=4) -> TaskAttempts:
+        return TaskAttempts("m_000000", RetryPolicy(max_attempts=max_attempts))
+
+    def test_only_failures_count_against_the_budget(self):
+        attempts = self.attempts()
+        attempts.record("slave1", 0.0, 1.0, AttemptState.FAILED, "boom")
+        attempts.record("slave2", 1.5, 2.0, AttemptState.KILLED, "node lost")
+        assert attempts.failures == 1
+
+    def test_tried_nodes_include_killed_attempts(self):
+        attempts = self.attempts()
+        attempts.record("slave1", 0.0, 1.0, AttemptState.FAILED, "boom")
+        attempts.record("slave2", 1.5, 2.0, AttemptState.KILLED, "node lost")
+        assert attempts.tried_nodes == {"slave1", "slave2"}
+
+    def test_recorded_attempt_numbering(self):
+        attempts = self.attempts()
+        first = attempts.record("slave1", 0.0, 1.0, AttemptState.FAILED, "x")
+        second = attempts.record("slave2", 1.0, 2.0, AttemptState.SUCCEEDED)
+        assert first.attempt == 0 and second.attempt == 1
+        assert first.task_id == "m_000000"
+
+    def test_exhaustion_raises_with_context(self):
+        attempts = self.attempts(max_attempts=2)
+        attempts.record("slave1", 0.0, 1.0, AttemptState.FAILED, "boom")
+        attempts.check_exhausted("boom")  # one left
+        attempts.record("slave2", 1.0, 2.0, AttemptState.FAILED, "boom")
+        with pytest.raises(JobFailedError) as excinfo:
+            attempts.check_exhausted("boom")
+        assert excinfo.value.task_id == "m_000000"
+        assert excinfo.value.attempts == 2
+        assert "boom" in str(excinfo.value)
+
+    def test_killed_attempts_never_exhaust(self):
+        attempts = self.attempts(max_attempts=1)
+        for i in range(5):
+            attempts.record(f"slave{i}", 0.0, 1.0, AttemptState.KILLED, "lost")
+        assert not attempts.exhausted
+        attempts.check_exhausted("lost")
+
+    def test_next_retry_time_backs_off(self):
+        attempts = self.attempts()
+        attempts.record("slave1", 0.0, 1.0, AttemptState.FAILED, "x")
+        one = attempts.next_retry_time(1.0)
+        attempts.record("slave2", one, one + 1, AttemptState.FAILED, "x")
+        two = attempts.next_retry_time(one + 1)
+        assert one > 1.0
+        assert two - (one + 1) > one - 1.0
+
+
+class TestNodeBlacklist:
+    def test_blacklists_at_threshold(self):
+        blacklist = NodeBlacklist(threshold=3)
+        assert not blacklist.record_failure("slave1")
+        assert not blacklist.record_failure("slave1")
+        assert blacklist.record_failure("slave1")  # newly blacklisted
+        assert blacklist.is_blacklisted("slave1")
+        assert not blacklist.record_failure("slave1")  # already listed
+
+    def test_nodes_are_sorted(self):
+        blacklist = NodeBlacklist(threshold=1)
+        blacklist.record_failure("slave3")
+        blacklist.record_failure("slave1")
+        assert blacklist.nodes == ("slave1", "slave3")
+
+    def test_independent_counters_per_node(self):
+        blacklist = NodeBlacklist(threshold=2)
+        blacklist.record_failure("slave1")
+        blacklist.record_failure("slave2")
+        assert blacklist.nodes == ()
+
+
+class TestErrors:
+    def test_data_loss_is_a_job_failure(self):
+        error = DataLossError("m_000003", 0, "all replicas gone")
+        assert isinstance(error, JobFailedError)
+        assert error.task_id == "m_000003"

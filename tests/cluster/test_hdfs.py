@@ -88,3 +88,69 @@ class TestHdfs:
         f = hdfs.create_file("f", size)
         assert f.size_bytes == size
         assert all(0 < b.size_bytes <= block for b in f.blocks)
+
+
+class TestDatanodeLoss:
+    def test_fail_node_drops_replicas(self):
+        hdfs = make_hdfs(n_nodes=4, block_size=1024, replication=2)
+        hdfs.create_file("f", 4096)
+        under, lost = hdfs.fail_node("n0")
+        assert lost == []
+        assert under  # n0 held some replicas
+        assert hdfs.blocks_on_node("n0") == []
+        for block in under:
+            assert "n0" not in block.replicas
+            assert len(block.replicas) == 1
+
+    def test_fail_node_reports_lost_blocks(self):
+        hdfs = make_hdfs(n_nodes=2, block_size=1024, replication=1)
+        hdfs.create_file("f", 2048)  # one block per node
+        _, lost_first = hdfs.fail_node("n0")
+        _, lost_second = hdfs.fail_node("n1")
+        assert len(lost_first) + len(lost_second) == 2
+
+    def test_fail_node_is_idempotent(self):
+        hdfs = make_hdfs(n_nodes=4, replication=2)
+        hdfs.create_file("f", 4096)
+        first, _ = hdfs.fail_node("n1")
+        second, second_lost = hdfs.fail_node("n1")
+        assert first and second == [] and second_lost == []
+        assert hdfs.dead_nodes == ("n1",)
+
+    def test_re_replication_restores_degree(self):
+        hdfs = make_hdfs(n_nodes=4, block_size=1024, replication=2)
+        hdfs.create_file("f", 4096)
+        under, _ = hdfs.fail_node("n2")
+        for block in under:
+            pair = hdfs.re_replicate_block(block)
+            assert pair is not None
+            src, dst = pair
+            assert src in block.replicas
+            assert dst not in block.replicas and dst != "n2"
+        restored = hdfs.blocks_of("f")
+        assert all(len(b.replicas) == 2 for b in restored)
+        assert all("n2" not in b.replicas for b in restored)
+
+    def test_re_replication_without_survivors_or_targets(self):
+        hdfs = make_hdfs(n_nodes=2, block_size=1024, replication=2)
+        hdfs.create_file("f", 1024)
+        under, lost = hdfs.fail_node("n0")
+        # Replication was 2 on 2 nodes: the survivor already holds the
+        # block, so there is no eligible target.
+        assert under and not lost
+        assert hdfs.re_replicate_block(under[0]) is None
+
+    def test_new_files_avoid_dead_nodes(self):
+        hdfs = make_hdfs(n_nodes=4, block_size=64, replication=2)
+        hdfs.fail_node("n3")
+        hdfs.create_file("f", 64 * 8)
+        for block in hdfs.blocks_of("f"):
+            assert "n3" not in block.replicas
+        assert hdfs.live_node_names() == ["n0", "n1", "n2"]
+
+    def test_placement_fails_when_every_node_is_dead(self):
+        hdfs = make_hdfs(n_nodes=2)
+        hdfs.fail_node("n0")
+        hdfs.fail_node("n1")
+        with pytest.raises(ValueError):
+            hdfs.create_file("f", 10)

@@ -131,6 +131,23 @@ class TestProcFs:
         fields = line.split()
         assert fields[3] == "1"  # reads completed
 
+    def test_resilience_counters(self):
+        p = ProcFs(node_name="slave1")
+        p.record_task_failure()
+        p.record_task_failure()
+        p.record_task_kill()
+        p.record_speculative()
+        p.record_fetch_failure()
+        assert p.tasks_failed == 2
+        assert p.tasks_killed == 1
+        assert p.tasks_speculative == 1
+        assert p.fetch_failures == 1
+        line = p.render_resilience()
+        assert line.startswith("slave1:")
+        assert "tasks_failed 2" in line
+        assert "tasks_killed 1" in line
+        assert "fetch_failures 1" in line
+
     def test_render_netdev_shape(self):
         p = ProcFs()
         p.record_net(rx_bytes=100, tx_bytes=50)
