@@ -18,9 +18,34 @@ Sub-commands mirror how the paper's artefacts are used:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.core.suite import DCBench
+
+
+def _rate(text: str) -> float:
+    """argparse type: a probability in [0, 1] (NaN-proof)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not 0.0 <= value <= 1.0:  # NaN fails every comparison
+        raise argparse.ArgumentTypeError(f"must be a rate in [0, 1], got {text}")
+    return value
+
+
+def _seconds(text: str) -> float:
+    """argparse type: a finite, non-negative simulated time."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not (value >= 0.0 and math.isfinite(value)):
+        raise argparse.ArgumentTypeError(
+            f"must be a finite non-negative number of seconds, got {text}"
+        )
+    return value
 
 
 def _cmd_list(_args) -> int:
@@ -54,27 +79,38 @@ def _cmd_run(args) -> int:
     from repro.cluster.chaos import aggregate_accounting
     from repro.workloads import workload
 
+    parser = args.parser
+    if args.crash_time is not None and not args.crash_node:
+        parser.error("--crash-time requires --crash-node")
+    if args.recovery is not None and args.master_crash_time is None:
+        parser.error("--recovery requires --master-crash-time")
+    if args.master_downtime is not None and args.master_crash_time is None:
+        parser.error("--master-downtime requires --master-crash-time")
+
     wl = workload(args.workload)
-    if args.faults < 0 or args.faults > 1:
-        print(f"error: --faults must be a rate in [0, 1], got {args.faults}",
-              file=sys.stderr)
-        return 2
     cluster = make_cluster(args.slaves, block_size=64 * 1024)
     if args.crash_node:
         known = [node.name for node in cluster.slaves]
         if args.crash_node not in known:
-            print(f"error: --crash-node {args.crash_node!r} is not a slave "
-                  f"(have: {', '.join(known)})", file=sys.stderr)
-            return 2
-    faulty = args.faults > 0 or args.crash_node
+            parser.error(f"--crash-node {args.crash_node!r} is not a slave "
+                         f"(have: {', '.join(known)})")
+    faulty = bool(
+        args.faults > 0 or args.crash_node or args.master_crash_time is not None
+    )
     if faulty:
         node_crashes = ()
         if args.crash_node:
-            node_crashes = ((args.crash_node, args.crash_time),)
+            crash_time = args.crash_time if args.crash_time is not None else 1.0
+            node_crashes = ((args.crash_node, crash_time),)
         plan = FaultPlan(
             map_failure_rate=args.faults,
             reduce_failure_rate=args.faults,
             node_crashes=node_crashes,
+            master_crash_time=args.master_crash_time,
+            master_recovery=args.recovery or "resume",
+            master_downtime_s=(
+                args.master_downtime if args.master_downtime is not None else 0.75
+            ),
             seed=args.seed,
         )
         cluster = FaultyCluster(cluster, plan)
@@ -195,15 +231,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload")
     run.add_argument("--scale", type=float, default=0.5)
     run.add_argument("--slaves", type=int, default=4)
-    run.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+    run.add_argument("--faults", type=_rate, default=0.0, metavar="RATE",
                      help="per-attempt task failure probability (0 disables)")
     run.add_argument("--seed", type=int, default=0,
                      help="fault-injection seed (runs are reproducible)")
     run.add_argument("--crash-node", metavar="NAME",
                      help="crash this slave mid-run (e.g. slave2)")
-    run.add_argument("--crash-time", type=float, default=1.0, metavar="SECONDS",
-                     help="simulated time of the --crash-node crash")
-    run.set_defaults(fn=_cmd_run)
+    run.add_argument("--crash-time", type=_seconds, default=None, metavar="SECONDS",
+                     help="simulated time of the --crash-node crash "
+                          "(default 1.0; requires --crash-node)")
+    run.add_argument("--master-crash-time", type=_seconds, default=None,
+                     metavar="SECONDS",
+                     help="crash the JobTracker/NameNode at this simulated time")
+    run.add_argument("--recovery", choices=("restart", "resume"), default=None,
+                     help="what the restarted master does with in-flight jobs: "
+                          "re-submit from scratch (restart, stock 1.x) or "
+                          "replay the job-history journal (resume, default); "
+                          "requires --master-crash-time")
+    run.add_argument("--master-downtime", type=_seconds, default=None,
+                     metavar="SECONDS",
+                     help="control-plane downtime after the master crash "
+                          "(default 0.75; requires --master-crash-time)")
+    run.set_defaults(fn=_cmd_run, parser=run)
 
     ch = sub.add_parser("characterize", help="Figures 3-12 metrics")
     ch.add_argument("workloads", nargs="*", help="workload names (default: all)")

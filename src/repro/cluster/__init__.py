@@ -15,10 +15,14 @@ paper measures it:
   timeline executor for MapReduce jobs (map waves, shuffle, reduce);
 * :mod:`repro.cluster.attempts` — the task-attempt state machine
   (retries, backoff, blacklisting, typed job aborts);
+* :mod:`repro.cluster.journal` — the control plane's durable state: the
+  namenode's edit log + fsimage checkpoints (``replay`` rebuilds the
+  namespace exactly) and the jobtracker's job-history journal;
 * :mod:`repro.cluster.faults` — the resilience scheduler: task/node/
-  shuffle/replica fault injection with Hadoop-1.x countermeasures;
+  shuffle/replica/master fault injection with Hadoop-1.x countermeasures;
 * :mod:`repro.cluster.chaos` — seeded chaos schedules over real workload
-  runs, asserting outputs survive every fault class.
+  runs, asserting outputs survive every fault class (including losing
+  the master mid-job under both recovery modes).
 """
 
 from repro.cluster.disk import Disk
@@ -26,12 +30,25 @@ from repro.cluster.network import Network, Nic
 from repro.cluster.node import Node
 from repro.cluster.hdfs import Hdfs, HdfsFile, Block
 from repro.cluster.cluster import (
+    ClusterCheckpoint,
     HadoopCluster,
     JobTimeline,
     JobWork,
     MapWork,
+    NodeCheckpoint,
     ReduceWork,
     make_cluster,
+)
+from repro.cluster.journal import (
+    EditLog,
+    EditOp,
+    FsImage,
+    JobHistoryEvent,
+    JobHistoryJournal,
+    NameNodeJournal,
+    replay,
+    restore_into,
+    snapshot,
 )
 from repro.cluster.attempts import (
     AttemptState,
@@ -43,7 +60,13 @@ from repro.cluster.attempts import (
     TaskAttempts,
 )
 from repro.cluster.faults import FaultPlan, FaultyCluster, FaultyTimeline
-from repro.cluster.chaos import ChaosResult, chaos_plan, run_chaos
+from repro.cluster.chaos import (
+    ChaosResult,
+    MasterCrashResult,
+    chaos_plan,
+    run_chaos,
+    run_master_crash_chaos,
+)
 
 __all__ = [
     "Disk",
@@ -53,12 +76,23 @@ __all__ = [
     "Hdfs",
     "HdfsFile",
     "Block",
+    "ClusterCheckpoint",
     "HadoopCluster",
     "JobTimeline",
     "JobWork",
     "MapWork",
+    "NodeCheckpoint",
     "ReduceWork",
     "make_cluster",
+    "EditLog",
+    "EditOp",
+    "FsImage",
+    "JobHistoryEvent",
+    "JobHistoryJournal",
+    "NameNodeJournal",
+    "replay",
+    "restore_into",
+    "snapshot",
     "AttemptState",
     "DataLossError",
     "JobFailedError",
@@ -70,6 +104,8 @@ __all__ = [
     "FaultyCluster",
     "FaultyTimeline",
     "ChaosResult",
+    "MasterCrashResult",
     "chaos_plan",
     "run_chaos",
+    "run_master_crash_chaos",
 ]

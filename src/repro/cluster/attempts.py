@@ -169,11 +169,16 @@ class TaskAttempts:
 
     @property
     def tried_nodes(self) -> set[str]:
-        """Nodes where this task already failed or was killed."""
+        """Nodes where this task already failed or was killed.
+
+        Attempts orphaned by a jobtracker crash don't count: the node did
+        nothing wrong, and a restarted master has no reason to avoid it.
+        """
         return {
             a.node
             for a in self.attempts
             if a.state in (AttemptState.FAILED, AttemptState.KILLED)
+            and a.reason != "jobtracker lost"
         }
 
     @property

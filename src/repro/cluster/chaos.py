@@ -40,6 +40,11 @@ _SUM_KEYS = (
     "maps_reexecuted",
     "re_replicated_bytes",
     "blocks_lost",
+    "master_crashes",
+    "recovery_downtime_s",
+    "maps_recovered",
+    "jobs_restarted",
+    "jobs_resumed",
 )
 
 
@@ -192,4 +197,93 @@ def run_chaos(
         chaotic_duration_s=chaotic.duration_s,
         identical_output=repr(baseline.output) == repr(chaotic.output),
         accounting=aggregate_accounting(chaotic.timelines),
+    )
+
+
+@dataclass(frozen=True)
+class MasterCrashResult:
+    """Outcome of one master-crash chaos run: both recovery modes vs healthy.
+
+    Each recovery mode runs the same workload with the JobTracker/NameNode
+    crashing at the same mid-job instant; what differs is whether the
+    restarted master replays the job-history journal (``resume``) or
+    re-submits the in-flight job from scratch (``restart``).
+    """
+
+    workload: str
+    seed: int
+    crash_time_s: float
+    baseline_duration_s: float
+    restart_duration_s: float
+    resume_duration_s: float
+    restart_identical: bool
+    resume_identical: bool
+    restart_accounting: dict[str, object]
+    resume_accounting: dict[str, object]
+
+    @property
+    def resume_beats_restart(self) -> bool:
+        return self.resume_duration_s <= self.restart_duration_s
+
+    @property
+    def recovery_savings_s(self) -> float:
+        """Wall-clock the job-history journal saved over a cold restart."""
+        return self.restart_duration_s - self.resume_duration_s
+
+
+def run_master_crash_chaos(
+    workload_name: str,
+    seed: int,
+    scale: float = 0.3,
+    num_slaves: int = 4,
+    block_size: int = 64 * 1024,
+    downtime_s: float = 0.75,
+    policy: RetryPolicy | None = None,
+) -> MasterCrashResult:
+    """Kill the master mid-workload and compare both recovery modes.
+
+    The fault-free run sizes the schedule: the crash is aimed (seeded)
+    inside the workload's span so it lands mid-job.  Both recovery modes
+    then run the identical schedule; the harness caller asserts outputs
+    stay bit-identical and ``resume`` never loses to ``restart``.
+    """
+    from repro.workloads import workload as load_workload
+
+    baseline_cluster = make_cluster(num_slaves, block_size=block_size)
+    baseline = load_workload(workload_name).run(
+        scale=scale, cluster=baseline_cluster
+    )
+    if not baseline.timelines:
+        raise ValueError("chaos needs a clustered workload run")
+    span = baseline.timelines[-1].end_s - baseline.timelines[0].start_s
+    rng = random.Random(seed)
+    crash_time = span * rng.uniform(0.2, 0.8)
+
+    runs: dict[str, object] = {}
+    for mode in ("restart", "resume"):
+        plan = FaultPlan(
+            master_crash_time=crash_time,
+            master_recovery=mode,
+            master_downtime_s=downtime_s,
+            seed=seed,
+            policy=policy or RetryPolicy(),
+        )
+        cluster = FaultyCluster(
+            make_cluster(num_slaves, block_size=block_size), plan
+        )
+        runs[mode] = load_workload(workload_name).run(
+            scale=scale, cluster=cluster
+        )
+
+    return MasterCrashResult(
+        workload=workload_name,
+        seed=seed,
+        crash_time_s=crash_time,
+        baseline_duration_s=baseline.duration_s,
+        restart_duration_s=runs["restart"].duration_s,
+        resume_duration_s=runs["resume"].duration_s,
+        restart_identical=repr(baseline.output) == repr(runs["restart"].output),
+        resume_identical=repr(baseline.output) == repr(runs["resume"].output),
+        restart_accounting=aggregate_accounting(runs["restart"].timelines),
+        resume_accounting=aggregate_accounting(runs["resume"].timelines),
     )

@@ -15,9 +15,11 @@ module schedules onto slots, disks and NICs to produce a
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 from repro.cluster.hdfs import Hdfs
+from repro.cluster.journal import FsImage, NameNodeJournal, restore_into, snapshot
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 
@@ -67,6 +69,39 @@ class JobWork:
             raise ValueError("a job needs at least one map task")
 
 
+@dataclass(frozen=True)
+class NodeCheckpoint:
+    """Frozen copy of one node's discrete-event and /proc state."""
+
+    map_slot_free: tuple[float, ...]
+    reduce_slot_free: tuple[float, ...]
+    disk_busy_until: float
+    disk_pending_write_bytes: int
+    nic_tx_busy_until: float
+    nic_rx_busy_until: float
+    procfs: object  # deep copy of the node's ProcFs
+
+
+@dataclass(frozen=True)
+class ClusterCheckpoint:
+    """A restorable snapshot of the whole cluster's simulation state.
+
+    Captures the clock, every node's slot/disk/NIC/procfs state, the
+    network counters, the HDFS namespace (as an
+    :class:`~repro.cluster.journal.FsImage`) and the NameNode journal, so
+    an experiment can be snapshotted and resumed deterministically —
+    restore + re-run reproduces the original timeline bit for bit.
+    """
+
+    clock: float
+    network_transfers: int
+    network_bytes_moved: int
+    network_fabric_busy_until: float
+    nodes: tuple[tuple[str, NodeCheckpoint], ...]
+    fsimage: FsImage
+    journal_state: tuple | None
+
+
 @dataclass
 class JobTimeline:
     """Timing outcome of one job on one cluster."""
@@ -96,6 +131,7 @@ class HadoopCluster:
         block_size: int = 2 * 1024 * 1024,
         replication: int = 3,
         locality_wait_s: float = 0.02,
+        journaling: bool = True,
     ) -> None:
         if not slaves:
             raise ValueError("a cluster needs at least one slave")
@@ -105,6 +141,15 @@ class HadoopCluster:
         self.slaves = list(slaves)
         self.network = network or Network()
         self.hdfs = Hdfs(self.slaves, block_size=block_size, replication=replication)
+        #: NameNode edit-log journaling: on by default because it is
+        #: observationally free (pure bookkeeping, no simulated time), and
+        #: it is what makes the namespace reconstructable after a master
+        #: crash.  Pass ``journaling=False`` for a journal-less namenode.
+        self.journal = (
+            NameNodeJournal(self.hdfs, procfs=self.master.procfs)
+            if journaling
+            else None
+        )
         #: how long a map task waits for a data-local slot before running
         #: remote (Hadoop's mapred.locality.wait, scaled to task times)
         self.locality_wait_s = locality_wait_s
@@ -131,6 +176,76 @@ class HadoopCluster:
         self.network.bytes_moved = 0
         for node in [self.master, *self.slaves]:
             node.reset()
+        if self.journal is not None:
+            # Nodes rebuilt their ProcFs; re-point the journal's metrics.
+            self.journal.procfs = self.master.procfs
+
+    # -- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self) -> ClusterCheckpoint:
+        """Snapshot the entire simulation state for a later :meth:`restore`.
+
+        The checkpoint is immutable and restorable any number of times;
+        restore + re-run reproduces the original execution exactly (the
+        scheduler is deterministic given equal state).
+        """
+        nodes = []
+        for node in [self.master, *self.slaves]:
+            nodes.append((
+                node.name,
+                NodeCheckpoint(
+                    map_slot_free=tuple(node.map_slot_free),
+                    reduce_slot_free=tuple(node.reduce_slot_free),
+                    disk_busy_until=node.disk.busy_until,
+                    disk_pending_write_bytes=node.disk._pending_write_bytes,
+                    nic_tx_busy_until=node.nic.tx_busy_until,
+                    nic_rx_busy_until=node.nic.rx_busy_until,
+                    procfs=copy.deepcopy(node.procfs),
+                ),
+            ))
+        return ClusterCheckpoint(
+            clock=self.clock,
+            network_transfers=self.network.transfers,
+            network_bytes_moved=self.network.bytes_moved,
+            network_fabric_busy_until=self.network.fabric_busy_until,
+            nodes=tuple(nodes),
+            fsimage=snapshot(self.hdfs),
+            journal_state=(
+                self.journal.checkpoint_state() if self.journal else None
+            ),
+        )
+
+    def restore(self, cp: ClusterCheckpoint) -> None:
+        """Restore the state captured by :meth:`checkpoint`, in place.
+
+        Node/network/HDFS objects keep their identity — every reference
+        held elsewhere (scheduler wrappers, distributed inputs) sees the
+        restored state.
+        """
+        by_name = {node.name: node for node in [self.master, *self.slaves]}
+        saved = dict(cp.nodes)
+        if set(by_name) != set(saved):
+            raise ValueError("checkpoint is from a differently-shaped cluster")
+        self.clock = cp.clock
+        self.network.transfers = cp.network_transfers
+        self.network.bytes_moved = cp.network_bytes_moved
+        self.network.fabric_busy_until = cp.network_fabric_busy_until
+        for name, node_cp in saved.items():
+            node = by_name[name]
+            node.map_slot_free = list(node_cp.map_slot_free)
+            node.reduce_slot_free = list(node_cp.reduce_slot_free)
+            node.disk.busy_until = node_cp.disk_busy_until
+            node.disk._pending_write_bytes = node_cp.disk_pending_write_bytes
+            node.nic.tx_busy_until = node_cp.nic_tx_busy_until
+            node.nic.rx_busy_until = node_cp.nic_rx_busy_until
+            node.procfs = copy.deepcopy(node_cp.procfs)
+            node.disk.procfs = node.procfs
+            node.nic.procfs = node.procfs
+        restore_into(self.hdfs, cp.fsimage)
+        if self.journal is not None:
+            self.journal.procfs = self.master.procfs
+            if cp.journal_state is not None:
+                self.journal.restore_state(cp.journal_state)
 
     # -- job execution --------------------------------------------------------
 
@@ -286,6 +401,7 @@ def make_cluster(
     block_size: int = 2 * 1024 * 1024,
     replication: int = 3,
     cpu_speed: float = 1.0,
+    journaling: bool = True,
 ) -> HadoopCluster:
     """Build a paper-shaped cluster: one master plus *num_slaves* slaves."""
     if num_slaves <= 0:
@@ -294,4 +410,6 @@ def make_cluster(
         Node(f"slave{i + 1}", map_slots=map_slots, reduce_slots=reduce_slots, cpu_speed=cpu_speed)
         for i in range(num_slaves)
     ]
-    return HadoopCluster(slaves, block_size=block_size, replication=replication)
+    return HadoopCluster(
+        slaves, block_size=block_size, replication=replication, journaling=journaling
+    )

@@ -23,7 +23,15 @@ a scheduler that is permanently ready for them:
 * **HDFS replica loss** — splits on a dead datanode are re-read from
   surviving replicas while the namenode re-replicates in the background
   (or the job dies with :class:`~repro.cluster.attempts.DataLossError`
-  when every replica is gone).
+  when every replica is gone);
+* **master loss** — the co-located JobTracker/NameNode crashes; after
+  ``master_downtime_s`` of control-plane downtime the master restarts and
+  either re-submits in-flight jobs from scratch (stock 1.x,
+  ``mapred.jobtracker.restart.recover=false``) or *resumes* them from the
+  persisted job-history journal (``recover=true``): completed map outputs
+  on live tasktrackers are reused and only in-flight attempts are
+  rescheduled.  The namespace itself is reconstructable from the
+  NameNode's edit log (:mod:`repro.cluster.journal`).
 
 :class:`FaultPlan` describes a deterministic (seeded) fault schedule for
 one job; :class:`FaultyCluster` wraps a
@@ -35,9 +43,11 @@ so the paper's fault-free figures are untouched.
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.cluster.journal import JobHistoryJournal
 from repro.cluster.attempts import (
     AttemptState,
     DataLossError,
@@ -83,6 +93,15 @@ class FaultPlan:
         node_crashes: ``(node_name, crash_time_s)`` pairs — the node stops
             heartbeating at ``crash_time_s`` after the first job's start
             and stays dead for the cluster's lifetime.
+        master_crash_time: simulated time (relative to the first job's
+            start, like ``node_crashes``) at which the co-located
+            JobTracker/NameNode crashes; ``None`` disables master loss.
+        master_recovery: what the restarted JobTracker does with the job
+            that was in flight — ``"restart"`` re-submits it from scratch
+            (stock 1.x) or ``"resume"`` recovers it from the job-history
+            journal (``mapred.jobtracker.restart.recover=true``).
+        master_downtime_s: control-plane downtime — no task is scheduled
+            between the crash and the master's return.
         shuffle_failures: ``(reduce_index, map_index, times)`` triples —
             that reducer's fetch of that map output fails ``times``
             consecutive times before succeeding (or escalating to a map
@@ -104,6 +123,9 @@ class FaultPlan:
     straggler_factor: float = 4.0
     speculative_execution: bool = True
     node_crashes: tuple[tuple[str, float], ...] = ()
+    master_crash_time: float | None = None
+    master_recovery: str = "resume"
+    master_downtime_s: float = 0.75
     shuffle_failures: tuple[tuple[int, int, int], ...] = ()
     lost_replicas: tuple[tuple[int, str], ...] = ()
     seed: int = 0
@@ -129,6 +151,14 @@ class FaultPlan:
         for _name, at in self.node_crashes:
             if at < 0:
                 raise ValueError("crash times must be non-negative")
+        if self.master_crash_time is not None and not (
+            self.master_crash_time >= 0 and math.isfinite(self.master_crash_time)
+        ):
+            raise ValueError("master_crash_time must be finite and non-negative")
+        if self.master_recovery not in ("restart", "resume"):
+            raise ValueError("master_recovery must be 'restart' or 'resume'")
+        if not (self.master_downtime_s >= 0 and math.isfinite(self.master_downtime_s)):
+            raise ValueError("master_downtime_s must be finite and non-negative")
         for r_index, m_index, times in self.shuffle_failures:
             if r_index < 0 or m_index < 0 or times < 1:
                 raise ValueError(
@@ -150,6 +180,7 @@ class FaultPlan:
             or self.reduce_failure_rate
             or self.straggler_nodes
             or self.node_crashes
+            or self.master_crash_time is not None
             or self.shuffle_failures
             or self.lost_replicas
         )
@@ -195,6 +226,12 @@ class FaultyTimeline:
     maps_reexecuted: int = 0
     re_replicated_bytes: int = 0
     blocks_lost: int = 0
+    master_crashes: int = 0
+    recovery_mode: str = ""
+    recovery_downtime_s: float = 0.0
+    maps_recovered: int = 0
+    jobs_restarted: int = 0
+    jobs_resumed: int = 0
     nodes_crashed: tuple[str, ...] = ()
     blacklisted_nodes: tuple[str, ...] = ()
     attempts: tuple[TaskAttempt, ...] = ()
@@ -252,6 +289,11 @@ class FaultyTimeline:
             "maps_reexecuted": self.maps_reexecuted,
             "re_replicated_bytes": self.re_replicated_bytes,
             "blocks_lost": self.blocks_lost,
+            "master_crashes": self.master_crashes,
+            "recovery_downtime_s": round(self.recovery_downtime_s, 6),
+            "maps_recovered": self.maps_recovered,
+            "jobs_restarted": self.jobs_restarted,
+            "jobs_resumed": self.jobs_resumed,
             "nodes_crashed": self.nodes_crashed,
             "blacklisted_nodes": self.blacklisted_nodes,
         }
@@ -276,10 +318,41 @@ class _RunStats:
         self.maps_reexecuted = 0
         self.re_replicated_bytes = 0
         self.blocks_lost = 0
+        self.master_crashes = 0
+        self.recovery_downtime_s = 0.0
+        self.maps_recovered = 0
+        self.jobs_restarted = 0
+        self.jobs_resumed = 0
         self.nodes_crashed: list[str] = []
         self.attempts: list[TaskAttempt] = []
 
-    def finish(self, timeline: JobTimeline, blacklist: NodeBlacklist) -> FaultyTimeline:
+    def merge_from(self, other: "_RunStats") -> None:
+        """Fold another accumulator's counters into this one."""
+        self.failed_map_attempts += other.failed_map_attempts
+        self.failed_reduce_attempts += other.failed_reduce_attempts
+        self.killed_attempts += other.killed_attempts
+        self.speculative_attempts += other.speculative_attempts
+        self.speculative_wins += other.speculative_wins
+        self.wasted_seconds += other.wasted_seconds
+        self.shuffle_fetch_failures += other.shuffle_fetch_failures
+        self.fetch_escalations += other.fetch_escalations
+        self.maps_reexecuted += other.maps_reexecuted
+        self.re_replicated_bytes += other.re_replicated_bytes
+        self.blocks_lost += other.blocks_lost
+        self.master_crashes += other.master_crashes
+        self.recovery_downtime_s += other.recovery_downtime_s
+        self.maps_recovered += other.maps_recovered
+        self.jobs_restarted += other.jobs_restarted
+        self.jobs_resumed += other.jobs_resumed
+        self.nodes_crashed.extend(other.nodes_crashed)
+        self.attempts.extend(other.attempts)
+
+    def finish(
+        self,
+        timeline: JobTimeline,
+        blacklist: NodeBlacklist,
+        recovery_mode: str = "",
+    ) -> FaultyTimeline:
         return FaultyTimeline(
             timeline=timeline,
             failed_attempts=self.failed_map_attempts + self.failed_reduce_attempts,
@@ -294,6 +367,12 @@ class _RunStats:
             maps_reexecuted=self.maps_reexecuted,
             re_replicated_bytes=self.re_replicated_bytes,
             blocks_lost=self.blocks_lost,
+            master_crashes=self.master_crashes,
+            recovery_mode=recovery_mode if self.master_crashes else "",
+            recovery_downtime_s=self.recovery_downtime_s,
+            maps_recovered=self.maps_recovered,
+            jobs_restarted=self.jobs_restarted,
+            jobs_resumed=self.jobs_resumed,
             nodes_crashed=tuple(self.nodes_crashed),
             blacklisted_nodes=blacklist.nodes,
             attempts=tuple(self.attempts),
@@ -321,10 +400,14 @@ class FaultyCluster:
         self.plan = plan
         self.policy = plan.policy
         self.blacklist = NodeBlacklist(plan.policy.node_failure_threshold)
+        #: the jobtracker's persisted job-history log for the running job
+        #: (what `resume` recovery replays after a master restart).
+        self.job_history = JobHistoryJournal()
         self._origin: float | None = None
         self._jobs_run = 0
         self._crash_at: dict[str, float] = {}
         self._crashes_processed: set[str] = set()
+        self._master_crash_processed = False
 
     # -- cluster surface ------------------------------------------------------
 
@@ -352,10 +435,12 @@ class FaultyCluster:
         """Fresh experiment: clears cluster state and fault bookkeeping."""
         self.cluster.reset()
         self.blacklist = NodeBlacklist(self.plan.policy.node_failure_threshold)
+        self.job_history = JobHistoryJournal()
         self._origin = None
         self._jobs_run = 0
         self._crash_at = {}
         self._crashes_processed = set()
+        self._master_crash_processed = False
 
     # -- job execution --------------------------------------------------------
 
@@ -363,7 +448,8 @@ class FaultyCluster:
         cluster = self.cluster
         plan = self.plan
         policy = self.policy
-        start = cluster.clock
+        submitted = cluster.clock
+        start = submitted
         if self._origin is None:
             self._origin = start
             self._crash_at = {
@@ -371,14 +457,178 @@ class FaultyCluster:
             }
         rng = random.Random(plan.seed + 1_000_003 * self._jobs_run)
         self._jobs_run += 1
-        # Per-job blacklist (mapred.max.tracker.failures semantics).
+        # Per-job blacklist (mapred.max.tracker.failures semantics) and
+        # per-job job-history journal (jobtracker.info).
         self.blacklist = NodeBlacklist(policy.node_failure_threshold)
+        self.job_history.clear()
 
         net_before = cluster.network.bytes_moved
         for node in cluster.slaves:
             node.procfs.sample(start)
 
         stats = _RunStats()
+        crash = self._pending_master_crash()
+        if crash is not None and crash <= start:
+            # The master died between jobs: the next submission waits out
+            # the control-plane restart.
+            self._note_master_restart(stats)
+            start = max(start, crash + plan.master_downtime_s)
+            stats.recovery_downtime_s += start - submitted
+            crash = None
+
+        if crash is None:
+            end, map_phase_end = self._execute_job(work, start, rng, stats)
+        elif plan.master_recovery == "resume":
+            end, map_phase_end = self._execute_job(
+                work, start, rng, stats,
+                master_crash=(crash, crash + plan.master_downtime_s),
+            )
+            if end > crash:
+                # The crash actually hit this job: the restarted
+                # jobtracker replayed the job history — every map output
+                # journaled as complete on a still-live tasktracker was
+                # reused rather than re-run.
+                self._note_master_restart(stats)
+                stats.jobs_resumed += 1
+                stats.recovery_downtime_s += plan.master_downtime_s
+                stats.maps_recovered += len({
+                    event.task_id
+                    for event in self.job_history.completed_maps_before(crash)
+                    if not self._node_dead_at(event.node, crash)
+                })
+        else:
+            end, map_phase_end = self._run_with_restart_recovery(
+                work, start, crash, rng, stats
+            )
+
+        cluster.clock = end
+        rates: dict[str, float] = {}
+        for node in cluster.slaves:
+            node.procfs.sample(end)
+            rates[node.name] = node.procfs.disk_writes_per_second()
+        timeline = JobTimeline(
+            job_name=work.name,
+            start_s=submitted,
+            map_phase_end_s=map_phase_end,
+            end_s=end,
+            map_tasks=len(work.maps),
+            reduce_tasks=len(work.reduces),
+            disk_writes_per_second=rates,
+            network_bytes=cluster.network.bytes_moved - net_before,
+        )
+        return stats.finish(
+            timeline, self.blacklist, recovery_mode=plan.master_recovery
+        )
+
+    # -- master (jobtracker/namenode) loss ------------------------------------
+
+    def _pending_master_crash(self) -> float | None:
+        """Absolute time of the not-yet-processed master crash, if any."""
+        if self._master_crash_processed or self.plan.master_crash_time is None:
+            return None
+        assert self._origin is not None
+        return self._origin + self.plan.master_crash_time
+
+    def _note_master_restart(self, stats: _RunStats) -> None:
+        self._master_crash_processed = True
+        stats.master_crashes += 1
+        self.cluster.master.procfs.record_master_restart()
+
+    @staticmethod
+    def _clamp_downtime(t: float, master_crash: tuple[float, float] | None) -> float:
+        """No task is scheduled while the control plane is down."""
+        if master_crash is None:
+            return t
+        crash, recovery = master_crash
+        return recovery if crash <= t < recovery else t
+
+    def _run_with_restart_recovery(
+        self,
+        work: JobWork,
+        start: float,
+        crash: float,
+        rng: random.Random,
+        stats: _RunStats,
+    ) -> tuple[float, float]:
+        """Stock 1.x semantics (``mapred.jobtracker.restart.recover=false``).
+
+        The restarted jobtracker has no memory of the in-flight job, so
+        the job is re-submitted from scratch after the downtime — every
+        task, completed or not, runs again.  Implemented on the cluster
+        checkpoint API: a dry execution discovers what had happened by
+        the crash instant, then the cluster is rolled back and the job is
+        re-executed from the recovery time.  (The rollback also discards
+        the pre-crash attempts' /proc traffic; their time is charged as
+        wasted work below.)
+        """
+        cluster = self.cluster
+        plan = self.plan
+        cp = cluster.checkpoint()
+        rng_state = rng.getstate()
+        crashes_before = set(self._crashes_processed)
+        dry = _RunStats()
+        end, map_phase_end = self._execute_job(work, start, rng, dry)
+        if end <= crash:
+            # The job beat the crash — the dry run is the real run, and
+            # the crash lands between jobs (handled on the next submission).
+            stats.merge_from(dry)
+            return end, map_phase_end
+
+        cluster.restore(cp)
+        rng.setstate(rng_state)
+        self._crashes_processed = crashes_before
+        self.job_history.clear()  # lost with the jobtracker
+        self.blacklist = NodeBlacklist(self.policy.node_failure_threshold)
+        self._note_master_restart(stats)
+        stats.jobs_restarted += 1
+        stats.recovery_downtime_s += plan.master_downtime_s
+        # Everything the first incarnation did really happened and is all
+        # wasted: completed attempts lose their outputs with the job, and
+        # in-flight attempts are orphaned at the crash instant.
+        for attempt in dry.attempts:
+            if attempt.end_s <= crash:
+                stats.attempts.append(attempt)
+                stats.wasted_seconds += attempt.end_s - attempt.start_s
+                if attempt.state is AttemptState.FAILED:
+                    if attempt.task_id.startswith("m_"):
+                        stats.failed_map_attempts += 1
+                    else:
+                        stats.failed_reduce_attempts += 1
+                elif attempt.state is AttemptState.KILLED:
+                    stats.killed_attempts += 1
+            elif attempt.start_s < crash:
+                stats.attempts.append(replace(
+                    attempt,
+                    end_s=crash,
+                    state=AttemptState.KILLED,
+                    reason="jobtracker lost",
+                ))
+                stats.killed_attempts += 1
+                stats.wasted_seconds += crash - attempt.start_s
+        return self._execute_job(
+            work, crash + plan.master_downtime_s, rng, stats
+        )
+
+    # -- the scheduling core ---------------------------------------------------
+
+    def _execute_job(
+        self,
+        work: JobWork,
+        start: float,
+        rng: random.Random,
+        stats: _RunStats,
+        master_crash: tuple[float, float] | None = None,
+    ) -> tuple[float, float]:
+        """Schedule *work* from *start* through the full attempt machinery.
+
+        Returns ``(end, map_phase_end)``.  With ``master_crash=(T,
+        recovery)`` the control plane is down in ``[T, recovery)``:
+        attempts in flight at ``T`` are killed and rescheduled, and
+        nothing new is scheduled before ``recovery`` (the `resume`
+        recovery path — completed work is kept).
+        """
+        plan = self.plan
+        policy = self.policy
         stragglers = set(plan.straggler_nodes)
         lost_replicas = set(plan.lost_replicas)
         map_fail_budget = {i: 1 for i in plan.map_failures}
@@ -398,7 +648,7 @@ class FaultyCluster:
             attempts = TaskAttempts(f"m_{m_index:06d}", policy)
             end, node = self._run_map_to_success(
                 task, m_index, attempts, start, stragglers, lost_replicas,
-                map_fail_budget, rng, stats,
+                map_fail_budget, rng, stats, master_crash=master_crash,
             )
             map_attempts.append(attempts)
             map_end_times.append(end)
@@ -431,6 +681,7 @@ class FaultyCluster:
                         work.maps[m_index], m_index, map_attempts[m_index],
                         detection, stragglers, lost_replicas, {}, rng, stats,
                         reason="map output lost with node",
+                        master_crash=master_crash,
                     )
                     map_end_times[m_index] = new_end
                     map_nodes[m_index] = new_node
@@ -458,6 +709,7 @@ class FaultyCluster:
                         r_index, m_index, segment, node, work,
                         map_end_times, map_nodes, map_attempts,
                         shuffle_faults, stragglers, lost_replicas, rng, stats,
+                        master_crash=master_crash,
                     )
                     if done > shuffle_done:
                         shuffle_done = done
@@ -472,26 +724,12 @@ class FaultyCluster:
             reduce_end = self._run_reduce_to_success(
                 task, r_index, attempts, placement, shuffle_done,
                 map_phase_end, stragglers, reduce_fail_budget, rng, stats,
+                master_crash=master_crash,
             )
             if reduce_end > end:
                 end = reduce_end
 
-        cluster.clock = end
-        rates: dict[str, float] = {}
-        for node in cluster.slaves:
-            node.procfs.sample(end)
-            rates[node.name] = node.procfs.disk_writes_per_second()
-        timeline = JobTimeline(
-            job_name=work.name,
-            start_s=start,
-            map_phase_end_s=map_phase_end,
-            end_s=end,
-            map_tasks=len(work.maps),
-            reduce_tasks=len(work.reduces),
-            disk_writes_per_second=rates,
-            network_bytes=cluster.network.bytes_moved - net_before,
-        )
-        return stats.finish(timeline, self.blacklist)
+        return end, map_phase_end
 
     # -- map attempts ---------------------------------------------------------
 
@@ -507,6 +745,7 @@ class FaultyCluster:
         rng: random.Random,
         stats: _RunStats,
         reason: str = "task error",
+        master_crash: tuple[float, float] | None = None,
     ) -> tuple[float, Node]:
         """Drive one map task's attempts until one succeeds (or the job dies)."""
         cluster = self.cluster
@@ -518,13 +757,24 @@ class FaultyCluster:
             if policy.prefer_different_node:
                 exclude |= attempts.tried_nodes
             node, slot, ready = self._pick_map_slot(task, t, exclude)
-            attempt_start = max(ready, t)
+            attempt_start = self._clamp_downtime(max(ready, t), master_crash)
+            # An attempt that might span the master crash is charged
+            # against a checkpoint: if the crash orphans it, the cluster
+            # is rolled back so its unfinished I/O does not keep occupying
+            # the disk and NIC queues the retries will use.
+            might_span = master_crash is not None and attempt_start < master_crash[0]
+            cp = cluster.checkpoint() if might_span else None
             end = self._map_attempt_time(
                 task, m_index, node, attempt_start, stragglers, lost_replicas
             )
 
             crash_time = self._crash_at.get(node.name)
-            if crash_time is not None and attempt_start < crash_time < end:
+            node_dies = crash_time is not None and attempt_start < crash_time < end
+            master_dies = (
+                master_crash is not None
+                and attempt_start < master_crash[0] < end
+            )
+            if node_dies and (not master_dies or crash_time <= master_crash[0]):
                 # The node dies under the attempt: killed, not failed.
                 stats.attempts.append(attempts.record(
                     node.name, attempt_start, crash_time,
@@ -535,6 +785,20 @@ class FaultyCluster:
                 node.procfs.record_task_kill()
                 node.map_slot_free[slot] = crash_time
                 t = crash_time + policy.heartbeat_timeout_s
+                continue
+            if master_dies:
+                # The jobtracker dies under the attempt: the orphaned task
+                # is killed and rescheduled once the master is back.
+                cluster.restore(cp)
+                stats.attempts.append(attempts.record(
+                    node.name, attempt_start, master_crash[0],
+                    AttemptState.KILLED, "jobtracker lost",
+                ))
+                stats.killed_attempts += 1
+                stats.wasted_seconds += master_crash[0] - attempt_start
+                node.procfs.record_task_kill()
+                node.map_slot_free[slot] = master_crash[0]
+                t = master_crash[1]
                 continue
 
             fails = fail_budget.get(m_index, 0) > attempts.failures or (
@@ -565,12 +829,15 @@ class FaultyCluster:
             ):
                 end, node = self._speculate_map(
                     task, m_index, node, slot, attempt_start, end,
-                    stragglers, lost_replicas, stats,
+                    stragglers, lost_replicas, stats, master_crash,
                 )
             stats.attempts.append(attempts.record(
                 node.name, attempt_start, end, AttemptState.SUCCEEDED,
                 reason if reason != "task error" else "",
             ))
+            self.job_history.record_completion(
+                "map", attempts.task_id, node.name, attempt_start, end
+            )
             return end, node
 
     def _map_attempt_time(
@@ -628,6 +895,7 @@ class FaultyCluster:
         stragglers: set[str],
         lost_replicas: set[tuple[int, str]],
         stats: _RunStats,
+        master_crash: tuple[float, float] | None = None,
     ) -> tuple[float, Node]:
         """Launch a backup attempt on the fastest non-straggler node."""
         candidates = [
@@ -644,10 +912,25 @@ class FaultyCluster:
             candidates, key=lambda n: n.map_slot_free[n.earliest_map_slot()]
         )
         backup_slot = backup_node.earliest_map_slot()
-        backup_start = max(backup_node.map_slot_free[backup_slot], attempt_start)
+        backup_start = self._clamp_downtime(
+            max(backup_node.map_slot_free[backup_slot], attempt_start),
+            master_crash,
+        )
+        might_span = master_crash is not None and backup_start < master_crash[0]
+        cp = self.cluster.checkpoint() if might_span else None
         backup_end = self._map_attempt_time(
             task, m_index, backup_node, backup_start, stragglers, lost_replicas
         )
+        if master_crash is not None and backup_start < master_crash[0] < backup_end:
+            # The backup is orphaned by the jobtracker crash; the original
+            # (which committed before the crash) stands.
+            self.cluster.restore(cp)
+            backup_node.procfs.record_speculative()
+            stats.killed_attempts += 1
+            stats.wasted_seconds += master_crash[0] - backup_start
+            backup_node.procfs.record_task_kill()
+            backup_node.map_slot_free[backup_slot] = master_crash[0]
+            return end, node
         backup_node.procfs.record_speculative()
         if backup_end < end:
             # The jobtracker kills the slower original the moment the
@@ -681,6 +964,7 @@ class FaultyCluster:
         lost_replicas: set[tuple[int, str]],
         rng: random.Random,
         stats: _RunStats,
+        master_crash: tuple[float, float] | None = None,
     ) -> float:
         """One reducer's copy of one map output, with bounded fetch retries.
 
@@ -711,6 +995,7 @@ class FaultyCluster:
                 work.maps[m_index], m_index, map_attempts[m_index],
                 fetch_at, stragglers, lost_replicas, {}, rng, stats,
                 reason="too many fetch failures",
+                master_crash=master_crash,
             )
             map_end_times[m_index] = new_end
             map_nodes[m_index] = new_node
@@ -741,6 +1026,7 @@ class FaultyCluster:
         fail_budget: dict[int, int],
         rng: random.Random,
         stats: _RunStats,
+        master_crash: tuple[float, float] | None = None,
     ) -> float:
         cluster = self.cluster
         plan = self.plan
@@ -748,13 +1034,35 @@ class FaultyCluster:
         node, slot, _ready = placement
         t = 0.0
         while True:
-            exec_start = max(
-                shuffle_done, map_phase_end, node.reduce_slot_free[slot], t
+            exec_start = self._clamp_downtime(
+                max(shuffle_done, map_phase_end, node.reduce_slot_free[slot], t),
+                master_crash,
             )
+            might_span = master_crash is not None and exec_start < master_crash[0]
+            cp = cluster.checkpoint() if might_span else None
             end = self._reduce_attempt_time(task, node, exec_start, stragglers)
 
             crash_time = self._crash_at.get(node.name)
-            if crash_time is not None and exec_start < crash_time < end:
+            node_dies = crash_time is not None and exec_start < crash_time < end
+            master_dies = (
+                master_crash is not None and exec_start < master_crash[0] < end
+            )
+            if master_dies and not (node_dies and crash_time <= master_crash[0]):
+                # The jobtracker dies under the reduce attempt: orphaned,
+                # killed, and rescheduled once the master is back.
+                cluster.restore(cp)
+                stats.attempts.append(attempts.record(
+                    node.name, exec_start, master_crash[0],
+                    AttemptState.KILLED, "jobtracker lost",
+                ))
+                stats.killed_attempts += 1
+                stats.wasted_seconds += master_crash[0] - exec_start
+                node.procfs.record_task_kill()
+                node.reduce_slot_free[slot] = master_crash[0]
+                t = master_crash[1]
+                node, slot = self._pick_reduce_retry_slot(t, attempts.tried_nodes)
+                continue
+            if node_dies:
                 stats.attempts.append(attempts.record(
                     node.name, exec_start, crash_time,
                     AttemptState.KILLED, "node lost",
@@ -802,7 +1110,7 @@ class FaultyCluster:
             ):
                 backup = self._speculate_reduce(
                     task, node, slot, exec_start, shuffle_done, map_phase_end,
-                    end, stragglers, stats,
+                    end, stragglers, stats, master_crash,
                 )
                 if backup is not None:
                     end, node, slot = backup
@@ -811,6 +1119,9 @@ class FaultyCluster:
             ))
             end = self._replicate_output(task, node, end)
             node.reduce_slot_free[slot] = end
+            self.job_history.record_completion(
+                "reduce", attempts.task_id, node.name, exec_start, end
+            )
             return end
 
     def _reduce_attempt_time(
@@ -833,6 +1144,7 @@ class FaultyCluster:
         end: float,
         stragglers: set[str],
         stats: _RunStats,
+        master_crash: tuple[float, float] | None = None,
     ) -> tuple[float, Node, int] | None:
         """Backup reduce attempt on the fastest non-straggler node.
 
@@ -855,12 +1167,29 @@ class FaultyCluster:
             key=lambda n: n.reduce_slot_free[n.earliest_reduce_slot()],
         )
         backup_slot = backup_node.earliest_reduce_slot()
-        backup_start = max(
-            shuffle_done, map_phase_end, backup_node.reduce_slot_free[backup_slot]
+        backup_start = self._clamp_downtime(
+            max(
+                shuffle_done,
+                map_phase_end,
+                backup_node.reduce_slot_free[backup_slot],
+            ),
+            master_crash,
         )
+        might_span = master_crash is not None and backup_start < master_crash[0]
+        cp = self.cluster.checkpoint() if might_span else None
         backup_end = self._reduce_attempt_time(
             task, backup_node, backup_start, stragglers
         )
+        if master_crash is not None and backup_start < master_crash[0] < backup_end:
+            # The backup is orphaned by the jobtracker crash; the original
+            # (which committed before the crash) stands.
+            self.cluster.restore(cp)
+            backup_node.procfs.record_speculative()
+            stats.killed_attempts += 1
+            stats.wasted_seconds += master_crash[0] - backup_start
+            backup_node.procfs.record_task_kill()
+            backup_node.reduce_slot_free[backup_slot] = master_crash[0]
+            return None
         backup_node.procfs.record_speculative()
         if backup_end < end:
             # The jobtracker kills the slower original the moment the

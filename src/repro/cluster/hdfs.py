@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.cluster.attempts import DataLossError
 from repro.cluster.node import Node
 
 
@@ -62,6 +63,17 @@ class Hdfs:
         self.files: dict[str, HdfsFile] = {}
         self._placement_cursor = 0
         self._dead_nodes: set[str] = set()
+        #: blocks created below the configured replication degree because
+        #: too few datanodes were alive at placement time (the namenode's
+        #: under-replicated-blocks gauge).
+        self.under_replicated_blocks = 0
+        #: optional write-ahead journal (a NameNodeJournal attaches itself
+        #: here); every namespace mutation is logged before returning.
+        self.journal = None
+
+    def _log_edit(self, op: str, *args) -> None:
+        if self.journal is not None:
+            self.journal.record(op, *args)
 
     def create_file(self, name: str, size_bytes: int) -> HdfsFile:
         """Create a file of *size_bytes*, splitting and placing its blocks."""
@@ -80,17 +92,31 @@ class Hdfs:
             index += 1
         hfile = HdfsFile(name, blocks)
         self.files[name] = hfile
+        self._log_edit("create_file", name, size_bytes)
         return hfile
 
     def delete_file(self, name: str) -> None:
-        self.files.pop(name, None)
+        if self.files.pop(name, None) is not None:
+            self._log_edit("delete_file", name)
 
     def _place(self) -> tuple[str, ...]:
+        """Pick a replica set for one new block among the live datanodes.
+
+        When fewer live nodes remain than the configured replication
+        degree the block is *under-replicated* — placed on every
+        survivor and counted in :attr:`under_replicated_blocks` — rather
+        than rejected; only a namespace with zero live datanodes raises
+        :class:`~repro.cluster.attempts.DataLossError`.
+        """
         live = [node.name for node in self.nodes if node.name not in self._dead_nodes]
         if not live:
-            raise ValueError("no live datanodes to place blocks on")
+            raise DataLossError(
+                "namenode", 0, "no live datanodes to place blocks on"
+            )
         n = len(live)
         degree = min(self.replication, n)
+        if degree < self.replication:
+            self.under_replicated_blocks += 1
         chosen = tuple(live[(self._placement_cursor + i) % n] for i in range(degree))
         self._placement_cursor = (self._placement_cursor + 1) % n
         return chosen
@@ -118,6 +144,7 @@ class Hdfs:
         lost: list[Block] = []
         if already_dead:
             return under_replicated, lost
+        self._log_edit("fail_node", name)
         for hfile in self.files.values():
             for i, block in enumerate(hfile.blocks):
                 if name not in block.replicas:
@@ -154,6 +181,7 @@ class Hdfs:
         self.files[block.file_name].blocks[block.index] = replace(
             current, replicas=current.replicas + (dst,)
         )
+        self._log_edit("re_replicate_block", block.file_name, block.index)
         return src, dst
 
     def nodes_with_block(self, block: Block) -> tuple[str, ...]:

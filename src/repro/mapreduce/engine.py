@@ -43,6 +43,14 @@ class JobResult:
         return dict(self.output)
 
 
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """Restorable snapshot of a :class:`LocalEngine`'s mutable state."""
+
+    default_splits: int
+    next_auto_input: int
+
+
 class LocalEngine:
     """Executes jobs in-process, one split at a time."""
 
@@ -50,7 +58,27 @@ class LocalEngine:
         if default_splits <= 0:
             raise ValueError("default_splits must be positive")
         self.default_splits = default_splits
-        self._auto_input_counter = itertools.count()
+        self._next_auto_input = 0
+
+    # -- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot the engine so an experiment can resume deterministically.
+
+        The engine's only cross-job state is the auto-input name counter;
+        restoring it makes re-executed jobs reuse the same HDFS input
+        names (paired with :meth:`HadoopCluster.checkpoint
+        <repro.cluster.cluster.HadoopCluster.checkpoint>`, which restores
+        the files those names refer to).
+        """
+        return EngineCheckpoint(
+            default_splits=self.default_splits,
+            next_auto_input=self._next_auto_input,
+        )
+
+    def restore(self, cp: EngineCheckpoint) -> None:
+        self.default_splits = cp.default_splits
+        self._next_auto_input = cp.next_auto_input
 
     # -- public API ----------------------------------------------------------
 
@@ -158,8 +186,10 @@ class LocalEngine:
             return inputs
         records = list(inputs)
         if cluster is not None:
-            name = input_name or f"auto-input-{next(self._auto_input_counter)}"
-            return DistributedInput.put(cluster.hdfs, name, records)
+            if input_name is None:
+                input_name = f"auto-input-{self._next_auto_input}"
+                self._next_auto_input += 1
+            return DistributedInput.put(cluster.hdfs, input_name, records)
         return _LocalChunks(records, self.default_splits)
 
     def _run_map_split(self, job, records, counters: JobCounters):

@@ -50,6 +50,12 @@ class ProcFs:
         self.tasks_killed = 0
         self.tasks_speculative = 0
         self.fetch_failures = 0
+        # Control-plane counters (the master's view): namenode edit-log
+        # appends, SecondaryNameNode checkpoint merges, and jobtracker
+        # restarts after a master crash.
+        self.journal_edits = 0
+        self.journal_checkpoints = 0
+        self.master_restarts = 0
         self.samples: list[DiskSample] = []
 
     # -- recording (called by the cluster model) ---------------------------
@@ -81,6 +87,15 @@ class ProcFs:
 
     def record_fetch_failure(self) -> None:
         self.fetch_failures += 1
+
+    def record_journal_edit(self) -> None:
+        self.journal_edits += 1
+
+    def record_journal_checkpoint(self) -> None:
+        self.journal_checkpoints += 1
+
+    def record_master_restart(self) -> None:
+        self.master_restarts += 1
 
     # -- sampling -----------------------------------------------------------
 
@@ -135,4 +150,12 @@ class ProcFs:
             f"tasks_killed {self.tasks_killed} "
             f"tasks_speculative {self.tasks_speculative} "
             f"fetch_failures {self.fetch_failures}"
+        )
+
+    def render_control_plane(self) -> str:
+        """A namenode/jobtracker-status line of the control-plane counters."""
+        return (
+            f"{self.node_name}: journal_edits {self.journal_edits} "
+            f"journal_checkpoints {self.journal_checkpoints} "
+            f"master_restarts {self.master_restarts}"
         )

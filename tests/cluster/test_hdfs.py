@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.cluster.attempts import DataLossError
 from repro.cluster.hdfs import Hdfs
 from repro.cluster.node import Node
 
@@ -152,5 +153,22 @@ class TestDatanodeLoss:
         hdfs = make_hdfs(n_nodes=2)
         hdfs.fail_node("n0")
         hdfs.fail_node("n1")
-        with pytest.raises(ValueError):
+        with pytest.raises(DataLossError):
             hdfs.create_file("f", 10)
+
+    def test_placement_degrades_when_too_few_live_nodes(self):
+        # Losing nodes below the replication degree under-replicates new
+        # blocks instead of failing the write (the namenode's gauge counts
+        # them for later re-replication).
+        hdfs = make_hdfs(n_nodes=4, block_size=64, replication=3)
+        hdfs.fail_node("n0")
+        hdfs.fail_node("n1")
+        f = hdfs.create_file("f", 64 * 3)
+        assert hdfs.under_replicated_blocks == 3
+        for block in f.blocks:
+            assert sorted(block.replicas) == ["n2", "n3"]
+        # Recovering capacity is not retroactive: the gauge sticks until
+        # re-replication, and fully-replicated writes don't touch it.
+        hdfs2 = make_hdfs(n_nodes=4, block_size=64, replication=3)
+        hdfs2.create_file("g", 64 * 3)
+        assert hdfs2.under_replicated_blocks == 0

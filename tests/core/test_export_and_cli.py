@@ -104,3 +104,69 @@ class TestCli:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["characterize", "NotAWorkload"])
+
+
+class TestRunFlagValidation:
+    """Fault-injection flags reject malformed values with argparse errors."""
+
+    @staticmethod
+    def rejects(argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error
+
+    def test_rejects_nan_fault_rate(self, capsys):
+        self.rejects(["run", "Grep", "--faults", "nan"])
+        assert "rate in [0, 1]" in capsys.readouterr().err
+
+    def test_rejects_negative_fault_rate(self):
+        self.rejects(["run", "Grep", "--faults", "-0.1"])
+
+    def test_rejects_fault_rate_above_one(self):
+        self.rejects(["run", "Grep", "--faults", "1.5"])
+
+    def test_rejects_non_numeric_fault_rate(self):
+        self.rejects(["run", "Grep", "--faults", "many"])
+
+    def test_rejects_negative_crash_time(self):
+        self.rejects(["run", "Grep", "--crash-node", "slave1",
+                      "--crash-time", "-1"])
+
+    def test_rejects_nan_master_crash_time(self):
+        self.rejects(["run", "Grep", "--master-crash-time", "nan"])
+
+    def test_rejects_infinite_master_crash_time(self):
+        self.rejects(["run", "Grep", "--master-crash-time", "inf"])
+
+    def test_crash_time_requires_crash_node(self, capsys):
+        self.rejects(["run", "Grep", "--crash-time", "1.0"])
+        assert "--crash-time requires --crash-node" in capsys.readouterr().err
+
+    def test_recovery_requires_master_crash_time(self, capsys):
+        self.rejects(["run", "Grep", "--recovery", "resume"])
+        assert "requires --master-crash-time" in capsys.readouterr().err
+
+    def test_master_downtime_requires_master_crash_time(self):
+        self.rejects(["run", "Grep", "--master-downtime", "0.5"])
+
+    def test_rejects_unknown_recovery_mode(self):
+        self.rejects(["run", "Grep", "--master-crash-time", "1",
+                      "--recovery", "reboot"])
+
+    def test_rejects_unknown_crash_node(self, capsys):
+        self.rejects(["run", "Grep", "--slaves", "2", "--crash-node", "slave9"])
+        err = capsys.readouterr().err
+        assert "slave9" in err and "slave1, slave2" in err
+
+    def test_master_crash_run_succeeds(self, capsys):
+        assert main(["run", "Grep", "--scale", "0.1",
+                     "--master-crash-time", "0.05", "--recovery", "resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience accounting" in out
+        assert "master_crashes" in out
+        assert "recovery_downtime_s" in out
+
+    def test_node_crash_run_succeeds(self, capsys):
+        assert main(["run", "Grep", "--scale", "0.1",
+                     "--crash-node", "slave2", "--crash-time", "0.02"]) == 0
+        assert "resilience accounting" in capsys.readouterr().out
