@@ -6,7 +6,9 @@ Sub-commands mirror how the paper's artefacts are used:
 * ``tables``             — print Tables I, II and III
 * ``run <workload>``     — execute a workload on a simulated cluster,
                             optionally under fault injection
-                            (``--faults``, ``--crash-node``, ``--seed``)
+                            (``--faults``, ``--crash-node``, ``--seed``,
+                            ``--corruption-rate``, ``--link-loss``,
+                            ``--partition``, ``--scrub``)
 * ``characterize [...]`` — Figures 3–12 metrics for named workloads
                             (or the whole suite) with optional CSV/JSON
 * ``speedup``            — the Figure 2 scaling study
@@ -33,6 +35,45 @@ def _rate(text: str) -> float:
     if not 0.0 <= value <= 1.0:  # NaN fails every comparison
         raise argparse.ArgumentTypeError(f"must be a rate in [0, 1], got {text}")
     return value
+
+
+def _link_rate(text: str) -> float:
+    """argparse type: a per-segment loss probability in [0, 1) (NaN-proof)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not 0.0 <= value < 1.0:  # NaN fails every comparison
+        raise argparse.ArgumentTypeError(f"must be a rate in [0, 1), got {text}")
+    return value
+
+
+def _partition(text: str) -> tuple[str, float, float]:
+    """argparse type: a network partition spec ``NODE:START:DURATION``."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE:START:DURATION, got {text!r}"
+        )
+    node, start_text, duration_text = parts
+    if not node:
+        raise argparse.ArgumentTypeError("partition node name must not be empty")
+    try:
+        start = float(start_text)
+        duration = float(duration_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"START and DURATION must be numbers, got {text!r}"
+        ) from None
+    if not (start >= 0.0 and math.isfinite(start)):
+        raise argparse.ArgumentTypeError(
+            f"partition START must be finite and non-negative, got {start_text}"
+        )
+    if not (duration > 0.0 and math.isfinite(duration)):
+        raise argparse.ArgumentTypeError(
+            f"partition DURATION must be finite and positive, got {duration_text}"
+        )
+    return (node, start, duration)
 
 
 def _seconds(text: str) -> float:
@@ -89,13 +130,24 @@ def _cmd_run(args) -> int:
 
     wl = workload(args.workload)
     cluster = make_cluster(args.slaves, block_size=64 * 1024)
+    known = [node.name for node in cluster.slaves]
     if args.crash_node:
-        known = [node.name for node in cluster.slaves]
         if args.crash_node not in known:
             parser.error(f"--crash-node {args.crash_node!r} is not a slave "
                          f"(have: {', '.join(known)})")
+    partitions = tuple(args.partition or ())
+    for part_node, _, _ in partitions:
+        if part_node not in known:
+            parser.error(f"--partition node {part_node!r} is not a slave "
+                         f"(have: {', '.join(known)})")
     faulty = bool(
-        args.faults > 0 or args.crash_node or args.master_crash_time is not None
+        args.faults > 0
+        or args.crash_node
+        or args.master_crash_time is not None
+        or args.corruption_rate > 0
+        or args.link_loss > 0
+        or partitions
+        or args.scrub
     )
     if faulty:
         node_crashes = ()
@@ -111,6 +163,10 @@ def _cmd_run(args) -> int:
             master_downtime_s=(
                 args.master_downtime if args.master_downtime is not None else 0.75
             ),
+            corruption_rate=args.corruption_rate,
+            link_loss_rate=args.link_loss,
+            partitions=partitions,
+            scrub=args.scrub,
             seed=args.seed,
         )
         cluster = FaultyCluster(cluster, plan)
@@ -252,6 +308,21 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="control-plane downtime after the master crash "
                           "(default 0.75; requires --master-crash-time)")
+    run.add_argument("--corruption-rate", type=_rate, default=0.0, metavar="RATE",
+                     help="per-replica at-rest bit-rot probability "
+                          "(corrupt replicas are caught by CRC32 checksums "
+                          "on read; 0 disables)")
+    run.add_argument("--link-loss", type=_link_rate, default=0.0, metavar="RATE",
+                     help="per-segment network loss probability in [0, 1); "
+                          "lost segments are retransmitted at TCP-like cost")
+    run.add_argument("--partition", type=_partition, action="append",
+                     metavar="NODE:START:DURATION",
+                     help="partition this slave off the network for DURATION "
+                          "seconds starting at simulated time START "
+                          "(repeatable; e.g. slave2:0.5:2.0)")
+    run.add_argument("--scrub", action="store_true",
+                     help="run the DataBlockScanner scrubber after the job "
+                          "(finds and repairs at-rest corruption)")
     run.set_defaults(fn=_cmd_run, parser=run)
 
     ch = sub.add_parser("characterize", help="Figures 3-12 metrics")

@@ -10,7 +10,8 @@ paper measures it:
 * :mod:`repro.cluster.network` — 1 GbE NICs with serialised transfers;
 * :mod:`repro.cluster.node` — a node bundling slots, disk, NIC;
 * :mod:`repro.cluster.hdfs` — block placement with replication, locality
-  queries, datanode loss and background re-replication;
+  queries, datanode loss and background re-replication, plus end-to-end
+  CRC32 checksums, bad-block reporting and the DataBlockScanner scrubber;
 * :mod:`repro.cluster.cluster` — the cluster itself plus the discrete-event
   timeline executor for MapReduce jobs (map waves, shuffle, reduce);
 * :mod:`repro.cluster.attempts` — the task-attempt state machine
@@ -28,7 +29,13 @@ paper measures it:
 from repro.cluster.disk import Disk
 from repro.cluster.network import Network, Nic
 from repro.cluster.node import Node
-from repro.cluster.hdfs import Hdfs, HdfsFile, Block
+from repro.cluster.hdfs import (
+    Block,
+    ChecksumError,
+    DataBlockScanner,
+    Hdfs,
+    HdfsFile,
+)
 from repro.cluster.cluster import (
     ClusterCheckpoint,
     HadoopCluster,
@@ -52,9 +59,11 @@ from repro.cluster.journal import (
 )
 from repro.cluster.attempts import (
     AttemptState,
+    CommitFence,
     DataLossError,
     JobFailedError,
     NodeBlacklist,
+    NodeGraylist,
     RetryPolicy,
     TaskAttempt,
     TaskAttempts,
@@ -62,9 +71,12 @@ from repro.cluster.attempts import (
 from repro.cluster.faults import FaultPlan, FaultyCluster, FaultyTimeline
 from repro.cluster.chaos import (
     ChaosResult,
+    IntegrityChaosResult,
     MasterCrashResult,
     chaos_plan,
+    integrity_chaos_plan,
     run_chaos,
+    run_integrity_chaos,
     run_master_crash_chaos,
 )
 
@@ -76,6 +88,8 @@ __all__ = [
     "Hdfs",
     "HdfsFile",
     "Block",
+    "ChecksumError",
+    "DataBlockScanner",
     "ClusterCheckpoint",
     "HadoopCluster",
     "JobTimeline",
@@ -94,9 +108,11 @@ __all__ = [
     "restore_into",
     "snapshot",
     "AttemptState",
+    "CommitFence",
     "DataLossError",
     "JobFailedError",
     "NodeBlacklist",
+    "NodeGraylist",
     "RetryPolicy",
     "TaskAttempt",
     "TaskAttempts",
@@ -104,8 +120,11 @@ __all__ = [
     "FaultyCluster",
     "FaultyTimeline",
     "ChaosResult",
+    "IntegrityChaosResult",
     "MasterCrashResult",
     "chaos_plan",
+    "integrity_chaos_plan",
     "run_chaos",
+    "run_integrity_chaos",
     "run_master_crash_chaos",
 ]

@@ -16,6 +16,14 @@ This module models that machinery for the cluster simulator:
   exponential backoff, tried-node memory, exhaustion);
 * :class:`NodeBlacklist` — per-job tracker blacklisting
   (``mapred.max.tracker.failures``);
+* :class:`CommitFence` — attempt-id fencing at commit time (Hadoop's
+  ``canCommit``): a zombie attempt from a partitioned-then-rejoined
+  tasktracker asks to commit and is refused, because the jobtracker
+  granted the task to a newer attempt while the tracker was unreachable;
+* :class:`NodeGraylist` — time-bounded exclusion of *flapping* nodes: a
+  tasktracker that dropped off the network and came back is dodgy for a
+  while, not broken forever, so it sits out a window instead of being
+  blacklisted permanently;
 * :class:`JobFailedError` / :class:`DataLossError` — typed job aborts.
 """
 
@@ -76,6 +84,9 @@ class RetryPolicy:
         heartbeat_timeout_s: silence after which the jobtracker declares a
             tasktracker lost (``mapred.tasktracker.expiry.interval``,
             600 s real-world; scaled to the simulator's second-scale jobs).
+        graylist_window_s: how long a node that *flapped* (partitioned
+            and rejoined) sits out of scheduling after it reappears — a
+            soft, time-bounded exclusion, unlike the per-job blacklist.
     """
 
     max_attempts: int = 4
@@ -86,6 +97,7 @@ class RetryPolicy:
     fetch_backoff_base_s: float = 0.05
     node_failure_threshold: int = 4
     heartbeat_timeout_s: float = 0.5
+    graylist_window_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -100,6 +112,8 @@ class RetryPolicy:
             raise ValueError("node_failure_threshold must be at least 1")
         if self.heartbeat_timeout_s < 0:
             raise ValueError("heartbeat timeout must be non-negative")
+        if self.graylist_window_s < 0:
+            raise ValueError("graylist window must be non-negative")
 
     def backoff_s(self, failures: int) -> float:
         """Backoff before the attempt following the *failures*-th failure."""
@@ -193,6 +207,82 @@ class TaskAttempts:
     def next_retry_time(self, failure_time_s: float) -> float:
         """When the next attempt may start (exponential backoff)."""
         return failure_time_s + self.policy.backoff_s(self.failures)
+
+
+class CommitFence:
+    """Attempt-id fencing at commit time (Hadoop's ``canCommit`` check).
+
+    The jobtracker keeps, per task, the single attempt id currently
+    allowed to commit.  Scheduling an attempt *grants* it the task; when
+    a tasktracker is declared lost (crash or partition) its in-flight
+    attempt's grant is *revoked*, and any later attempt takes over the
+    grant.  A zombie — an attempt that kept running on a partitioned
+    node and asks to commit after the node rejoins — finds its id no
+    longer active and is refused, so stale output can never reach the
+    job's committed results.
+    """
+
+    def __init__(self) -> None:
+        self._active: dict[str, int] = {}
+        self.fenced_attempts: list[str] = []
+
+    def grant(self, task_id: str, attempt: int) -> None:
+        """Make *attempt* the one id allowed to commit *task_id*."""
+        self._active[task_id] = attempt
+
+    def revoke(self, task_id: str, attempt: int) -> None:
+        """Withdraw *attempt*'s grant (no-op if another attempt owns it)."""
+        if self._active.get(task_id) == attempt:
+            del self._active[task_id]
+
+    def try_commit(self, task_id: str, attempt: int) -> bool:
+        """``canCommit``: True only for the task's currently granted id."""
+        if self._active.get(task_id) == attempt:
+            return True
+        self.fenced_attempts.append(f"attempt_{task_id}_{attempt}")
+        return False
+
+    @property
+    def fenced(self) -> int:
+        return len(self.fenced_attempts)
+
+
+class NodeGraylist:
+    """Time-bounded exclusion of flapping nodes (partition-and-rejoin).
+
+    Unlike :class:`NodeBlacklist` (per-job, permanent once tripped), a
+    graylisted node only sits out ``window_s`` of simulated time after
+    each flap: it misbehaved by *disappearing*, not by failing tasks, so
+    it earns back scheduling eligibility once it has held a steady
+    heartbeat for the window.
+    """
+
+    def __init__(self, window_s: float) -> None:
+        if window_s < 0:
+            raise ValueError("graylist window must be non-negative")
+        self.window_s = window_s
+        self._windows: dict[str, list[tuple[float, float]]] = {}
+
+    def record_flap(self, node_name: str, rejoin_time_s: float) -> None:
+        """Node *node_name* rejoined at *rejoin_time_s* after a partition.
+
+        The exclusion starts at the rejoin — a node with a flap in its
+        *future* is still perfectly eligible now.
+        """
+        self._windows.setdefault(node_name, []).append(
+            (rejoin_time_s, rejoin_time_s + self.window_s)
+        )
+
+    def is_graylisted(self, node_name: str, time_s: float) -> bool:
+        return any(
+            start <= time_s < until
+            for start, until in self._windows.get(node_name, ())
+        )
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Every node that has ever been graylisted (accounting view)."""
+        return tuple(sorted(self._windows))
 
 
 class NodeBlacklist:

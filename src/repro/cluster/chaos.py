@@ -45,6 +45,13 @@ _SUM_KEYS = (
     "maps_recovered",
     "jobs_restarted",
     "jobs_resumed",
+    "corrupt_replicas_injected",
+    "checksum_failures",
+    "bad_blocks_reported",
+    "scrubbed_bytes",
+    "zombie_attempts_fenced",
+    "net_retransmits",
+    "net_retransmit_bytes",
 )
 
 
@@ -121,6 +128,8 @@ def aggregate_accounting(timelines) -> dict[str, object]:
     totals: dict[str, object] = {key: 0 for key in _SUM_KEYS}
     crashed: set[str] = set()
     blacklisted: set[str] = set()
+    partitioned: set[str] = set()
+    graylisted: set[str] = set()
     for timeline in timelines:
         if not isinstance(timeline, FaultyTimeline):
             continue
@@ -129,8 +138,12 @@ def aggregate_accounting(timelines) -> dict[str, object]:
             totals[key] += accounting[key]
         crashed.update(accounting["nodes_crashed"])
         blacklisted.update(accounting["blacklisted_nodes"])
+        partitioned.update(accounting["nodes_partitioned"])
+        graylisted.update(accounting["graylisted_nodes"])
     totals["nodes_crashed"] = tuple(sorted(crashed))
     totals["blacklisted_nodes"] = tuple(sorted(blacklisted))
+    totals["nodes_partitioned"] = tuple(sorted(partitioned))
+    totals["graylisted_nodes"] = tuple(sorted(graylisted))
     return totals
 
 
@@ -197,6 +210,142 @@ def run_chaos(
         chaotic_duration_s=chaotic.duration_s,
         identical_output=repr(baseline.output) == repr(chaotic.output),
         accounting=aggregate_accounting(chaotic.timelines),
+    )
+
+
+def integrity_chaos_plan(
+    seed: int,
+    num_maps: int,
+    num_reduces: int,
+    node_names: list[str],
+    map_window_s: float | None = None,
+    corruption_rate: float = 0.25,
+    transfer_corruption_rate: float = 0.05,
+    link_loss_rate: float = 0.02,
+    policy: RetryPolicy | None = None,
+) -> FaultPlan:
+    """Sample a gray-failure schedule: bit rot, flaky links, one partition.
+
+    Unlike :func:`chaos_plan` (fail-stop faults), everything here fails
+    *silently*: replicas rot at rest, transfers flip bits in flight,
+    links drop segments, and one tasktracker is partitioned during the
+    map phase for longer than the heartbeat timeout — so it is declared
+    lost, its tasks are rescheduled, and its zombie attempts must be
+    fenced when it rejoins.  A post-job scrub is always on, so every
+    injected corruption is detected by the end of the run.  The mix is
+    bounded (a block's last good replica is never rotted) so a
+    checksum-verifying scheduler always completes with correct output.
+    """
+    if num_maps < 1:
+        raise ValueError("chaos needs at least one map task")
+    if not node_names:
+        raise ValueError("chaos needs at least one node")
+    rng = random.Random(f"integrity:{seed}")
+    policy = policy or RetryPolicy()
+
+    partitions: tuple[tuple[str, float, float], ...] = ()
+    if map_window_s and len(node_names) > 2:
+        victim = rng.choice(node_names)
+        p_start = map_window_s * rng.uniform(0.2, 0.6)
+        # Longer than the heartbeat timeout, so the jobtracker notices
+        # and the rejoining tracker produces fenceable zombies.
+        duration = policy.heartbeat_timeout_s * rng.uniform(2.0, 4.0)
+        partitions = ((victim, p_start, duration),)
+
+    return FaultPlan(
+        corruption_rate=corruption_rate,
+        transfer_corruption_rate=transfer_corruption_rate,
+        link_loss_rate=link_loss_rate,
+        partitions=partitions,
+        scrub=True,
+        seed=seed,
+        policy=policy,
+    )
+
+
+@dataclass(frozen=True)
+class IntegrityChaosResult:
+    """Outcome of one integrity chaos run vs its fault-free twin."""
+
+    workload: str
+    seed: int
+    plan: FaultPlan
+    baseline_duration_s: float
+    chaotic_duration_s: float
+    identical_output: bool
+    corrupt_injected: int
+    checksum_failures: int
+    bad_blocks_reported: int
+    undetected_corrupt_replicas: int
+    zombie_attempts_fenced: int
+    net_retransmits: int
+    scrubbed_bytes: int
+    accounting: dict[str, object]
+
+    @property
+    def all_corruption_detected(self) -> bool:
+        """Every injected at-rest corruption was caught and repaired."""
+        return (
+            self.undetected_corrupt_replicas == 0
+            and self.checksum_failures >= self.corrupt_injected
+            and self.bad_blocks_reported >= self.corrupt_injected
+        )
+
+
+def run_integrity_chaos(
+    workload_name: str,
+    seed: int,
+    scale: float = 0.3,
+    num_slaves: int = 4,
+    block_size: int = 64 * 1024,
+    policy: RetryPolicy | None = None,
+) -> IntegrityChaosResult:
+    """Run *workload_name* healthy and under a gray-failure schedule.
+
+    The fault-free run provides the output baseline and sizes the plan
+    (map-phase window for aiming the partition).  The caller asserts the
+    chaotic output stays bit-identical and no corruption goes undetected
+    (``undetected_corrupt_replicas == 0`` after the final scrub).
+    """
+    from repro.workloads import workload as load_workload
+
+    baseline_cluster = make_cluster(num_slaves, block_size=block_size)
+    baseline = load_workload(workload_name).run(
+        scale=scale, cluster=baseline_cluster
+    )
+    if not baseline.timelines:
+        raise ValueError("chaos needs a clustered workload run")
+    first = baseline.timelines[0]
+    plan = integrity_chaos_plan(
+        seed,
+        num_maps=first.map_tasks,
+        num_reduces=first.reduce_tasks,
+        node_names=[node.name for node in baseline_cluster.slaves],
+        map_window_s=first.map_phase_end_s - first.start_s,
+        policy=policy,
+    )
+
+    chaos_cluster = FaultyCluster(
+        make_cluster(num_slaves, block_size=block_size), plan
+    )
+    chaotic = load_workload(workload_name).run(scale=scale, cluster=chaos_cluster)
+    accounting = aggregate_accounting(chaotic.timelines)
+
+    return IntegrityChaosResult(
+        workload=workload_name,
+        seed=seed,
+        plan=plan,
+        baseline_duration_s=baseline.duration_s,
+        chaotic_duration_s=chaotic.duration_s,
+        identical_output=repr(baseline.output) == repr(chaotic.output),
+        corrupt_injected=int(accounting["corrupt_replicas_injected"]),
+        checksum_failures=int(accounting["checksum_failures"]),
+        bad_blocks_reported=int(accounting["bad_blocks_reported"]),
+        undetected_corrupt_replicas=chaos_cluster.hdfs.corrupt_replica_count,
+        zombie_attempts_fenced=int(accounting["zombie_attempts_fenced"]),
+        net_retransmits=int(accounting["net_retransmits"]),
+        scrubbed_bytes=int(accounting["scrubbed_bytes"]),
+        accounting=accounting,
     )
 
 

@@ -37,6 +37,11 @@ class MapWork:
     cpu_seconds: float
     output_bytes: int
     preferred_nodes: tuple[str, ...] = ()
+    #: the HDFS block backing this task's split as ``(file_name, block
+    #: index)``, when the input lives in HDFS — what lets the integrity
+    #: read path consult real replica state (corruption, reported bad
+    #: blocks) instead of just the placement hint above.
+    split: tuple[str, int] | None = None
 
     def __post_init__(self) -> None:
         if self.input_bytes < 0 or self.output_bytes < 0 or self.cpu_seconds < 0:
@@ -100,6 +105,11 @@ class ClusterCheckpoint:
     nodes: tuple[tuple[str, NodeCheckpoint], ...]
     fsimage: FsImage
     journal_state: tuple | None
+    network_retransmits: int = 0
+    network_retransmit_bytes: int = 0
+    #: the gray-link rng's state, so restore + re-run reproduces the
+    #: same segment-drop pattern bit for bit.
+    network_rng_state: tuple | None = None
 
 
 @dataclass
@@ -132,6 +142,7 @@ class HadoopCluster:
         replication: int = 3,
         locality_wait_s: float = 0.02,
         journaling: bool = True,
+        bytes_per_checksum: int = 512,
     ) -> None:
         if not slaves:
             raise ValueError("a cluster needs at least one slave")
@@ -140,7 +151,12 @@ class HadoopCluster:
         self.master = master or Node("master")
         self.slaves = list(slaves)
         self.network = network or Network()
-        self.hdfs = Hdfs(self.slaves, block_size=block_size, replication=replication)
+        self.hdfs = Hdfs(
+            self.slaves,
+            block_size=block_size,
+            replication=replication,
+            bytes_per_checksum=bytes_per_checksum,
+        )
         #: NameNode edit-log journaling: on by default because it is
         #: observationally free (pure bookkeeping, no simulated time), and
         #: it is what makes the namespace reconstructable after a master
@@ -172,8 +188,7 @@ class HadoopCluster:
     def reset(self) -> None:
         """Clear all timing/procfs state (fresh experiment)."""
         self.clock = 0.0
-        self.network.transfers = 0
-        self.network.bytes_moved = 0
+        self.network.reset()
         for node in [self.master, *self.slaves]:
             node.reset()
         if self.journal is not None:
@@ -213,6 +228,9 @@ class HadoopCluster:
             journal_state=(
                 self.journal.checkpoint_state() if self.journal else None
             ),
+            network_retransmits=self.network.retransmits,
+            network_retransmit_bytes=self.network.retransmit_bytes,
+            network_rng_state=self.network.rng_state(),
         )
 
     def restore(self, cp: ClusterCheckpoint) -> None:
@@ -230,6 +248,10 @@ class HadoopCluster:
         self.network.transfers = cp.network_transfers
         self.network.bytes_moved = cp.network_bytes_moved
         self.network.fabric_busy_until = cp.network_fabric_busy_until
+        self.network.retransmits = cp.network_retransmits
+        self.network.retransmit_bytes = cp.network_retransmit_bytes
+        if cp.network_rng_state is not None:
+            self.network.set_rng_state(cp.network_rng_state)
         for name, node_cp in saved.items():
             node = by_name[name]
             node.map_slot_free = list(node_cp.map_slot_free)
@@ -289,6 +311,11 @@ class HadoopCluster:
                         now = node.disk.read(now, task.input_bytes)
                 else:
                     now = node.disk.read(now, task.input_bytes)
+                # Every HDFS read verifies its CRC32 chunks (pure
+                # arithmetic riding on the read — no simulated time).
+                node.procfs.record_checksum(
+                    self.hdfs.checksum_chunks(task.input_bytes)
+                )
             now += node.cpu_time(task.cpu_seconds)
             now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
             node.map_slot_free[slot] = now
@@ -402,6 +429,7 @@ def make_cluster(
     replication: int = 3,
     cpu_speed: float = 1.0,
     journaling: bool = True,
+    bytes_per_checksum: int = 512,
 ) -> HadoopCluster:
     """Build a paper-shaped cluster: one master plus *num_slaves* slaves."""
     if num_slaves <= 0:
@@ -411,5 +439,9 @@ def make_cluster(
         for i in range(num_slaves)
     ]
     return HadoopCluster(
-        slaves, block_size=block_size, replication=replication, journaling=journaling
+        slaves,
+        block_size=block_size,
+        replication=replication,
+        journaling=journaling,
+        bytes_per_checksum=bytes_per_checksum,
     )

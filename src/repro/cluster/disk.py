@@ -69,3 +69,7 @@ class Disk:
 
     def reset(self) -> None:
         self.busy_until = 0.0
+        # A fresh device has no half-merged request sitting in the block
+        # layer; leaking it across runs would skew the next run's merged
+        # write-op accounting.
+        self._pending_write_bytes = 0

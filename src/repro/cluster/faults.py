@@ -24,6 +24,20 @@ a scheduler that is permanently ready for them:
   surviving replicas while the namenode re-replicates in the background
   (or the job dies with :class:`~repro.cluster.attempts.DataLossError`
   when every replica is gone);
+* **gray failures** — data that rots *silently*: at-rest bit flips and
+  in-flight transfer corruption are caught by HDFS's end-to-end
+  checksums (:class:`~repro.cluster.hdfs.ChecksumError`); the reader
+  fails over to another replica and reports the bad block, the namenode
+  drops the rotten copy (never the last one) and re-replicates from a
+  good replica, and a background
+  :class:`~repro.cluster.hdfs.DataBlockScanner` scrubs replicas nobody
+  read.  Flaky links retransmit lost segments with TCP-like cost, and
+  timed *network partitions* isolate a tasktracker without killing it:
+  its tasks are rescheduled after the heartbeat timeout, and when the
+  node rejoins, its zombie attempts are fenced at commit time
+  (``canCommit`` — :class:`~repro.cluster.attempts.CommitFence`) and
+  the flapping node is graylisted for a window instead of being
+  blacklisted outright;
 * **master loss** — the co-located JobTracker/NameNode crashes; after
   ``master_downtime_s`` of control-plane downtime the master restarts and
   either re-submits in-flight jobs from scratch (stock 1.x,
@@ -50,13 +64,16 @@ from dataclasses import dataclass, field, replace
 from repro.cluster.journal import JobHistoryJournal
 from repro.cluster.attempts import (
     AttemptState,
+    CommitFence,
     DataLossError,
     JobFailedError,
     NodeBlacklist,
+    NodeGraylist,
     RetryPolicy,
     TaskAttempt,
     TaskAttempts,
 )
+from repro.cluster.hdfs import DataBlockScanner
 from repro.cluster.cluster import (
     HadoopCluster,
     JobTimeline,
@@ -108,6 +125,28 @@ class FaultPlan:
             re-run once ``max_fetch_retries`` is reached).
         lost_replicas: ``(map_index, node_name)`` pairs — that input
             split's replica on that node is gone (latent disk corruption).
+        corruption_rate: probability that any given HDFS block replica
+            has silently rotted at rest before the job reads it (sampled
+            once per replica from a stream independent of the
+            task-failure rng, so adding corruption never perturbs the
+            other fault draws).  Injection is bounded: a block's last
+            good replica is never corrupted, so a checksum-verifying
+            reader always completes.
+        transfer_corruption_rate: probability that one network transfer
+            of split data flips bits in flight; the receiver's checksum
+            catches it and the transfer is re-requested.
+        corrupt_replicas: explicit ``(map_index, node_name)`` pairs —
+            that input split's replica on that node is rotten at rest.
+        link_loss_rate: segment-drop probability applied to every
+            network link (TCP-like retransmits charged to NICs/fabric).
+        lossy_links: ``(src_node, dst_node, rate)`` per-link overrides.
+        partitions: ``(node_name, start_s, duration_s)`` triples — the
+            node is unreachable in that window (relative to the first
+            job's start, like ``node_crashes``) but *keeps running*; it
+            rejoins afterwards and sits out
+            ``policy.graylist_window_s`` on the graylist.
+        scrub: run a full DataBlockScanner sweep after each job, so
+            at-rest corruption is caught even on replicas no task read.
         seed: seed for the rate-based injections.
         policy: the :class:`~repro.cluster.attempts.RetryPolicy` knobs.
     """
@@ -128,6 +167,13 @@ class FaultPlan:
     master_downtime_s: float = 0.75
     shuffle_failures: tuple[tuple[int, int, int], ...] = ()
     lost_replicas: tuple[tuple[int, str], ...] = ()
+    corruption_rate: float = 0.0
+    transfer_corruption_rate: float = 0.0
+    corrupt_replicas: tuple[tuple[int, str], ...] = ()
+    link_loss_rate: float = 0.0
+    lossy_links: tuple[tuple[str, str, float], ...] = ()
+    partitions: tuple[tuple[str, float, float], ...] = ()
+    scrub: bool = False
     seed: int = 0
     policy: RetryPolicy = field(default_factory=RetryPolicy)
 
@@ -167,6 +213,31 @@ class FaultPlan:
         for m_index, _node in self.lost_replicas:
             if m_index < 0:
                 raise ValueError("lost replica map indices must be non-negative")
+        for rate, label in (
+            (self.corruption_rate, "corruption_rate"),
+            (self.transfer_corruption_rate, "transfer_corruption_rate"),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+        if not 0.0 <= self.link_loss_rate < 1.0:
+            raise ValueError("link_loss_rate must be in [0, 1)")
+        for _src, _dst, rate in self.lossy_links:
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("per-link loss rates must be in [0, 1)")
+        for m_index, _node in self.corrupt_replicas:
+            if m_index < 0:
+                raise ValueError(
+                    "corrupt replica map indices must be non-negative"
+                )
+        for _node, p_start, duration in self.partitions:
+            if not (p_start >= 0 and math.isfinite(p_start)):
+                raise ValueError(
+                    "partition starts must be finite and non-negative"
+                )
+            if not (duration > 0 and math.isfinite(duration)):
+                raise ValueError(
+                    "partition durations must be finite and positive"
+                )
 
     @property
     def injects_faults(self) -> bool:
@@ -183,6 +254,12 @@ class FaultPlan:
             or self.master_crash_time is not None
             or self.shuffle_failures
             or self.lost_replicas
+            or self.corruption_rate
+            or self.transfer_corruption_rate
+            or self.corrupt_replicas
+            or self.link_loss_rate
+            or self.lossy_links
+            or self.partitions
         )
 
     @classmethod
@@ -234,6 +311,15 @@ class FaultyTimeline:
     jobs_resumed: int = 0
     nodes_crashed: tuple[str, ...] = ()
     blacklisted_nodes: tuple[str, ...] = ()
+    corrupt_replicas_injected: int = 0
+    checksum_failures: int = 0
+    bad_blocks_reported: int = 0
+    scrubbed_bytes: int = 0
+    zombie_attempts_fenced: int = 0
+    net_retransmits: int = 0
+    net_retransmit_bytes: int = 0
+    nodes_partitioned: tuple[str, ...] = ()
+    graylisted_nodes: tuple[str, ...] = ()
     attempts: tuple[TaskAttempt, ...] = ()
 
     # -- JobTimeline protocol -------------------------------------------------
@@ -294,8 +380,17 @@ class FaultyTimeline:
             "maps_recovered": self.maps_recovered,
             "jobs_restarted": self.jobs_restarted,
             "jobs_resumed": self.jobs_resumed,
+            "corrupt_replicas_injected": self.corrupt_replicas_injected,
+            "checksum_failures": self.checksum_failures,
+            "bad_blocks_reported": self.bad_blocks_reported,
+            "scrubbed_bytes": self.scrubbed_bytes,
+            "zombie_attempts_fenced": self.zombie_attempts_fenced,
+            "net_retransmits": self.net_retransmits,
+            "net_retransmit_bytes": self.net_retransmit_bytes,
             "nodes_crashed": self.nodes_crashed,
             "blacklisted_nodes": self.blacklisted_nodes,
+            "nodes_partitioned": self.nodes_partitioned,
+            "graylisted_nodes": self.graylisted_nodes,
         }
 
 
@@ -323,7 +418,15 @@ class _RunStats:
         self.maps_recovered = 0
         self.jobs_restarted = 0
         self.jobs_resumed = 0
+        self.corrupt_replicas_injected = 0
+        self.checksum_failures = 0
+        self.bad_blocks_reported = 0
+        self.scrubbed_bytes = 0
+        self.zombie_attempts_fenced = 0
+        self.net_retransmits = 0
+        self.net_retransmit_bytes = 0
         self.nodes_crashed: list[str] = []
+        self.nodes_partitioned: list[str] = []
         self.attempts: list[TaskAttempt] = []
 
     def merge_from(self, other: "_RunStats") -> None:
@@ -344,7 +447,15 @@ class _RunStats:
         self.maps_recovered += other.maps_recovered
         self.jobs_restarted += other.jobs_restarted
         self.jobs_resumed += other.jobs_resumed
+        self.corrupt_replicas_injected += other.corrupt_replicas_injected
+        self.checksum_failures += other.checksum_failures
+        self.bad_blocks_reported += other.bad_blocks_reported
+        self.scrubbed_bytes += other.scrubbed_bytes
+        self.zombie_attempts_fenced += other.zombie_attempts_fenced
+        self.net_retransmits += other.net_retransmits
+        self.net_retransmit_bytes += other.net_retransmit_bytes
         self.nodes_crashed.extend(other.nodes_crashed)
+        self.nodes_partitioned.extend(other.nodes_partitioned)
         self.attempts.extend(other.attempts)
 
     def finish(
@@ -352,6 +463,7 @@ class _RunStats:
         timeline: JobTimeline,
         blacklist: NodeBlacklist,
         recovery_mode: str = "",
+        graylist: NodeGraylist | None = None,
     ) -> FaultyTimeline:
         return FaultyTimeline(
             timeline=timeline,
@@ -373,8 +485,17 @@ class _RunStats:
             maps_recovered=self.maps_recovered,
             jobs_restarted=self.jobs_restarted,
             jobs_resumed=self.jobs_resumed,
+            corrupt_replicas_injected=self.corrupt_replicas_injected,
+            checksum_failures=self.checksum_failures,
+            bad_blocks_reported=self.bad_blocks_reported,
+            scrubbed_bytes=self.scrubbed_bytes,
+            zombie_attempts_fenced=self.zombie_attempts_fenced,
+            net_retransmits=self.net_retransmits,
+            net_retransmit_bytes=self.net_retransmit_bytes,
             nodes_crashed=tuple(self.nodes_crashed),
             blacklisted_nodes=blacklist.nodes,
+            nodes_partitioned=tuple(self.nodes_partitioned),
+            graylisted_nodes=graylist.nodes if graylist is not None else (),
             attempts=tuple(self.attempts),
         )
 
@@ -403,11 +524,35 @@ class FaultyCluster:
         #: the jobtracker's persisted job-history log for the running job
         #: (what `resume` recovery replays after a master restart).
         self.job_history = JobHistoryJournal()
+        #: commit fence (canCommit) — replaced per jobtracker incarnation.
+        self.fence = CommitFence()
+        #: time-bounded exclusion of nodes that partitioned and rejoined.
+        self.graylist = NodeGraylist(plan.policy.graylist_window_s)
         self._origin: float | None = None
         self._jobs_run = 0
         self._crash_at: dict[str, float] = {}
         self._crashes_processed: set[str] = set()
         self._master_crash_processed = False
+        # Gray-failure state.  Corruption and transfer-flip draws come
+        # from streams independent of the per-job task-failure rng, so
+        # plans pinned on `seed` keep their schedules when gray-failure
+        # rates are added.
+        self._corruption_rng = random.Random(f"corruption:{plan.seed}")
+        self._gray_rng = random.Random(f"gray:{plan.seed}")
+        self._corruption_sampled: set[tuple[str, int, str]] = set()
+        self._partition_windows: dict[str, list[tuple[float, float]]] = {}
+        self._partitions_processed: set[tuple[str, float]] = set()
+        self._configure_gray_links()
+
+    def _configure_gray_links(self) -> None:
+        """Push the plan's link-loss model into the network fabric."""
+        plan = self.plan
+        if plan.link_loss_rate or plan.lossy_links:
+            self.cluster.network.configure_loss(
+                loss_rate=plan.link_loss_rate,
+                link_loss={(s, d): r for s, d, r in plan.lossy_links},
+                seed=plan.seed,
+            )
 
     # -- cluster surface ------------------------------------------------------
 
@@ -436,11 +581,18 @@ class FaultyCluster:
         self.cluster.reset()
         self.blacklist = NodeBlacklist(self.plan.policy.node_failure_threshold)
         self.job_history = JobHistoryJournal()
+        self.fence = CommitFence()
+        self.graylist = NodeGraylist(self.plan.policy.graylist_window_s)
         self._origin = None
         self._jobs_run = 0
         self._crash_at = {}
         self._crashes_processed = set()
         self._master_crash_processed = False
+        self._corruption_rng = random.Random(f"corruption:{self.plan.seed}")
+        self._gray_rng = random.Random(f"gray:{self.plan.seed}")
+        self._corruption_sampled = set()
+        self._partition_windows = {}
+        self._partitions_processed = set()
 
     # -- job execution --------------------------------------------------------
 
@@ -455,6 +607,14 @@ class FaultyCluster:
             self._crash_at = {
                 name: self._origin + at for name, at in plan.node_crashes
             }
+            for name, p_start, duration in plan.partitions:
+                window = (self._origin + p_start, self._origin + p_start + duration)
+                self._partition_windows.setdefault(name, []).append(window)
+                # The node will flap (vanish and rejoin): graylist it for
+                # a window after each scheduled rejoin.
+                self.graylist.record_flap(name, window[1])
+            for windows in self._partition_windows.values():
+                windows.sort()
         rng = random.Random(plan.seed + 1_000_003 * self._jobs_run)
         self._jobs_run += 1
         # Per-job blacklist (mapred.max.tracker.failures semantics) and
@@ -463,10 +623,13 @@ class FaultyCluster:
         self.job_history.clear()
 
         net_before = cluster.network.bytes_moved
+        retrans_before = cluster.network.retransmits
+        retrans_bytes_before = cluster.network.retransmit_bytes
         for node in cluster.slaves:
             node.procfs.sample(start)
 
         stats = _RunStats()
+        self._inject_corruption(work, stats)
         crash = self._pending_master_crash()
         if crash is not None and crash <= start:
             # The master died between jobs: the next submission waits out
@@ -501,6 +664,23 @@ class FaultyCluster:
                 work, start, crash, rng, stats
             )
 
+        if plan.scrub:
+            # Background DataBlockScanner sweep: its I/O lands on the
+            # disks (pushing their busy timelines into the next job) but
+            # does not extend the job's own timeline — scrubbing is a
+            # daemon, not a task.
+            self._scrub_pass(end, stats)
+        stats.net_retransmits += cluster.network.retransmits - retrans_before
+        stats.net_retransmit_bytes += (
+            cluster.network.retransmit_bytes - retrans_bytes_before
+        )
+        for name in sorted(self._partition_windows):
+            for w_start, _w_end in self._partition_windows[name]:
+                if (name, w_start) in self._partitions_processed or w_start > end:
+                    continue
+                self._partitions_processed.add((name, w_start))
+                stats.nodes_partitioned.append(name)
+
         cluster.clock = end
         rates: dict[str, float] = {}
         for node in cluster.slaves:
@@ -517,7 +697,10 @@ class FaultyCluster:
             network_bytes=cluster.network.bytes_moved - net_before,
         )
         return stats.finish(
-            timeline, self.blacklist, recovery_mode=plan.master_recovery
+            timeline,
+            self.blacklist,
+            recovery_mode=plan.master_recovery,
+            graylist=self.graylist,
         )
 
     # -- master (jobtracker/namenode) loss ------------------------------------
@@ -565,6 +748,7 @@ class FaultyCluster:
         plan = self.plan
         cp = cluster.checkpoint()
         rng_state = rng.getstate()
+        gray_state = self._gray_rng.getstate()
         crashes_before = set(self._crashes_processed)
         dry = _RunStats()
         end, map_phase_end = self._execute_job(work, start, rng, dry)
@@ -576,6 +760,7 @@ class FaultyCluster:
 
         cluster.restore(cp)
         rng.setstate(rng_state)
+        self._gray_rng.setstate(gray_state)
         self._crashes_processed = crashes_before
         self.job_history.clear()  # lost with the jobtracker
         self.blacklist = NodeBlacklist(self.policy.node_failure_threshold)
@@ -629,6 +814,9 @@ class FaultyCluster:
         """
         plan = self.plan
         policy = self.policy
+        # Fresh commit fence per jobtracker incarnation: a restarted
+        # master has no memory of grants it handed out before the crash.
+        self.fence = CommitFence()
         stragglers = set(plan.straggler_nodes)
         lost_replicas = set(plan.lost_replicas)
         map_fail_budget = {i: 1 for i in plan.map_failures}
@@ -758,6 +946,15 @@ class FaultyCluster:
                 exclude |= attempts.tried_nodes
             node, slot, ready = self._pick_map_slot(task, t, exclude)
             attempt_start = self._clamp_downtime(max(ready, t), master_crash)
+            window = self._partition_at(node.name, attempt_start)
+            if window is not None:
+                # Downtime clamping pushed the start into a partition
+                # window; the tracker is unreachable — pick again after
+                # it heals.
+                t = window[1]
+                continue
+            attempt_no = len(attempts.attempts)
+            self.fence.grant(attempts.task_id, attempt_no)
             # An attempt that might span the master crash is charged
             # against a checkpoint: if the crash orphans it, the cluster
             # is rolled back so its unfinished I/O does not keep occupying
@@ -765,7 +962,8 @@ class FaultyCluster:
             might_span = master_crash is not None and attempt_start < master_crash[0]
             cp = cluster.checkpoint() if might_span else None
             end = self._map_attempt_time(
-                task, m_index, node, attempt_start, stragglers, lost_replicas
+                task, m_index, node, attempt_start, stragglers, lost_replicas,
+                stats,
             )
 
             crash_time = self._crash_at.get(node.name)
@@ -800,6 +998,35 @@ class FaultyCluster:
                 node.map_slot_free[slot] = master_crash[0]
                 t = master_crash[1]
                 continue
+            p_window = self._partition_spanning(node.name, attempt_start, end)
+            if p_window is not None:
+                p_start, p_end = p_window
+                if p_end - p_start <= policy.heartbeat_timeout_s:
+                    # A blip shorter than the expiry interval goes
+                    # unnoticed; the tracker reports completion when it
+                    # rejoins.
+                    end = max(end, p_end)
+                else:
+                    # The tracker went silent mid-attempt: the jobtracker
+                    # declares it lost at the heartbeat timeout and
+                    # reschedules.  The attempt *keeps running* on the
+                    # isolated node (its I/O really happened), but when
+                    # the node rejoins the zombie's commit is fenced by
+                    # the canCommit check — a newer attempt owns the task.
+                    lost_at = p_start + policy.heartbeat_timeout_s
+                    self.fence.revoke(attempts.task_id, attempt_no)
+                    self.fence.try_commit(attempts.task_id, attempt_no)
+                    stats.attempts.append(attempts.record(
+                        node.name, attempt_start, end, AttemptState.KILLED,
+                        "fenced zombie attempt (partitioned tasktracker rejoined)",
+                    ))
+                    stats.killed_attempts += 1
+                    stats.zombie_attempts_fenced += 1
+                    stats.wasted_seconds += end - attempt_start
+                    node.procfs.record_task_kill()
+                    node.map_slot_free[slot] = end
+                    t = lost_at
+                    continue
 
             fails = fail_budget.get(m_index, 0) > attempts.failures or (
                 plan.map_failure_rate > 0.0
@@ -831,6 +1058,9 @@ class FaultyCluster:
                     task, m_index, node, slot, attempt_start, end,
                     stragglers, lost_replicas, stats, master_crash,
                 )
+            # canCommit: a tracker that never went silent still holds
+            # its grant, so this always passes outside partitions.
+            self.fence.try_commit(attempts.task_id, attempt_no)
             stats.attempts.append(attempts.record(
                 node.name, attempt_start, end, AttemptState.SUCCEEDED,
                 reason if reason != "task error" else "",
@@ -848,9 +1078,9 @@ class FaultyCluster:
         at: float,
         stragglers: set[str],
         lost_replicas: set[tuple[int, str]],
+        stats: _RunStats,
     ) -> float:
         """Charge one map attempt's I/O and CPU; return its finish time."""
-        cluster = self.cluster
         now = at
         if task.input_bytes:
             survivors = [
@@ -864,18 +1094,15 @@ class FaultyCluster:
                     f"m_{m_index:06d}", 0,
                     "all replicas of the input split are gone",
                 )
-            if task.preferred_nodes and node.name not in survivors:
-                # Remote read: replica holder's disk, then the network.
-                src = cluster._slave_by_name.get(survivors[0])
-                if src is not None and src is not node:
-                    read_done = src.disk.read(now, task.input_bytes)
-                    now = cluster.network.transfer(
-                        read_done, src.nic, node.nic, task.input_bytes
-                    )
-                else:
-                    now = node.disk.read(now, task.input_bytes)
+            if task.preferred_nodes:
+                now = self._read_split_with_integrity(
+                    task, m_index, node, now, survivors, stats
+                )
             else:
                 now = node.disk.read(now, task.input_bytes)
+                node.procfs.record_checksum(
+                    self.cluster.hdfs.checksum_chunks(task.input_bytes)
+                )
         now += node.cpu_time(task.cpu_seconds)
         now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
         if node.name in stragglers:
@@ -883,6 +1110,276 @@ class FaultyCluster:
             # dying disk): stretch the whole attempt.
             now = at + (now - at) * self.plan.straggler_factor
         return now
+
+    def _read_split_with_integrity(
+        self,
+        task: MapWork,
+        m_index: int,
+        node: Node,
+        at: float,
+        survivors: list[str],
+        stats: _RunStats,
+    ) -> float:
+        """Read the map's input split, verifying checksums end to end.
+
+        Candidates are tried in the stock scheduler's order (the local
+        replica first when it survived, then the survivor list), so with
+        no corruption or partitions the charged I/O is bit-identical to
+        the plain path.  A replica that trips the CRC check costs its
+        read time, is reported to the namenode (drop + re-replicate),
+        and the reader fails over to the next candidate; an unreachable
+        (partitioned) holder is skipped, waiting for the earliest heal
+        only when no other candidate exists.
+        """
+        cluster = self.cluster
+        hdfs = cluster.hdfs
+        split = task.split
+        if split is not None:
+            file_name, b_index = split
+            hfile = hdfs.files.get(file_name)
+            if hfile is None or b_index >= len(hfile.blocks):
+                # Prebuilt work aimed at another namespace: no block to
+                # verify against, so read with plain accounting.
+                split = None
+        if node.name in survivors:
+            candidates = [node.name] + [s for s in survivors if s != node.name]
+        else:
+            candidates = list(survivors)
+        now = at
+        remaining = list(candidates)
+        for _round in range(4):
+            heal_times: list[float] = []
+            for name in list(remaining):
+                src = node if name == node.name else cluster._slave_by_name.get(name)
+                if src is None:
+                    # Replica holder unknown to this cluster (prebuilt
+                    # work): stock fallback is a local read.
+                    done = node.disk.read(now, task.input_bytes)
+                    node.procfs.record_checksum(
+                        hdfs.checksum_chunks(task.input_bytes)
+                    )
+                    return done
+                if src is not node:
+                    window = self._partition_at(name, now)
+                    if window is not None:
+                        heal_times.append(window[1])
+                        continue
+                if src is node:
+                    done = node.disk.read(now, task.input_bytes)
+                else:
+                    read_done = src.disk.read(now, task.input_bytes)
+                    done = self._transfer_with_integrity(
+                        src, node, read_done, task.input_bytes, stats
+                    )
+                node.procfs.record_checksum(
+                    hdfs.checksum_chunks(task.input_bytes)
+                )
+                if split is not None and hdfs.is_replica_corrupt(
+                    file_name, b_index, name
+                ):
+                    # End-to-end CRC catches at-rest rot: the wasted read
+                    # time stays in the attempt, the bad replica is
+                    # reported, and the reader fails over.
+                    node.procfs.record_checksum_failure()
+                    stats.checksum_failures += 1
+                    self._report_bad_replica(
+                        file_name, b_index, name, done, node, stats
+                    )
+                    now = done
+                    remaining.remove(name)
+                    continue
+                return done
+            if not remaining or not heal_times:
+                break
+            now = max(now, min(heal_times))
+        raise DataLossError(
+            f"m_{m_index:06d}", 0, "no readable replica of the input split"
+        )
+
+    def _transfer_with_integrity(
+        self, src: Node, dst: Node, at: float, num_bytes: int, stats: _RunStats
+    ) -> float:
+        """One network transfer, re-requested while in-flight bits flip."""
+        plan = self.plan
+        now = at
+        done = now
+        for _attempt in range(12):
+            done = self.cluster.network.transfer(now, src.nic, dst.nic, num_bytes)
+            if not (
+                plan.transfer_corruption_rate > 0.0
+                and self._gray_rng.random() < plan.transfer_corruption_rate
+            ):
+                return done
+            # The receiver's CRC caught an in-flight flip: the payload is
+            # discarded and re-requested from the same holder.
+            dst.procfs.record_checksum(
+                self.cluster.hdfs.checksum_chunks(num_bytes)
+            )
+            dst.procfs.record_checksum_failure()
+            stats.checksum_failures += 1
+            now = done
+        # Pathological corruption rates: accept after bounded retries so
+        # the simulation terminates (every flip above was still detected
+        # and counted).
+        return done
+
+    def _report_bad_replica(
+        self,
+        file_name: str,
+        index: int,
+        node_name: str,
+        at: float,
+        reporter: Node,
+        stats: _RunStats,
+    ) -> None:
+        """Report a rotten replica: drop it and re-replicate from a good one.
+
+        Mirrors ``DFSClient.reportBadBlocks`` feeding the namenode's
+        ``CorruptReplicasMap``: the marked replica is invalidated (never
+        the block's last copy — then the marker just sticks) and the
+        block re-replicated from a surviving good replica, with the
+        repair I/O charged to the donor and recipient.
+        """
+        cluster = self.cluster
+        hdfs = cluster.hdfs
+        stats.bad_blocks_reported += 1
+        reporter.procfs.record_bad_block_report()
+        block = hdfs.report_bad_block(file_name, index, node_name)
+        if block is None:
+            return
+        pair = hdfs.re_replicate_block(block)
+        if pair is None:
+            return
+        src_name, dst_name = pair
+        src = cluster._slave_by_name.get(src_name)
+        dst = cluster._slave_by_name.get(dst_name)
+        if src is None or dst is None or src is dst:
+            return
+        read_done = src.disk.read(at, block.size_bytes)
+        sent = cluster.network.transfer(
+            read_done, src.nic, dst.nic, block.size_bytes
+        )
+        dst.disk.write(sent, block.size_bytes)
+        stats.re_replicated_bytes += block.size_bytes
+
+    # -- partitions and scrubbing ---------------------------------------------
+
+    def _partition_at(
+        self, node_name: str, time_s: float
+    ) -> tuple[float, float] | None:
+        """The partition window covering *time_s* on *node_name*, if any."""
+        for start, end in self._partition_windows.get(node_name, ()):
+            if start <= time_s < end:
+                return (start, end)
+        return None
+
+    def _partition_spanning(
+        self, node_name: str, start_s: float, end_s: float
+    ) -> tuple[float, float] | None:
+        """The first partition window opening strictly inside the attempt."""
+        for p_start, p_end in self._partition_windows.get(node_name, ()):
+            if start_s < p_start < end_s:
+                return (p_start, p_end)
+        return None
+
+    def _wait_out_partition(self, node_name: str, at: float) -> float:
+        """Earliest time at/after *at* when *node_name* is reachable."""
+        window = self._partition_at(node_name, at)
+        while window is not None:
+            at = window[1]
+            window = self._partition_at(node_name, at)
+        return at
+
+    def _inject_corruption(self, work: JobWork, stats: _RunStats) -> None:
+        """Rot replicas per the plan, always sparing one good copy per block."""
+        plan = self.plan
+        hdfs = self.cluster.hdfs
+        for m_index, node_name in plan.corrupt_replicas:
+            if m_index >= len(work.maps):
+                continue
+            split = work.maps[m_index].split
+            if split is None:
+                continue
+            if self._corrupt_if_safe(split[0], split[1], node_name):
+                stats.corrupt_replicas_injected += 1
+        if plan.corruption_rate <= 0.0:
+            return
+        # Rate-based bit rot: every replica is sampled exactly once over
+        # the cluster's lifetime (new files are sampled as they appear),
+        # from a stream independent of the task-failure rng.
+        for file_name in sorted(hdfs.files):
+            hfile = hdfs.files[file_name]
+            for b_index, block in enumerate(hfile.blocks):
+                for replica in block.replicas:
+                    key = (file_name, b_index, replica)
+                    if key in self._corruption_sampled:
+                        continue
+                    self._corruption_sampled.add(key)
+                    if self._corruption_rng.random() >= plan.corruption_rate:
+                        continue
+                    if self._corrupt_if_safe(file_name, b_index, replica):
+                        stats.corrupt_replicas_injected += 1
+
+    def _corrupt_if_safe(
+        self, file_name: str, b_index: int, node_name: str
+    ) -> bool:
+        """Mark one replica rotten unless it is the block's last good copy."""
+        hdfs = self.cluster.hdfs
+        hfile = hdfs.files.get(file_name)
+        if hfile is None or b_index >= len(hfile.blocks):
+            return False
+        block = hfile.blocks[b_index]
+        if node_name not in block.replicas:
+            return False
+        good = [
+            r
+            for r in block.replicas
+            if r != node_name
+            and not hdfs.is_replica_corrupt(file_name, b_index, r)
+        ]
+        if not good:
+            return False
+        return hdfs.corrupt_replica(file_name, b_index, node_name)
+
+    def _scrub_pass(self, at: float, stats: _RunStats) -> float:
+        """One DataBlockScanner sweep over every live datanode.
+
+        The scanner reads the datanode's *local* disk, so a network
+        partition does not stop the sweep — but a partitioned node's
+        bad-block reports only reach the namenode once the link heals.
+        """
+        scanner = DataBlockScanner(self.cluster.hdfs)
+        t_done = at
+        for node in self.cluster.slaves:
+            if self._node_dead_at(node.name, at):
+                continue
+            t, scanned, corrupt = scanner.scan_node(node, at)
+            stats.scrubbed_bytes += scanned
+            report_at = t
+            window = self._partition_at(node.name, t)
+            if window is not None:
+                report_at = max(report_at, window[1])
+            for block in corrupt:
+                stats.checksum_failures += 1
+                self._report_bad_replica(
+                    block.file_name, block.index, node.name, report_at,
+                    node, stats,
+                )
+            t_done = max(t_done, report_at if corrupt else t)
+        return t_done
+
+    def scrub(self, at: float | None = None) -> dict[str, float]:
+        """Run one full scrub sweep now; returns a summary of the pass."""
+        stats = _RunStats()
+        start = self.cluster.clock if at is None else at
+        t_done = self._scrub_pass(start, stats)
+        return {
+            "scrubbed_bytes": stats.scrubbed_bytes,
+            "corrupt_found": stats.checksum_failures,
+            "bad_blocks_reported": stats.bad_blocks_reported,
+            "re_replicated_bytes": stats.re_replicated_bytes,
+            "finished_at_s": t_done,
+        }
 
     def _speculate_map(
         self,
@@ -904,6 +1401,8 @@ class FaultyCluster:
             if n.name not in stragglers
             and not self.blacklist.is_blacklisted(n.name)
             and not self._node_dead_at(n.name, attempt_start)
+            and self._partition_at(n.name, attempt_start) is None
+            and not self.graylist.is_graylisted(n.name, attempt_start)
         ]
         if not candidates:
             return end, node
@@ -919,7 +1418,8 @@ class FaultyCluster:
         might_span = master_crash is not None and backup_start < master_crash[0]
         cp = self.cluster.checkpoint() if might_span else None
         backup_end = self._map_attempt_time(
-            task, m_index, backup_node, backup_start, stragglers, lost_replicas
+            task, m_index, backup_node, backup_start, stragglers, lost_replicas,
+            stats,
         )
         if master_crash is not None and backup_start < master_crash[0] < backup_end:
             # The backup is orphaned by the jobtracker crash; the original
@@ -980,7 +1480,7 @@ class FaultyCluster:
         failures = 0
         while faults > 0 and failures < policy.max_fetch_retries:
             done = self._transfer_segment(
-                map_nodes[m_index], reduce_node, fetch_at, segment
+                map_nodes[m_index], reduce_node, fetch_at, segment, stats
             )
             stats.shuffle_fetch_failures += 1
             stats.wasted_seconds += done - fetch_at
@@ -1001,16 +1501,19 @@ class FaultyCluster:
             map_nodes[m_index] = new_node
             fetch_at = new_end
         return self._transfer_segment(
-            map_nodes[m_index], reduce_node, fetch_at, segment
+            map_nodes[m_index], reduce_node, fetch_at, segment, stats
         )
 
     def _transfer_segment(
-        self, src: Node, dst: Node, at: float, segment: int
+        self, src: Node, dst: Node, at: float, segment: int, stats: _RunStats
     ) -> float:
         if src is dst:
             return src.disk.read(at, segment)
+        # A partitioned endpoint stalls the fetch until the link heals.
+        at = self._wait_out_partition(src.name, at)
+        at = self._wait_out_partition(dst.name, at)
         read_done = src.disk.read(at, segment)
-        return self.cluster.network.transfer(read_done, src.nic, dst.nic, segment)
+        return self._transfer_with_integrity(src, dst, read_done, segment, stats)
 
     # -- reduce attempts ------------------------------------------------------
 
@@ -1038,6 +1541,15 @@ class FaultyCluster:
                 max(shuffle_done, map_phase_end, node.reduce_slot_free[slot], t),
                 master_crash,
             )
+            window = self._partition_at(node.name, exec_start)
+            if window is not None:
+                # The chosen tracker is unreachable at launch time; pick
+                # another slot once the partition heals.
+                t = window[1]
+                node, slot = self._pick_reduce_retry_slot(t, attempts.tried_nodes)
+                continue
+            attempt_no = len(attempts.attempts)
+            self.fence.grant(attempts.task_id, attempt_no)
             might_span = master_crash is not None and exec_start < master_crash[0]
             cp = cluster.checkpoint() if might_span else None
             end = self._reduce_attempt_time(task, node, exec_start, stragglers)
@@ -1080,6 +1592,33 @@ class FaultyCluster:
                 t = crash_time + policy.heartbeat_timeout_s
                 node, slot = self._pick_reduce_retry_slot(t, attempts.tried_nodes)
                 continue
+            p_window = self._partition_spanning(node.name, exec_start, end)
+            if p_window is not None:
+                p_start, p_end = p_window
+                if p_end - p_start <= policy.heartbeat_timeout_s:
+                    # Unnoticed blip: completion reported at rejoin.
+                    end = max(end, p_end)
+                else:
+                    # Zombie reduce on a partitioned tracker: rescheduled
+                    # at the heartbeat timeout, fenced at commit when the
+                    # node rejoins.
+                    lost_at = p_start + policy.heartbeat_timeout_s
+                    self.fence.revoke(attempts.task_id, attempt_no)
+                    self.fence.try_commit(attempts.task_id, attempt_no)
+                    stats.attempts.append(attempts.record(
+                        node.name, exec_start, end, AttemptState.KILLED,
+                        "fenced zombie attempt (partitioned tasktracker rejoined)",
+                    ))
+                    stats.killed_attempts += 1
+                    stats.zombie_attempts_fenced += 1
+                    stats.wasted_seconds += end - exec_start
+                    node.procfs.record_task_kill()
+                    node.reduce_slot_free[slot] = end
+                    t = lost_at
+                    node, slot = self._pick_reduce_retry_slot(
+                        t, attempts.tried_nodes
+                    )
+                    continue
 
             fails = fail_budget.get(r_index, 0) > attempts.failures or (
                 plan.reduce_failure_rate > 0.0
@@ -1114,6 +1653,9 @@ class FaultyCluster:
                 )
                 if backup is not None:
                     end, node, slot = backup
+            # canCommit for the reduce side (always passes outside
+            # partitions — the tracker never went silent).
+            self.fence.try_commit(attempts.task_id, attempt_no)
             stats.attempts.append(attempts.record(
                 node.name, exec_start, end, AttemptState.SUCCEEDED,
             ))
@@ -1158,6 +1700,8 @@ class FaultyCluster:
             if n.name not in stragglers
             and not self.blacklist.is_blacklisted(n.name)
             and not self._node_dead_at(n.name, map_phase_end)
+            and self._partition_at(n.name, map_phase_end) is None
+            and not self.graylist.is_graylisted(n.name, map_phase_end)
         ]
         if not candidates:
             return None
@@ -1210,7 +1754,10 @@ class FaultyCluster:
         if not task.output_bytes:
             return now
         live = [
-            n for n in cluster.slaves if not self._node_dead_at(n.name, now)
+            n
+            for n in cluster.slaves
+            if not self._node_dead_at(n.name, now)
+            and self._partition_at(n.name, now) is None
         ]
         if node not in live:
             return now
@@ -1261,7 +1808,7 @@ class FaultyCluster:
         blacklist) when they would leave no candidate; dead nodes are
         never eligible.
         """
-        for soft_exclude in (exclude, set()):
+        for soft_pass, soft_exclude in ((True, exclude), (False, set())):
             best_node, best_slot, best_time = None, -1, float("inf")
             local_node, local_slot, local_time = None, -1, float("inf")
             for node in self.cluster.slaves:
@@ -1270,6 +1817,13 @@ class FaultyCluster:
                 slot = node.earliest_map_slot()
                 t = max(node.map_slot_free[slot], at)
                 if self._node_dead_at(node.name, t):
+                    continue
+                # A partitioned tracker is unreachable (hard); a freshly
+                # rejoined one is merely dodgy (soft — skipped unless it
+                # is the only option left).
+                if self._partition_at(node.name, t) is not None:
+                    continue
+                if soft_pass and self.graylist.is_graylisted(node.name, t):
                     continue
                 if t < best_time:
                     best_node, best_slot, best_time = node, slot, t
@@ -1294,7 +1848,14 @@ class FaultyCluster:
             for n in self.cluster.slaves
             if not self._node_dead_at(n.name, map_phase_end)
             and not self.blacklist.is_blacklisted(n.name)
+            and self._partition_at(n.name, map_phase_end) is None
         ]
+        steady = [
+            n for n in live
+            if not self.graylist.is_graylisted(n.name, map_phase_end)
+        ]
+        if steady:
+            live = steady
         if not live:
             raise JobFailedError("cluster", 0, "no live nodes left for reduces")
         node = live[r_index % len(live)]
@@ -1304,7 +1865,7 @@ class FaultyCluster:
     def _pick_reduce_retry_slot(
         self, at: float, exclude: set[str]
     ) -> tuple[Node, int]:
-        for soft_exclude in (exclude, set()):
+        for soft_pass, soft_exclude in ((True, exclude), (False, set())):
             candidates = [
                 n
                 for n in self.cluster.slaves
@@ -1312,6 +1873,16 @@ class FaultyCluster:
                 and not self.blacklist.is_blacklisted(n.name)
                 and not self._node_dead_at(
                     n.name, max(at, n.reduce_slot_free[n.earliest_reduce_slot()])
+                )
+                and self._partition_at(
+                    n.name, max(at, n.reduce_slot_free[n.earliest_reduce_slot()])
+                ) is None
+                and not (
+                    soft_pass
+                    and self.graylist.is_graylisted(
+                        n.name,
+                        max(at, n.reduce_slot_free[n.earliest_reduce_slot()]),
+                    )
                 )
             ]
             if candidates:

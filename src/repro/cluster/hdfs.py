@@ -12,6 +12,18 @@ under-replicated and which are gone entirely), and
 :meth:`Hdfs.re_replicate_block` picks the source/target pair the namenode
 would use to restore the replication degree — the cluster charges the
 actual disk reads and network transfer for that background copy traffic.
+
+Data integrity follows HDFS's end-to-end checksum design: every stored
+block carries a CRC32 per ``io.bytes.per.checksum``-sized chunk
+(:attr:`Hdfs.bytes_per_checksum`), and every read verifies them.  Bit-rot
+is modelled as a ground-truth set of corrupt replicas
+(:meth:`Hdfs.corrupt_replica`) that the *namenode does not know about*
+until a client read or a :class:`DataBlockScanner` scrub trips
+:class:`ChecksumError`; the detector then files
+:meth:`Hdfs.report_bad_block` (journaled, like ``reportBadBlocks``), the
+namenode invalidates the replica — mirroring Hadoop's
+``CorruptReplicasMap``, it never invalidates a block's *last* replica —
+and the caller re-replicates from a surviving good copy.
 """
 
 from __future__ import annotations
@@ -20,6 +32,19 @@ from dataclasses import dataclass, field, replace
 
 from repro.cluster.attempts import DataLossError
 from repro.cluster.node import Node
+
+
+class ChecksumError(IOError):
+    """A read's CRC32 verification failed: the replica's bytes are rotten."""
+
+    def __init__(self, file_name: str, index: int, node_name: str) -> None:
+        super().__init__(
+            f"checksum error reading {file_name!r} block {index} "
+            f"replica on {node_name}"
+        )
+        self.file_name = file_name
+        self.index = index
+        self.node_name = node_name
 
 
 @dataclass(frozen=True)
@@ -50,19 +75,33 @@ class HdfsFile:
 class Hdfs:
     """Block-placement directory over the cluster's slave nodes."""
 
-    def __init__(self, nodes: list[Node], block_size: int = 64 * 1024 * 1024, replication: int = 3):
+    def __init__(
+        self,
+        nodes: list[Node],
+        block_size: int = 64 * 1024 * 1024,
+        replication: int = 3,
+        bytes_per_checksum: int = 512,
+    ):
         if not nodes:
             raise ValueError("HDFS needs at least one datanode")
         if block_size <= 0:
             raise ValueError("block size must be positive")
         if replication <= 0:
             raise ValueError("replication must be positive")
+        if bytes_per_checksum <= 0:
+            raise ValueError("bytes_per_checksum must be positive")
         self.nodes = list(nodes)
         self.block_size = block_size
         self.replication = min(replication, len(self.nodes))
+        #: CRC32 chunk size, Hadoop's ``io.bytes.per.checksum`` (512 B).
+        self.bytes_per_checksum = bytes_per_checksum
         self.files: dict[str, HdfsFile] = {}
         self._placement_cursor = 0
         self._dead_nodes: set[str] = set()
+        #: ground truth of rotten replicas as ``(file, index, node)`` —
+        #: what the *disks* hold, unknown to the namenode until a read or
+        #: scrub detects it and files :meth:`report_bad_block`.
+        self._corrupt_replicas: set[tuple[str, int, str]] = set()
         #: blocks created below the configured replication degree because
         #: too few datanodes were alive at placement time (the namenode's
         #: under-replicated-blocks gauge).
@@ -97,7 +136,92 @@ class Hdfs:
 
     def delete_file(self, name: str) -> None:
         if self.files.pop(name, None) is not None:
+            self._corrupt_replicas = {
+                marker for marker in self._corrupt_replicas if marker[0] != name
+            }
             self._log_edit("delete_file", name)
+
+    # -- end-to-end checksums -------------------------------------------------
+
+    def checksum_chunks(self, num_bytes: int) -> int:
+        """CRC32 chunks covering *num_bytes* (``io.bytes.per.checksum``)."""
+        if num_bytes < 0:
+            raise ValueError("checksummed size must be non-negative")
+        return -(-num_bytes // self.bytes_per_checksum)
+
+    def corrupt_replica(self, file_name: str, index: int, node_name: str) -> bool:
+        """Rot the replica of block *index* of *file_name* held by *node_name*.
+
+        Fault injection: flips the ground truth without telling the
+        namenode — detection has to come from a verified read or a scrub.
+        Returns ``True`` if the replica was newly corrupted, ``False`` if
+        it was already rotten.  Raises for a replica that doesn't exist.
+        """
+        block = self.files[file_name].blocks[index]
+        if node_name not in block.replicas:
+            raise ValueError(
+                f"{node_name} holds no replica of {file_name!r} block {index}"
+            )
+        marker = (file_name, index, node_name)
+        if marker in self._corrupt_replicas:
+            return False
+        self._corrupt_replicas.add(marker)
+        return True
+
+    def is_replica_corrupt(self, file_name: str, index: int, node_name: str) -> bool:
+        return (file_name, index, node_name) in self._corrupt_replicas
+
+    @property
+    def corrupt_replica_count(self) -> int:
+        """Rotten replicas still sitting undetected on disks."""
+        return len(self._corrupt_replicas)
+
+    def corrupt_replicas(self) -> frozenset[tuple[str, int, str]]:
+        return frozenset(self._corrupt_replicas)
+
+    def verify_replica(self, file_name: str, index: int, node_name: str) -> int:
+        """Verify one replica's CRC32 chunks (an HDFS client read does this).
+
+        Returns the number of chunks verified; raises
+        :class:`ChecksumError` when the replica is rotten.  Verification
+        is pure arithmetic riding on the data already being read, so it
+        charges no simulated time.
+        """
+        block = self.files[file_name].blocks[index]
+        chunks = self.checksum_chunks(block.size_bytes)
+        if self.is_replica_corrupt(file_name, index, node_name):
+            raise ChecksumError(file_name, index, node_name)
+        return chunks
+
+    def report_bad_block(
+        self, file_name: str, index: int, node_name: str
+    ) -> Block | None:
+        """A client/scrubber reports a corrupt replica (``reportBadBlocks``).
+
+        The namenode drops the replica from the block's replica set
+        (journaled) so no future read lands on it, clearing the way for
+        re-replication from a good copy.  Like Hadoop's
+        ``CorruptReplicasMap`` it never invalidates the *last* replica —
+        corrupt data beats no data.  Returns the updated block (the
+        re-replication candidate), or ``None`` when nothing was dropped
+        (file deleted, replica already gone, or it was the last one).
+        """
+        self._corrupt_replicas.discard((file_name, index, node_name))
+        hfile = self.files.get(file_name)
+        if hfile is None or index >= len(hfile.blocks):
+            return None
+        current = hfile.blocks[index]
+        if node_name not in current.replicas:
+            return None
+        if len(current.replicas) <= 1:
+            # Never invalidate the only replica; keep the evidence.
+            self._corrupt_replicas.add((file_name, index, node_name))
+            return None
+        survivors = tuple(r for r in current.replicas if r != node_name)
+        updated = replace(current, replicas=survivors)
+        hfile.blocks[index] = updated
+        self._log_edit("report_bad_block", file_name, index, node_name)
+        return updated
 
     def _place(self) -> tuple[str, ...]:
         """Pick a replica set for one new block among the live datanodes.
@@ -144,6 +268,10 @@ class Hdfs:
         lost: list[Block] = []
         if already_dead:
             return under_replicated, lost
+        # Rotten replicas die with their disks.
+        self._corrupt_replicas = {
+            marker for marker in self._corrupt_replicas if marker[2] != name
+        }
         self._log_edit("fail_node", name)
         for hfile in self.files.values():
             for i, block in enumerate(hfile.blocks):
@@ -208,3 +336,44 @@ class Hdfs:
             for hfile in self.files.values()
             for block in hfile.blocks
         )
+
+
+class DataBlockScanner:
+    """The datanode's background scrubber (Hadoop's ``DataBlockScanner``).
+
+    Reads every block replica stored on a datanode and verifies its CRC32
+    chunks, so bit-rot on replicas nobody happens to read is still found.
+    The scan's reads are charged to the node's :class:`Disk` (FIFO, like
+    any other I/O) and counted as scrub traffic in the node's ``/proc``.
+    The scanner only *detects*: it returns the rotten replicas found, and
+    the namenode side (the caller) reports and re-replicates them.
+    """
+
+    def __init__(self, hdfs: Hdfs) -> None:
+        self.hdfs = hdfs
+
+    def scan_node(self, node: Node, at: float) -> tuple[float, int, list[Block]]:
+        """Scrub every replica on *node* starting at time *at*.
+
+        Returns ``(finish_time, bytes_scanned, corrupt_blocks)``.
+        """
+        t = at
+        scanned = 0
+        corrupt: list[Block] = []
+        for block in self.hdfs.blocks_on_node(node.name):
+            t = node.disk.read(t, block.size_bytes)
+            scanned += block.size_bytes
+            node.procfs.record_scrub(block.size_bytes)
+            try:
+                chunks = self.hdfs.verify_replica(
+                    block.file_name, block.index, node.name
+                )
+            except ChecksumError:
+                node.procfs.record_checksum(
+                    self.hdfs.checksum_chunks(block.size_bytes)
+                )
+                node.procfs.record_checksum_failure()
+                corrupt.append(block)
+            else:
+                node.procfs.record_checksum(chunks)
+        return t, scanned, corrupt

@@ -44,13 +44,17 @@ from repro.cluster.hdfs import Block, Hdfs, HdfsFile
 from repro.cluster.node import Node
 
 #: Edit-log operation names (mirroring the Hadoop 1.x edit-log opcodes
-#: OP_ADD / OP_DELETE / OP_DATANODE_REMOVE / OP_SET_REPLICATION).
+#: OP_ADD / OP_DELETE / OP_DATANODE_REMOVE / OP_SET_REPLICATION, plus the
+#: ``reportBadBlocks`` → invalidate path for corrupt replicas).
 OP_CREATE_FILE = "create_file"
 OP_DELETE_FILE = "delete_file"
 OP_FAIL_NODE = "fail_node"
 OP_RE_REPLICATE = "re_replicate_block"
+OP_BAD_BLOCK = "report_bad_block"
 
-_KNOWN_OPS = (OP_CREATE_FILE, OP_DELETE_FILE, OP_FAIL_NODE, OP_RE_REPLICATE)
+_KNOWN_OPS = (
+    OP_CREATE_FILE, OP_DELETE_FILE, OP_FAIL_NODE, OP_RE_REPLICATE, OP_BAD_BLOCK
+)
 
 
 @dataclass(frozen=True)
@@ -117,6 +121,14 @@ class FsImage:
     dead_nodes: tuple[str, ...]
     under_replicated_blocks: int
     files: tuple[tuple[str, tuple[Block, ...]], ...]
+    #: ground-truth rotten replicas at snapshot time — datanode state,
+    #: carried so a cluster checkpoint/restore round-trips bit-rot
+    #: exactly (replay-produced images start with none: bit-rot is a
+    #: fault, not a journaled namespace mutation).
+    corrupt_replicas: tuple[tuple[str, int, str], ...] = ()
+    #: CRC32 chunk size (``io.bytes.per.checksum``), part of the
+    #: namespace configuration like ``block_size``.
+    bytes_per_checksum: int = 512
 
     def file_names(self) -> tuple[str, ...]:
         return tuple(name for name, _blocks in self.files)
@@ -135,6 +147,8 @@ def snapshot(hdfs: Hdfs, txid: int = 0) -> FsImage:
         files=tuple(
             (name, tuple(hfile.blocks)) for name, hfile in hdfs.files.items()
         ),
+        corrupt_replicas=tuple(sorted(hdfs._corrupt_replicas)),
+        bytes_per_checksum=hdfs.bytes_per_checksum,
     )
 
 
@@ -153,12 +167,14 @@ def restore_into(hdfs: Hdfs, image: FsImage) -> Hdfs:
         )
     hdfs.block_size = image.block_size
     hdfs.replication = image.replication
+    hdfs.bytes_per_checksum = image.bytes_per_checksum
     hdfs._placement_cursor = image.placement_cursor
     hdfs._dead_nodes = set(image.dead_nodes)
     hdfs.under_replicated_blocks = image.under_replicated_blocks
     hdfs.files = {
         name: HdfsFile(name, list(blocks)) for name, blocks in image.files
     }
+    hdfs._corrupt_replicas = set(image.corrupt_replicas)
     return hdfs
 
 
@@ -182,6 +198,9 @@ def apply_op(hdfs: Hdfs, op: EditOp) -> None:
     elif op.op == OP_RE_REPLICATE:
         file_name, index = op.args
         hdfs.re_replicate_block(hdfs.files[file_name].blocks[index])
+    elif op.op == OP_BAD_BLOCK:
+        file_name, index, node_name = op.args
+        hdfs.report_bad_block(file_name, index, node_name)
     else:  # pragma: no cover - EditOp already validates
         raise ValueError(f"unknown edit-log op {op.op!r}")
 

@@ -5,13 +5,28 @@ pair of serialised half-duplex-per-direction channels (TX and RX) and the
 switch as non-blocking, so a transfer is limited by the slower of the
 sender's TX and the receiver's RX availability — the standard fabric model
 for rack-scale Hadoop clusters.
+
+Gray links: production networks drop packets long before they fail
+outright.  :meth:`Network.configure_loss` gives every link (or specific
+links) a seeded segment-drop probability; a lossy transfer pays a
+TCP-like price — the lost segments cross the wire again (charged to both
+NICs and the shared fabric) plus a retransmission-timeout stall per loss
+— and the retransmits show up in the ``/proc/net`` counters.  With all
+loss rates at zero the timing math is bit-identical to the loss-free
+path.
 """
 
 from __future__ import annotations
 
+import random
+
 from repro.perf.procfs import ProcFs
 
 GIGABIT_PER_S = 125e6  # 1 Gb/s in bytes/s
+
+#: TCP-segment granularity of the retransmit model: loss is sampled per
+#: segment of this size, and a lost segment is resent whole.
+SEGMENT_BYTES = 64 * 1024
 
 
 class Nic:
@@ -54,30 +69,109 @@ class Network:
         self.fabric_busy_until = 0.0
         self.transfers = 0
         self.bytes_moved = 0
+        # Gray-link state: a global segment-loss probability, optional
+        # per-(src, dst) overrides, and the seeded rng that samples the
+        # drops.  All zero/empty by default — the loss-free fast path.
+        self.loss_rate = 0.0
+        self.link_loss: dict[tuple[str, str], float] = {}
+        self.retransmit_timeout_s = 0.01
+        self.retransmits = 0
+        self.retransmit_bytes = 0
+        self._loss_seed = 0
+        self._rng = random.Random(self._loss_seed)
+
+    def configure_loss(
+        self,
+        loss_rate: float = 0.0,
+        link_loss: dict[tuple[str, str], float] | None = None,
+        retransmit_timeout_s: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        """Set the gray-link drop model (and reseed its rng).
+
+        ``loss_rate`` applies to every link; ``link_loss`` maps
+        ``(src_node, dst_node)`` pairs to per-link overrides.  Rates must
+        be in ``[0, 1)`` — a link that drops everything is a partition,
+        which is modelled at the fault-plan level, not here.
+        """
+        for rate in [loss_rate, *(link_loss or {}).values()]:
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("loss rates must be in [0, 1)")
+        if retransmit_timeout_s < 0:
+            raise ValueError("retransmit timeout must be non-negative")
+        self.loss_rate = loss_rate
+        self.link_loss = dict(link_loss or {})
+        self.retransmit_timeout_s = retransmit_timeout_s
+        self._loss_seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Fresh-fabric timeline: clear busy state, counters and the rng."""
+        self.fabric_busy_until = 0.0
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.retransmits = 0
+        self.retransmit_bytes = 0
+        self._rng = random.Random(self._loss_seed)
+
+    # -- checkpoint support (the cluster snapshots the loss rng too) --------
+
+    def rng_state(self) -> tuple:
+        return self._rng.getstate()
+
+    def set_rng_state(self, state: tuple) -> None:
+        self._rng.setstate(state)
+
+    def _loss_for(self, src: Nic, dst: Nic) -> float:
+        key = (src.procfs.node_name, dst.procfs.node_name)
+        return self.link_loss.get(key, self.loss_rate)
 
     def transfer(self, now: float, src: Nic, dst: Nic, num_bytes: int) -> float:
         """Move *num_bytes* from *src* to *dst* starting at *now*.
 
         Returns the completion time.  Transfers between a node and itself
         should not go through the network (the caller checks locality).
+        On a lossy link every dropped segment is resent (possibly more
+        than once — drops are sampled per transmission) and each loss
+        stalls the stream for one retransmission timeout; the resent
+        bytes occupy the NICs and fabric like any other traffic.
+        ``bytes_moved`` stays goodput; the wire overhead is tracked in
+        ``retransmit_bytes`` and the per-node ``/proc`` counters.
         """
         if num_bytes < 0:
             raise ValueError("transfer size must be non-negative")
         if src is dst:
             raise ValueError("local transfers do not use the network")
+        loss = self._loss_for(src, dst)
+        extra_bytes = 0
+        lost_segments = 0
+        if loss > 0.0 and num_bytes > 0:
+            remaining = num_bytes
+            while remaining > 0:
+                segment = min(SEGMENT_BYTES, remaining)
+                while self._rng.random() < loss:
+                    lost_segments += 1
+                    extra_bytes += segment
+                remaining -= segment
+        wire_bytes = num_bytes + extra_bytes
+        stall = lost_segments * self.retransmit_timeout_s
         start = max(now, src.tx_busy_until, dst.rx_busy_until)
         rate = min(src.bandwidth, dst.bandwidth)
         if self.fabric_bandwidth is not None:
             # Shared fabric: the transfer also occupies the switch core.
             start = max(start, self.fabric_busy_until)
-            done = start + self.latency_s + num_bytes / min(rate, self.fabric_bandwidth)
-            self.fabric_busy_until = start + num_bytes / self.fabric_bandwidth
+            done = start + self.latency_s + wire_bytes / min(rate, self.fabric_bandwidth) + stall
+            self.fabric_busy_until = start + wire_bytes / self.fabric_bandwidth
         else:
-            done = start + self.latency_s + num_bytes / rate
+            done = start + self.latency_s + wire_bytes / rate + stall
         src.tx_busy_until = done
         dst.rx_busy_until = done
-        src.procfs.record_net(tx_bytes=num_bytes)
-        dst.procfs.record_net(rx_bytes=num_bytes)
+        src.procfs.record_net(tx_bytes=wire_bytes)
+        dst.procfs.record_net(rx_bytes=wire_bytes)
+        if lost_segments:
+            src.procfs.record_net_retransmit(lost_segments, extra_bytes)
+            self.retransmits += lost_segments
+            self.retransmit_bytes += extra_bytes
         self.transfers += 1
         self.bytes_moved += num_bytes
         return done

@@ -136,6 +136,7 @@ class LocalEngine:
                     ),
                     output_bytes=wire_bytes,
                     preferred_nodes=dist.split_locations(split_index),
+                    split=dist.split_ref(split_index),
                 )
             )
 
@@ -259,3 +260,6 @@ class _LocalChunks:
 
     def split_locations(self, index: int) -> tuple[str, ...]:
         return ()
+
+    def split_ref(self, index: int) -> tuple[str, int] | None:
+        return None

@@ -98,6 +98,18 @@ class DistributedInput:
             return self.hfile.blocks[index].replicas
         return ()
 
+    def split_ref(self, index: int) -> tuple[str, int] | None:
+        """``(file_name, block_index)`` of the split's HDFS block, if any.
+
+        Lets the scheduler tie a map task back to the block it reads so
+        checksum verification and bad-block reporting hit the right
+        replica set.  Splits past the block list (tiny inputs) have no
+        backing block.
+        """
+        if index < len(self.hfile.blocks):
+            return (self.name, index)
+        return None
+
     @property
     def size_bytes(self) -> int:
         return self.hfile.size_bytes

@@ -56,6 +56,18 @@ class ProcFs:
         self.journal_edits = 0
         self.journal_checkpoints = 0
         self.master_restarts = 0
+        # Data-integrity counters (the HDFS client/datanode view): CRC
+        # chunks verified on read, verifications that failed (bit-rot or
+        # in-flight corruption), bad-block reports filed with the
+        # namenode, and DataBlockScanner scrub traffic.
+        self.checksum_verifications = 0
+        self.checksum_failures = 0
+        self.bad_block_reports = 0
+        self.scrub_bytes = 0
+        # Gray-network counters (the NIC's TCP view): segments
+        # retransmitted on lossy links and the wire bytes they cost.
+        self.net_retransmits = 0
+        self.net_retransmit_bytes = 0
         self.samples: list[DiskSample] = []
 
     # -- recording (called by the cluster model) ---------------------------
@@ -96,6 +108,28 @@ class ProcFs:
 
     def record_master_restart(self) -> None:
         self.master_restarts += 1
+
+    def record_checksum(self, chunks: int) -> None:
+        if chunks < 0:
+            raise ValueError("checksum chunk count must be non-negative")
+        self.checksum_verifications += chunks
+
+    def record_checksum_failure(self) -> None:
+        self.checksum_failures += 1
+
+    def record_bad_block_report(self) -> None:
+        self.bad_block_reports += 1
+
+    def record_scrub(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("scrub size must be non-negative")
+        self.scrub_bytes += num_bytes
+
+    def record_net_retransmit(self, segments: int, num_bytes: int) -> None:
+        if segments < 0 or num_bytes < 0:
+            raise ValueError("retransmit counts must be non-negative")
+        self.net_retransmits += segments
+        self.net_retransmit_bytes += num_bytes
 
     # -- sampling -----------------------------------------------------------
 
@@ -150,6 +184,17 @@ class ProcFs:
             f"tasks_killed {self.tasks_killed} "
             f"tasks_speculative {self.tasks_speculative} "
             f"fetch_failures {self.fetch_failures}"
+        )
+
+    def render_integrity(self) -> str:
+        """A datanode-status line of the integrity/gray-network counters."""
+        return (
+            f"{self.node_name}: checksum_verifications {self.checksum_verifications} "
+            f"checksum_failures {self.checksum_failures} "
+            f"bad_block_reports {self.bad_block_reports} "
+            f"scrub_bytes {self.scrub_bytes} "
+            f"net_retransmits {self.net_retransmits} "
+            f"net_retransmit_bytes {self.net_retransmit_bytes}"
         )
 
     def render_control_plane(self) -> str:

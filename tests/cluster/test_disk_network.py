@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.disk import Disk, WRITE_OP_BYTES
-from repro.cluster.network import Network, Nic
+from repro.cluster.network import Network, Nic, SEGMENT_BYTES
 from repro.perf.procfs import ProcFs
 
 
@@ -162,3 +162,120 @@ class TestOversubscribedFabric:
     def test_rejects_nonpositive_fabric(self):
         with pytest.raises(ValueError):
             Network(fabric_bandwidth=0)
+
+
+class TestNetworkInvariants:
+    """Physical invariants every transfer schedule must respect."""
+
+    def make_pair(self, latency=0.0002, fabric=None):
+        a, b = Nic(ProcFs("a")), Nic(ProcFs("b"))
+        return a, b, Network(latency_s=latency, fabric_bandwidth=fabric)
+
+    @pytest.mark.parametrize("num_bytes", [0, 1, 1000, SEGMENT_BYTES * 3 + 7])
+    @pytest.mark.parametrize("now", [0.0, 0.5, 123.456])
+    def test_transfer_never_beats_latency(self, now, num_bytes):
+        a, b, net = self.make_pair(latency=0.01)
+        assert net.transfer(now, a, b, num_bytes) >= now + net.latency_s
+
+    def test_lossy_transfer_never_beats_latency(self):
+        a, b, net = self.make_pair(latency=0.01)
+        net.configure_loss(loss_rate=0.5, seed=11)
+        for i in range(20):
+            now = 0.1 * i
+            assert net.transfer(now, a, b, 4096) >= now + net.latency_s
+
+    def test_fabric_capped_never_faster_than_uncapped(self):
+        # The same transfer schedule through an oversubscribed fabric can
+        # only finish later (or equal), never earlier.
+        schedule = [(0.0, 0, 1, 10_000_000), (0.0, 2, 3, 20_000_000),
+                    (0.1, 0, 3, 5_000_000), (0.2, 2, 1, 30_000_000)]
+        for fabric in (200e6, 125e6, 50e6):
+            free_nics = [Nic(ProcFs(f"n{i}")) for i in range(4)]
+            capped_nics = [Nic(ProcFs(f"n{i}")) for i in range(4)]
+            free = Network(latency_s=0.0002)
+            capped = Network(latency_s=0.0002, fabric_bandwidth=fabric)
+            for now, s, d, size in schedule:
+                t_free = free.transfer(now, free_nics[s], free_nics[d], size)
+                t_capped = capped.transfer(now, capped_nics[s], capped_nics[d], size)
+                assert t_capped >= t_free
+
+    def test_reset_restores_fresh_device_timeline(self):
+        a, b, net = self.make_pair()
+        net.configure_loss(loss_rate=0.2, seed=5)
+        first = [net.transfer(0.0, a, b, 300_000) for _ in range(3)]
+        net.reset()
+        a.reset()
+        b.reset()
+        again = [net.transfer(0.0, a, b, 300_000) for _ in range(3)]
+        # Identical timeline: busy state, counters *and* the loss rng
+        # all return to the fresh-device state.
+        assert again == first
+        assert net.transfers == 3
+
+    def test_reset_clears_retransmit_counters(self):
+        a, b, net = self.make_pair()
+        net.configure_loss(loss_rate=0.9, seed=1)
+        net.transfer(0.0, a, b, SEGMENT_BYTES * 4)
+        assert net.retransmits > 0
+        net.reset()
+        assert net.retransmits == 0
+        assert net.retransmit_bytes == 0
+        assert net.bytes_moved == 0
+
+
+class TestGrayLinks:
+    def make_pair(self):
+        a, b = Nic(ProcFs("a")), Nic(ProcFs("b"))
+        return a, b, Network(latency_s=0.0)
+
+    def test_zero_loss_is_bit_identical_to_unconfigured(self):
+        a1, b1, net1 = self.make_pair()
+        a2, b2, net2 = self.make_pair()
+        net2.configure_loss(loss_rate=0.0, seed=99)
+        for size in (0, 1, 1000, SEGMENT_BYTES * 5 + 3):
+            assert net2.transfer(0.0, a2, b2, size) == net1.transfer(0.0, a1, b1, size)
+        assert net2.retransmits == 0
+
+    def test_loss_is_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            a, b, net = self.make_pair()
+            net.configure_loss(loss_rate=0.3, seed=42)
+            results.append([net.transfer(0.0, a, b, SEGMENT_BYTES * 8)
+                            for _ in range(5)])
+        assert results[0] == results[1]
+
+    def test_lossy_link_never_faster_and_charges_wire_bytes(self):
+        a1, b1, clean = self.make_pair()
+        a2, b2, lossy = self.make_pair()
+        lossy.configure_loss(loss_rate=0.4, seed=7)
+        size = SEGMENT_BYTES * 16
+        t_clean = clean.transfer(0.0, a1, b1, size)
+        t_lossy = lossy.transfer(0.0, a2, b2, size)
+        assert t_lossy >= t_clean
+        # Goodput accounting unchanged; the overhead is tracked separately.
+        assert lossy.bytes_moved == size
+        assert a2.procfs.net_tx_bytes == size + lossy.retransmit_bytes
+        assert b2.procfs.net_rx_bytes == size + lossy.retransmit_bytes
+        assert a2.procfs.net_retransmits == lossy.retransmits
+
+    def test_per_link_override_beats_global_rate(self):
+        a, b, net = self.make_pair()
+        c = Nic(ProcFs("c"))
+        net.configure_loss(loss_rate=0.0, link_loss={("a", "b"): 0.9}, seed=3)
+        net.transfer(0.0, a, b, SEGMENT_BYTES * 8)
+        lossy_retransmits = net.retransmits
+        net.transfer(0.0, a, c, SEGMENT_BYTES * 8)
+        assert lossy_retransmits > 0
+        assert net.retransmits == lossy_retransmits  # clean link added none
+
+    def test_rejects_bad_loss_rates(self):
+        _, _, net = self.make_pair()
+        with pytest.raises(ValueError):
+            net.configure_loss(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            net.configure_loss(loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            net.configure_loss(link_loss={("a", "b"): 1.5})
+        with pytest.raises(ValueError):
+            net.configure_loss(retransmit_timeout_s=-1)
