@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""FIFO vs Fair scheduling of the same heavy-tailed multi-user trace.
+
+The paper measures each workload as the only job on a dedicated
+cluster; real data centers run many users' jobs at once.  This example
+plays one trace — a Sort elephant from the batch pool, four interactive
+mice arriving during its long map phase — through the shared cluster
+twice: once under Hadoop 1.x's default FIFO scheduler, once under the
+fair scheduler (interactive pool with a minimum share).  Same jobs,
+same arrivals, same outputs — very different waits.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.cluster.scheduler import FairScheduler, FifoScheduler
+from repro.cluster.tenancy import (
+    TraceJob,
+    WorkloadTrace,
+    default_pools,
+    run_mix,
+)
+
+CLUSTER = dict(num_slaves=2, map_slots=4, reduce_slots=2, block_size=64 * 1024)
+
+TRACE = WorkloadTrace(
+    (
+        TraceJob(0, "Sort", 0.3, 0.00, "bo", "batch", "large"),
+        TraceJob(1, "Grep", 0.05, 0.02, "ada", "interactive", "small"),
+        TraceJob(2, "WordCount", 0.05, 0.04, "carol", "interactive", "small"),
+        TraceJob(3, "Grep", 0.05, 0.06, "ada", "interactive", "small"),
+        TraceJob(4, "WordCount", 0.05, 0.08, "deepak", "interactive", "small"),
+    ),
+    seed=0,
+    arrival_rate_per_s=0.0,
+)
+
+
+def main() -> None:
+    fifo = run_mix(TRACE, FifoScheduler(), **CLUSTER)
+    fair = run_mix(TRACE, FairScheduler(pools=default_pools(TRACE)), **CLUSTER)
+
+    print("one Sort elephant + four interactive mice, 2 slaves x 4 map slots\n")
+    print(f"{'job':<4s}{'workload':<12s}{'pool':<13s}{'user':<8s}"
+          f"{'FIFO slowdown':>14s}{'Fair slowdown':>14s}")
+    print("-" * 65)
+    for fifo_report, fair_report in zip(fifo.reports, fair.reports):
+        tj = fifo_report.trace_job
+        print(f"{tj.index:<4d}{tj.workload:<12s}{tj.pool:<13s}{tj.user:<8s}"
+              f"{fifo_report.slowdown:>13.2f}x{fair_report.slowdown:>13.2f}x")
+
+    print("\nper-pool mean wait / slowdown:")
+    for name in TRACE.pools():
+        f_stats, z_stats = fifo.by_pool()[name], fair.by_pool()[name]
+        print(f"  {name:<13s}fifo {f_stats['mean_wait_s']:.3f}s /"
+              f" {f_stats['mean_slowdown']:.2f}x"
+              f"   fair {z_stats['mean_wait_s']:.3f}s /"
+              f" {z_stats['mean_slowdown']:.2f}x")
+
+    print(f"\nsmall-job mean slowdown: "
+          f"fifo {fifo.mean_slowdown(size_class='small'):.2f}x"
+          f" -> fair {fair.mean_slowdown(size_class='small'):.2f}x")
+    print(f"Jain fairness index:     "
+          f"fifo {fifo.jain_fairness():.3f}"
+          f" -> fair {fair.jain_fairness():.3f}")
+    print(f"outputs identical across schedulers: "
+          f"{fifo.outputs == fair.outputs}")
+    print("\nreading: FIFO parks the mice behind the elephant's map waves;"
+          "\nfair sharing hands them slots as they free, at a small cost to"
+          "\nthe elephant. Scheduling changes when, never what, jobs compute.")
+
+
+if __name__ == "__main__":
+    main()

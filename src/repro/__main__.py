@@ -15,6 +15,10 @@ Sub-commands mirror how the paper's artefacts are used:
 * ``domains``            — the Figure 1 domain shares
 * ``profile <workload>`` — sampled flat profile of the instruction stream
 * ``colocate <w> <w>..`` — co-locate workloads on one socket (shared LLC)
+* ``mix``                — a multi-tenant day of traffic: seeded heavy-tailed
+                            trace through the FIFO/Fair/Capacity scheduler
+                            (``--scheduler``, ``--jobs``, ``--rate``,
+                            ``--crash-node``, ``--partition``, ``--colocate``)
 """
 
 from __future__ import annotations
@@ -263,6 +267,111 @@ def _cmd_colocate(args) -> int:
     return 0
 
 
+def _cmd_mix(args) -> int:
+    import json
+
+    from repro.cluster import FaultPlan, JobFailedError
+    from repro.cluster.scheduler import make_scheduler
+    from repro.cluster.tenancy import (
+        characterize_colocation,
+        default_pools,
+        default_queues,
+        generate_trace,
+        run_mix,
+    )
+
+    parser = args.parser
+    if args.crash_time is not None and not args.crash_node:
+        parser.error("--crash-time requires --crash-node")
+    known = [f"slave{i}" for i in range(1, args.slaves + 1)]
+    if args.crash_node and args.crash_node not in known:
+        parser.error(f"--crash-node {args.crash_node!r} is not a slave "
+                     f"(have: {', '.join(known)})")
+    partitions = tuple(args.partition or ())
+    for part_node, _, _ in partitions:
+        if part_node not in known:
+            parser.error(f"--partition node {part_node!r} is not a slave "
+                         f"(have: {', '.join(known)})")
+
+    trace = generate_trace(
+        seed=args.seed, num_jobs=args.jobs, arrival_rate_per_s=args.rate
+    )
+    scheduler = make_scheduler(
+        args.scheduler,
+        pools=default_pools(trace),
+        queues=default_queues(trace),
+    )
+    plan = None
+    if args.crash_node or partitions:
+        node_crashes = ()
+        if args.crash_node:
+            crash_time = args.crash_time if args.crash_time is not None else 0.5
+            node_crashes = ((args.crash_node, crash_time),)
+        plan = FaultPlan(
+            node_crashes=node_crashes, partitions=partitions, seed=args.seed
+        )
+    try:
+        mix = run_mix(
+            trace,
+            scheduler,
+            num_slaves=args.slaves,
+            map_slots=args.map_slots,
+            reduce_slots=args.reduce_slots,
+            plan=plan,
+        )
+    except JobFailedError as error:
+        print(f"mix: {error}", file=sys.stderr)
+        return 1
+
+    colocation = None
+    if args.colocate:
+        colocation = characterize_colocation(mix, instructions=args.instructions)
+
+    if args.format == "json":
+        payload = mix.to_dict()
+        if args.colocate:
+            payload["colocation"] = colocation.to_dict() if colocation else None
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"{args.scheduler} scheduler: {len(trace.jobs)} jobs, "
+          f"{args.slaves} slave(s), makespan {mix.makespan_s:.3f}s, "
+          f"mean slowdown {mix.mean_slowdown():.2f}x, "
+          f"Jain {mix.jain_fairness():.3f}")
+    header = (f"{'job':<5s}{'workload':<14s}{'class':<8s}{'user':<8s}"
+              f"{'pool':<13s}{'arrive':>8s}{'wait':>8s}{'slowdown':>10s}")
+    print(header)
+    print("-" * len(header))
+    for report in mix.reports:
+        tj = report.trace_job
+        print(f"{tj.index:<5d}{tj.workload:<14s}{tj.size_class:<8s}"
+              f"{tj.user:<8s}{tj.pool:<13s}{tj.arrival_s:>8.3f}"
+              f"{report.wait_s:>8.3f}{report.slowdown:>9.2f}x")
+    print("per-pool:")
+    for name, stats in mix.by_pool().items():
+        print(f"  {name:<13s}{stats['jobs']:>3d} job(s)  "
+              f"mean wait {stats['mean_wait_s']:.3f}s  "
+              f"mean slowdown {stats['mean_slowdown']:.2f}x")
+    if plan is not None:
+        print("fault accounting:")
+        for key, value in mix.outcome.fault_accounting.to_dict().items():
+            if isinstance(value, list):
+                value = ", ".join(value) or "-"
+            elif isinstance(value, float):
+                value = f"{value:.3f}"
+            print(f"  {key:<24s}{value}")
+    if args.colocate:
+        if colocation is None:
+            print("co-location: no instant with two jobs' tasks on one node")
+        else:
+            print(f"co-location at t={colocation.time_s:.3f}s on "
+                  f"{colocation.node}: {', '.join(colocation.workloads)}")
+            for name in colocation.workloads:
+                print(f"  {name:<18s}solo IPC {colocation.solo_ipc[name]:.2f}  "
+                      f"shared-LLC slowdown {colocation.slowdowns[name]:.2f}x")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.perf.sampling import profile_trace
 
@@ -342,6 +451,38 @@ def build_parser() -> argparse.ArgumentParser:
     col.add_argument("workloads", nargs="+", help="two or more suite workloads")
     col.add_argument("--instructions", type=int, default=80_000)
     col.set_defaults(fn=_cmd_colocate)
+
+    mix = sub.add_parser("mix", help="multi-tenant trace through a scheduler")
+    mix.add_argument("--scheduler", choices=("fifo", "fair", "capacity"),
+                     default="fair", help="which Hadoop-1.x scheduler to model")
+    mix.add_argument("--jobs", type=int, default=8,
+                     help="number of trace jobs to generate")
+    mix.add_argument("--rate", type=_seconds, default=2.0, metavar="PER_SECOND",
+                     help="Poisson arrival rate (simulated jobs per second)")
+    mix.add_argument("--seed", type=int, default=0,
+                     help="trace + fault seed (mixes are reproducible)")
+    mix.add_argument("--slaves", type=int, default=4)
+    mix.add_argument("--map-slots", type=int, default=8,
+                     help="map slots per slave")
+    mix.add_argument("--reduce-slots", type=int, default=4,
+                     help="reduce slots per slave")
+    mix.add_argument("--crash-node", metavar="NAME",
+                     help="crash this slave mid-trace (e.g. slave2)")
+    mix.add_argument("--crash-time", type=_seconds, default=None,
+                     metavar="SECONDS",
+                     help="simulated time of the --crash-node crash "
+                          "(default 0.5; requires --crash-node)")
+    mix.add_argument("--partition", type=_partition, action="append",
+                     metavar="NODE:START:DURATION",
+                     help="partition this slave off the network "
+                          "(repeatable; e.g. slave1:0.1:1.0)")
+    mix.add_argument("--colocate", action="store_true",
+                     help="characterize the busiest co-located instant "
+                          "under a shared LLC")
+    mix.add_argument("--instructions", type=int, default=20_000,
+                     help="trace length per workload for --colocate")
+    mix.add_argument("--format", choices=("table", "json"), default="table")
+    mix.set_defaults(fn=_cmd_mix, parser=mix)
 
     prof = sub.add_parser("profile", help="sampled flat profile of a workload")
     prof.add_argument("workload")

@@ -23,7 +23,14 @@ paper measures it:
   shuffle/replica/master fault injection with Hadoop-1.x countermeasures;
 * :mod:`repro.cluster.chaos` — seeded chaos schedules over real workload
   runs, asserting outputs survive every fault class (including losing
-  the master mid-job under both recovery modes).
+  the master mid-job under both recovery modes);
+* :mod:`repro.cluster.scheduler` — multi-tenant job scheduling: pluggable
+  FIFO / Fair (pools, delay scheduling, preemption) / Capacity schedulers
+  and the :class:`MultiJobCluster` that interleaves many jobs over the
+  shared slot/disk/network/HDFS models;
+* :mod:`repro.cluster.tenancy` — trace-driven workload mixes: seeded
+  Poisson arrivals over a heavy-tailed job-size distribution, named
+  users/pools, fairness metrics, and shared-LLC co-location reports.
 """
 
 from repro.cluster.disk import Disk
@@ -44,6 +51,7 @@ from repro.cluster.cluster import (
     MapWork,
     NodeCheckpoint,
     ReduceWork,
+    StaleClusterError,
     make_cluster,
 )
 from repro.cluster.journal import (
@@ -79,6 +87,32 @@ from repro.cluster.chaos import (
     run_integrity_chaos,
     run_master_crash_chaos,
 )
+from repro.cluster.scheduler import (
+    CapacityScheduler,
+    FairScheduler,
+    FifoScheduler,
+    JobReport,
+    MixFaultAccounting,
+    MixOutcome,
+    MultiJobCluster,
+    PoolConfig,
+    QueueConfig,
+    Scheduler,
+    jain_index,
+    make_scheduler,
+)
+from repro.cluster.tenancy import (
+    ColocationReport,
+    MixResult,
+    TenantJobReport,
+    TraceJob,
+    WorkloadTrace,
+    characterize_colocation,
+    default_pools,
+    default_queues,
+    generate_trace,
+    run_mix,
+)
 
 __all__ = [
     "Disk",
@@ -97,6 +131,7 @@ __all__ = [
     "MapWork",
     "NodeCheckpoint",
     "ReduceWork",
+    "StaleClusterError",
     "make_cluster",
     "EditLog",
     "EditOp",
@@ -127,4 +162,26 @@ __all__ = [
     "run_chaos",
     "run_integrity_chaos",
     "run_master_crash_chaos",
+    "Scheduler",
+    "FifoScheduler",
+    "FairScheduler",
+    "CapacityScheduler",
+    "PoolConfig",
+    "QueueConfig",
+    "jain_index",
+    "make_scheduler",
+    "JobReport",
+    "MixFaultAccounting",
+    "MixOutcome",
+    "MultiJobCluster",
+    "TraceJob",
+    "WorkloadTrace",
+    "generate_trace",
+    "default_pools",
+    "default_queues",
+    "TenantJobReport",
+    "MixResult",
+    "run_mix",
+    "ColocationReport",
+    "characterize_colocation",
 ]

@@ -29,6 +29,18 @@ from repro.cluster.node import Node
 TASK_LOG_BYTES = 2048
 
 
+class StaleClusterError(RuntimeError):
+    """Raised when a job is submitted to a cluster whose slot state is
+    ahead of its clock — a partially-restored or hand-mutated cluster.
+
+    Hadoop's jobtracker refuses work while tasktrackers report state it
+    cannot reconcile; likewise :meth:`HadoopCluster.run_job` refuses to
+    silently schedule onto slots whose next-free times postdate the
+    cluster clock.  Call :meth:`HadoopCluster.reset` or restore a
+    consistent :class:`ClusterCheckpoint` first.
+    """
+
+
 @dataclass(frozen=True)
 class MapWork:
     """Resource demand of one map task."""
@@ -70,6 +82,8 @@ class JobWork:
     reduces: list[ReduceWork] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ValueError("a job needs a non-empty name")
         if not self.maps:
             raise ValueError("a job needs at least one map task")
 
@@ -128,6 +142,20 @@ class JobTimeline:
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        """JSON-serializable per-job report (see :mod:`repro.core.export`)."""
+        return {
+            "job_name": self.job_name,
+            "start_s": self.start_s,
+            "map_phase_end_s": self.map_phase_end_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "map_tasks": self.map_tasks,
+            "reduce_tasks": self.reduce_tasks,
+            "disk_writes_per_second": dict(self.disk_writes_per_second),
+            "network_bytes": self.network_bytes,
+        }
 
 
 class HadoopCluster:
@@ -285,6 +313,7 @@ class HadoopCluster:
           otherwise), then computes, then writes its HDFS output locally
           plus ``replication - 1`` remote copies.
         """
+        self.ensure_schedulable()
         start = self.clock
         net_bytes_before = self.network.bytes_moved
         for node in self.slaves:
@@ -295,30 +324,9 @@ class HadoopCluster:
         map_nodes: list[Node] = []
         map_outputs: list[int] = []
         for task in work.maps:
-            node, slot, ready = self._pick_map_slot(task, start, locality_wait)
-            task_start = max(ready, start)
-            now = task_start
-            if task.input_bytes:
-                if task.preferred_nodes and node.name not in task.preferred_nodes:
-                    # Remote read: replica holder's disk, then the network.
-                    src = self._slave_by_name.get(task.preferred_nodes[0])
-                    if src is not None and src is not node:
-                        read_done = src.disk.read(now, task.input_bytes)
-                        now = self.network.transfer(
-                            read_done, src.nic, node.nic, task.input_bytes
-                        )
-                    else:
-                        now = node.disk.read(now, task.input_bytes)
-                else:
-                    now = node.disk.read(now, task.input_bytes)
-                # Every HDFS read verifies its CRC32 chunks (pure
-                # arithmetic riding on the read — no simulated time).
-                node.procfs.record_checksum(
-                    self.hdfs.checksum_chunks(task.input_bytes)
-                )
-            now += node.cpu_time(task.cpu_seconds)
-            now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
-            node.map_slot_free[slot] = now
+            _task_start, now, node, _slot = self._charge_map_task(
+                task, start, locality_wait
+            )
             map_end_times.append(now)
             map_nodes.append(node)
             map_outputs.append(task.output_bytes)
@@ -326,6 +334,67 @@ class HadoopCluster:
         return self._finish_reduce_phase(
             work, start, net_bytes_before, map_end_times, map_nodes, map_outputs
         )
+
+    def ensure_schedulable(self) -> None:
+        """Refuse to schedule onto a cluster whose slots are ahead of its clock."""
+        stale = sorted(
+            node.name
+            for node in self.slaves
+            if any(t > self.clock for t in node.map_slot_free)
+            or any(t > self.clock for t in node.reduce_slot_free)
+        )
+        if stale:
+            raise StaleClusterError(
+                "cluster state is not schedulable: slot next-free times on "
+                f"{', '.join(stale)} postdate the cluster clock "
+                f"({self.clock:.6f}s) — this cluster was partially restored "
+                "or mutated mid-job; call reset() or restore a consistent "
+                "checkpoint before running a job"
+            )
+
+    def _charge_map_on(self, task: MapWork, node: Node, at: float) -> float:
+        """Charge one map task's read/CPU/spill on *node* from time *at*.
+
+        Returns the task's end time.  Pure charging — no slot bookkeeping —
+        so the stock executor, the multi-job dispatcher and the fault
+        schedulers all replay the exact same primitive sequence.
+        """
+        now = at
+        if task.input_bytes:
+            if task.preferred_nodes and node.name not in task.preferred_nodes:
+                # Remote read: replica holder's disk, then the network.
+                src = self._slave_by_name.get(task.preferred_nodes[0])
+                if src is not None and src is not node:
+                    read_done = src.disk.read(now, task.input_bytes)
+                    now = self.network.transfer(
+                        read_done, src.nic, node.nic, task.input_bytes
+                    )
+                else:
+                    now = node.disk.read(now, task.input_bytes)
+            else:
+                now = node.disk.read(now, task.input_bytes)
+            # Every HDFS read verifies its CRC32 chunks (pure
+            # arithmetic riding on the read — no simulated time).
+            node.procfs.record_checksum(
+                self.hdfs.checksum_chunks(task.input_bytes)
+            )
+        now += node.cpu_time(task.cpu_seconds)
+        return node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
+
+    def _charge_map_task(
+        self, task: MapWork, floor: float, locality_wait: float
+    ) -> tuple[float, float, Node, int]:
+        """Pick a slot (delay scheduling) and charge one map task.
+
+        *floor* is the earliest time the task may start (the job's start
+        in the stock single-job path; the owning job's dispatch floor in
+        the multi-job path).  Returns ``(task_start, end, node, slot)``.
+        """
+        node, slot, ready = self._pick_map_slot(task, floor, locality_wait)
+        task_start = max(ready, floor)
+        now = self._charge_map_on(task, node, task_start)
+        node.map_slot_free[slot] = now
+        return task_start, now, node, slot
 
     def _finish_reduce_phase(
         self,
@@ -336,12 +405,45 @@ class HadoopCluster:
         map_nodes: list[Node],
         map_outputs: list[int],
     ) -> JobTimeline:
-        """Shuffle + reduce + output replication, shared by the stock and
-        fault-injected schedulers."""
+        """Charge the reduce phase, advance the clock and build the timeline."""
+        end, map_phase_end, _spans = self._charge_reduce_phase(
+            work, start, map_end_times, map_nodes, map_outputs
+        )
+        self.clock = end
+        rates: dict[str, float] = {}
+        for node in self.slaves:
+            node.procfs.sample(end)
+            rates[node.name] = node.procfs.disk_writes_per_second()
+        return JobTimeline(
+            job_name=work.name,
+            start_s=start,
+            map_phase_end_s=map_phase_end,
+            end_s=end,
+            map_tasks=len(work.maps),
+            reduce_tasks=len(work.reduces),
+            disk_writes_per_second=rates,
+            network_bytes=self.network.bytes_moved - net_bytes_before,
+        )
+
+    def _charge_reduce_phase(
+        self,
+        work: JobWork,
+        start: float,
+        map_end_times: list[float],
+        map_nodes: list[Node],
+        map_outputs: list[int],
+    ) -> tuple[float, float, list[tuple[Node, float, float]]]:
+        """Shuffle + reduce + output replication (pure charging).
+
+        Returns ``(end, map_phase_end, reduce_spans)`` where *reduce_spans*
+        is one ``(node, exec_start, end)`` per reduce task — what the
+        multi-job dispatcher records for slot-occupancy accounting.
+        """
         map_phase_end = max(map_end_times) if map_end_times else start
         total_map_output = sum(map_outputs)
 
         end = map_phase_end
+        reduce_spans: list[tuple[Node, float, float]] = []
         # Two passes keep simulated causality straight: every reducer's
         # shuffle reads are issued (at map-finish times) before any
         # reducer's output writes, as in a real run where the copy phase
@@ -366,8 +468,8 @@ class HadoopCluster:
         for (node, slot, _ready), task, shuffle_done in zip(
             placements, work.reduces, shuffle_done_times
         ):
-            now = max(shuffle_done, map_phase_end, node.reduce_slot_free[slot])
-            now += node.cpu_time(task.cpu_seconds)
+            exec_start = max(shuffle_done, map_phase_end, node.reduce_slot_free[slot])
+            now = exec_start + node.cpu_time(task.cpu_seconds)
             now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
             if task.output_bytes:
                 # HDFS replication: pipeline copies to other slaves.
@@ -377,24 +479,10 @@ class HadoopCluster:
                     sent = self.network.transfer(now, node.nic, dst.nic, task.output_bytes)
                     now = max(now, dst.disk.write(sent, task.output_bytes))
             node.reduce_slot_free[slot] = now
+            reduce_spans.append((node, exec_start, now))
             if now > end:
                 end = now
-
-        self.clock = end
-        rates: dict[str, float] = {}
-        for node in self.slaves:
-            node.procfs.sample(end)
-            rates[node.name] = node.procfs.disk_writes_per_second()
-        return JobTimeline(
-            job_name=work.name,
-            start_s=start,
-            map_phase_end_s=map_phase_end,
-            end_s=end,
-            map_tasks=len(work.maps),
-            reduce_tasks=len(work.reduces),
-            disk_writes_per_second=rates,
-            network_bytes=self.network.bytes_moved - net_bytes_before,
-        )
+        return end, map_phase_end, reduce_spans
 
     # -- slot selection --------------------------------------------------------
 

@@ -393,6 +393,16 @@ class FaultyTimeline:
             "graylisted_nodes": self.graylisted_nodes,
         }
 
+    def to_dict(self) -> dict:
+        """JSON-serializable report: the timeline plus resilience counters."""
+        report = self.timeline.to_dict()
+        accounting = self.accounting()
+        for key in ("nodes_crashed", "blacklisted_nodes", "nodes_partitioned",
+                    "graylisted_nodes"):
+            accounting[key] = list(accounting[key])
+        report["resilience"] = accounting
+        return report
+
 
 class _RunStats:
     """Mutable accumulator for one run's resilience counters.

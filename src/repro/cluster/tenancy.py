@@ -1,0 +1,466 @@
+"""Trace-driven workload mixes: "a day of traffic" as one seeded object.
+
+Chen et al.'s cross-industry MapReduce study (PAPERS.md) found production
+clusters dominated by heavy-tailed job mixes — most submissions are small
+interactive jobs (ad-hoc queries, greps) while a thin tail of large batch
+jobs moves most of the bytes.  :func:`generate_trace` reproduces that
+regime over this repo's eleven DA workloads (plus Hive queries) with
+seeded Poisson arrivals and named users/pools, and :func:`run_mix` plays
+a trace through :class:`~repro.cluster.scheduler.MultiJobCluster` under
+any scheduler, with optional fault injection.
+
+Functional outputs are computed on a per-job *shadow cluster* (the same
+paper-shaped cluster, dedicated to that job), which pins down three
+things at once:
+
+* the job's **output** — byte-identical regardless of scheduler or
+  faults, because scheduling only decides *when* charges happen, never
+  what the map/reduce functions compute (the chaos acceptance test
+  asserts this);
+* the job's **ideal solo duration**, the denominator of its slowdown;
+* the per-task byte/CPU demands (``JobWork``) that the shared cluster
+  schedules.
+
+Co-location hook: :func:`characterize_colocation` finds the busiest
+instant of the mix and characterizes the distinct workloads co-resident
+on one node under a shared LLC via :mod:`repro.uarch.multicore`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import make_cluster
+from repro.cluster.faults import FaultPlan
+from repro.cluster.scheduler import (
+    MixOutcome,
+    MultiJobCluster,
+    PoolConfig,
+    QueueConfig,
+    Scheduler,
+    jain_index,
+)
+__all__ = [
+    "TraceJob",
+    "WorkloadTrace",
+    "generate_trace",
+    "default_pools",
+    "default_queues",
+    "TenantJobReport",
+    "MixResult",
+    "run_mix",
+    "ColocationReport",
+    "characterize_colocation",
+]
+
+#: size classes of the heavy-tailed mix: (probability, pool, choices),
+#: where each choice is (workload name, base scale).  Probabilities follow
+#: Chen et al.'s "most jobs are small" production shape: ~70 % small
+#: interactive queries, ~25 % medium analytics, ~5 % large batch.
+DEFAULT_MIX: tuple[tuple[str, float, str, tuple[tuple[str, float], ...]], ...] = (
+    (
+        "small",
+        0.70,
+        "interactive",
+        (("Grep", 0.06), ("WordCount", 0.06), ("Hive-bench", 0.08)),
+    ),
+    (
+        "medium",
+        0.25,
+        "analytics",
+        (("WordCount", 0.2), ("Naive Bayes", 0.15), ("K-means", 0.15)),
+    ),
+    (
+        "large",
+        0.05,
+        "batch",
+        (("Sort", 0.35), ("PageRank", 0.3)),
+    ),
+)
+
+DEFAULT_USERS = ("ada", "bo", "carol", "deepak")
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One submission of a workload trace."""
+
+    index: int
+    workload: str
+    scale: float
+    arrival_s: float
+    user: str
+    pool: str
+    size_class: str
+
+    def __post_init__(self) -> None:
+        # Imported here: repro.workloads.base itself imports the cluster
+        # package, so a module-level import would be circular.
+        from repro.workloads.base import WORKLOAD_NAMES
+
+        if self.workload not in WORKLOAD_NAMES:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if not (self.scale > 0 and math.isfinite(self.scale)):
+            raise ValueError("scale must be positive and finite")
+        if not (self.arrival_s >= 0 and math.isfinite(self.arrival_s)):
+            raise ValueError("arrival_s must be finite and non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "scale": self.scale,
+            "arrival_s": self.arrival_s,
+            "user": self.user,
+            "pool": self.pool,
+            "size_class": self.size_class,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A reproducible sequence of job submissions."""
+
+    jobs: tuple[TraceJob, ...]
+    seed: int
+    arrival_rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a trace needs at least one job")
+        arrivals = [job.arrival_s for job in self.jobs]
+        if arrivals != sorted(arrivals):
+            raise ValueError("trace jobs must be sorted by arrival time")
+
+    def pools(self) -> list[str]:
+        return sorted({job.pool for job in self.jobs})
+
+    def users(self) -> list[str]:
+        return sorted({job.user for job in self.jobs})
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "arrival_rate_per_s": self.arrival_rate_per_s,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+
+def generate_trace(
+    seed: int = 0,
+    num_jobs: int = 12,
+    arrival_rate_per_s: float = 2.0,
+    users: tuple[str, ...] = DEFAULT_USERS,
+    mix=DEFAULT_MIX,
+) -> WorkloadTrace:
+    """Draw a seeded heavy-tailed trace: Poisson arrivals, mixed sizes."""
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be at least 1")
+    if not (arrival_rate_per_s > 0 and math.isfinite(arrival_rate_per_s)):
+        raise ValueError("arrival_rate_per_s must be positive and finite")
+    if not users:
+        raise ValueError("need at least one user")
+    rng = random.Random(f"tenancy:{seed}")
+    classes = [entry[0] for entry in mix]
+    weights = [entry[1] for entry in mix]
+    by_class = {entry[0]: (entry[2], entry[3]) for entry in mix}
+    clock = 0.0
+    jobs = []
+    for index in range(num_jobs):
+        clock += rng.expovariate(arrival_rate_per_s)
+        size_class = rng.choices(classes, weights=weights)[0]
+        pool, choices = by_class[size_class]
+        name, base_scale = rng.choice(choices)
+        scale = round(base_scale * rng.uniform(0.75, 1.25), 4)
+        jobs.append(
+            TraceJob(
+                index=index,
+                workload=name,
+                scale=scale,
+                arrival_s=round(clock, 6),
+                user=rng.choice(users),
+                pool=pool,
+                size_class=size_class,
+            )
+        )
+    return WorkloadTrace(tuple(jobs), seed, arrival_rate_per_s)
+
+
+def default_pools(trace: WorkloadTrace, min_share: int = 2) -> list[PoolConfig]:
+    """Fair-scheduler pools for a trace: interactive pools get a minimum
+    share and double weight, batch runs at weight 1."""
+    pools = []
+    for name in trace.pools():
+        if name == "interactive":
+            pools.append(PoolConfig(name, weight=2.0, min_share=min_share))
+        else:
+            pools.append(PoolConfig(name))
+    return pools
+
+
+def default_queues(trace: WorkloadTrace) -> list[QueueConfig]:
+    """Capacity-scheduler queues: equal capacity split, 50 % user limit."""
+    names = trace.pools()
+    share = 1.0 / len(names)
+    return [QueueConfig(name, capacity=share, user_limit=0.5) for name in names]
+
+
+@dataclass
+class TenantJobReport:
+    """End-to-end accounting for one trace job (its whole stage chain)."""
+
+    trace_job: TraceJob
+    job_ids: tuple[str, ...]
+    first_launch_s: float
+    finished_s: float
+    ideal_s: float
+
+    @property
+    def wait_s(self) -> float:
+        return self.first_launch_s - self.trace_job.arrival_s
+
+    @property
+    def turnaround_s(self) -> float:
+        return self.finished_s - self.trace_job.arrival_s
+
+    @property
+    def slowdown(self) -> float:
+        """Turnaround over the job's solo (dedicated-cluster) duration."""
+        if self.ideal_s <= 0:
+            return 1.0
+        return self.turnaround_s / self.ideal_s
+
+    def to_dict(self) -> dict:
+        return {
+            **self.trace_job.to_dict(),
+            "job_ids": list(self.job_ids),
+            "first_launch_s": self.first_launch_s,
+            "finished_s": self.finished_s,
+            "ideal_s": self.ideal_s,
+            "wait_s": self.wait_s,
+            "turnaround_s": self.turnaround_s,
+            "slowdown": self.slowdown,
+        }
+
+
+@dataclass
+class MixResult:
+    """A trace played through one scheduler on one shared cluster."""
+
+    scheduler: str
+    trace: WorkloadTrace
+    reports: list[TenantJobReport]
+    outcome: MixOutcome
+    outputs: dict[int, object] = field(repr=False, default_factory=dict)
+
+    def _select(self, pool=None, size_class=None, user=None):
+        return [
+            r
+            for r in self.reports
+            if (pool is None or r.trace_job.pool == pool)
+            and (size_class is None or r.trace_job.size_class == size_class)
+            and (user is None or r.trace_job.user == user)
+        ]
+
+    def mean_slowdown(self, pool=None, size_class=None, user=None) -> float:
+        chosen = self._select(pool, size_class, user)
+        if not chosen:
+            raise ValueError("no trace jobs match the selection")
+        return sum(r.slowdown for r in chosen) / len(chosen)
+
+    def mean_wait(self, pool=None, size_class=None, user=None) -> float:
+        chosen = self._select(pool, size_class, user)
+        if not chosen:
+            raise ValueError("no trace jobs match the selection")
+        return sum(r.wait_s for r in chosen) / len(chosen)
+
+    def jain_fairness(self, by: str = "job") -> float:
+        """Jain's index over per-job slowdowns, or per-user/pool means."""
+        if by == "job":
+            return jain_index([r.slowdown for r in self.reports])
+        if by == "user":
+            groups = {r.trace_job.user for r in self.reports}
+            return jain_index([self.mean_slowdown(user=g) for g in sorted(groups)])
+        if by == "pool":
+            groups = {r.trace_job.pool for r in self.reports}
+            return jain_index([self.mean_slowdown(pool=g) for g in sorted(groups)])
+        raise ValueError("by must be 'job', 'user' or 'pool'")
+
+    def by_pool(self) -> dict[str, dict]:
+        out = {}
+        for name in self.trace.pools():
+            chosen = self._select(pool=name)
+            if not chosen:
+                continue
+            out[name] = {
+                "jobs": len(chosen),
+                "mean_wait_s": sum(r.wait_s for r in chosen) / len(chosen),
+                "mean_slowdown": sum(r.slowdown for r in chosen) / len(chosen),
+            }
+        return out
+
+    @property
+    def makespan_s(self) -> float:
+        return self.outcome.end_s
+
+    def to_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "trace": self.trace.to_dict(),
+            "makespan_s": self.makespan_s,
+            "mean_slowdown": self.mean_slowdown(),
+            "jain_fairness": self.jain_fairness(),
+            "jain_fairness_by_user": self.jain_fairness(by="user"),
+            "by_pool": self.by_pool(),
+            "jobs": [r.to_dict() for r in self.reports],
+            "outcome": self.outcome.to_dict(),
+        }
+
+
+def run_mix(
+    trace: WorkloadTrace,
+    scheduler: Scheduler | None = None,
+    num_slaves: int = 4,
+    map_slots: int = 8,
+    reduce_slots: int = 4,
+    block_size: int = 256 * 1024,
+    plan: FaultPlan | None = None,
+) -> MixResult:
+    """Play *trace* through a shared cluster under *scheduler*.
+
+    The shared cluster is paper-shaped but with fewer slots per slave by
+    default (8 map / 4 reduce), so a trace of modest scale actually
+    contends for slots the way a loaded production cluster does.
+    """
+    from repro.workloads.base import workload
+
+    shared = make_cluster(
+        num_slaves=num_slaves,
+        map_slots=map_slots,
+        reduce_slots=reduce_slots,
+        block_size=block_size,
+    )
+    multi = MultiJobCluster(shared, scheduler, plan=plan)
+    ideals: dict[int, float] = {}
+    outputs: dict[int, object] = {}
+    chains: dict[int, tuple[str, ...]] = {}
+    for tjob in trace.jobs:
+        shadow = make_cluster(
+            num_slaves=num_slaves,
+            map_slots=map_slots,
+            reduce_slots=reduce_slots,
+            block_size=block_size,
+        )
+        run = workload(tjob.workload).run(scale=tjob.scale, cluster=shadow)
+        ideals[tjob.index] = run.duration_s
+        outputs[tjob.index] = run.output
+        works = [result.work for result in run.job_results]
+        chain = multi.submit_chain(
+            works,
+            arrival_s=tjob.arrival_s,
+            user=tjob.user,
+            pool=tjob.pool,
+            id_prefix=f"t{tjob.index:03d}",
+        )
+        chains[tjob.index] = tuple(job.job_id for job in chain)
+    outcome = multi.run()
+    reports = []
+    for tjob in trace.jobs:
+        stage_reports = [outcome.report(job_id) for job_id in chains[tjob.index]]
+        reports.append(
+            TenantJobReport(
+                trace_job=tjob,
+                job_ids=chains[tjob.index],
+                first_launch_s=min(r.first_launch_s for r in stage_reports),
+                finished_s=max(r.finished_s for r in stage_reports),
+                ideal_s=ideals[tjob.index],
+            )
+        )
+    return MixResult(
+        scheduler=multi.scheduler.name,
+        trace=trace,
+        reports=reports,
+        outcome=outcome,
+        outputs=outputs,
+    )
+
+
+# -- LLC co-location characterization -----------------------------------------
+
+
+@dataclass
+class ColocationReport:
+    """Shared-LLC characterization of one node's busiest instant."""
+
+    time_s: float
+    node: str
+    workloads: tuple[str, ...]
+    slowdowns: dict[str, float]
+    solo_ipc: dict[str, float]
+
+    def worst(self) -> tuple[str, float]:
+        name = max(self.slowdowns, key=self.slowdowns.get)
+        return name, self.slowdowns[name]
+
+    def to_dict(self) -> dict:
+        return {
+            "time_s": self.time_s,
+            "node": self.node,
+            "workloads": list(self.workloads),
+            "slowdowns": dict(self.slowdowns),
+            "solo_ipc": dict(self.solo_ipc),
+        }
+
+
+def characterize_colocation(
+    mix: MixResult,
+    instructions: int = 20_000,
+    machine_scale: int = 8,
+    seed: int = 0,
+) -> ColocationReport | None:
+    """Characterize the mix's most co-located (node, instant) under a
+    shared LLC.
+
+    Finds the node/instant where the most *distinct workloads* have tasks
+    resident at once, builds each workload's trace spec, and runs them
+    through :class:`repro.uarch.multicore.MultiCoreSystem`.  Returns
+    ``None`` when no two distinct workloads ever co-reside.
+    """
+    from repro.uarch.config import scaled_machine
+    from repro.uarch.multicore import MultiCoreSystem
+    from repro.workloads.base import workload
+
+    owner: dict[str, str] = {}
+    for report in mix.reports:
+        for job_id in report.job_ids:
+            owner[job_id] = report.trace_job.workload
+    best: tuple[int, float, str, tuple[str, ...]] | None = None
+    for interval in mix.outcome.task_intervals:
+        t = interval.start_s
+        resident = sorted(
+            {
+                owner[iv.job_id]
+                for iv in mix.outcome.task_intervals
+                if iv.node == interval.node and iv.start_s <= t < iv.end_s
+            }
+        )
+        key = (len(resident), -t, interval.node, tuple(resident))
+        if best is None or key > best:
+            best = key
+    if best is None or best[0] < 2:
+        return None
+    count, neg_t, node, names = best
+    specs = [
+        workload(name).trace_spec(instructions, seed=seed).scaled(machine_scale)
+        for name in names
+    ]
+    result = MultiCoreSystem(scaled_machine(machine_scale)).run_colocated(specs)
+    return ColocationReport(
+        time_s=-neg_t,
+        node=node,
+        workloads=tuple(names),
+        slowdowns=dict(result.slowdowns),
+        solo_ipc={name: result.solo[name].ipc() for name in names},
+    )

@@ -4,6 +4,12 @@ The paper's plots are bar charts per workload; downstream users want the
 series as data.  These helpers serialise a suite characterization into
 one flat table, one row per workload, with every Figure 3–12 metric —
 suitable for spreadsheets, pandas, or re-plotting.
+
+Alongside the figure tables there are per-job exports: cluster
+``JobTimeline``s (one row per job, disk rates flattened per node) and
+multi-tenant ``MixResult``s (one row per trace job with wait/turnaround/
+slowdown), so a whole scheduled day of traffic serialises the same way a
+single characterization does.
 """
 
 from __future__ import annotations
@@ -67,3 +73,96 @@ def to_csv(chars: list[Characterization]) -> str:
 def to_json(chars: list[Characterization], indent: int | None = 2) -> str:
     """The full metric table as a JSON array."""
     return json.dumps(characterizations_to_rows(chars), indent=indent)
+
+
+#: scalar columns of a per-job timeline export (disk rates are appended
+#: per node, in sorted node order, as ``disk_writes_per_second_<node>``)
+TIMELINE_COLUMNS = [
+    "job_name",
+    "start_s",
+    "map_phase_end_s",
+    "end_s",
+    "duration_s",
+    "map_tasks",
+    "reduce_tasks",
+    "network_bytes",
+]
+
+
+def timelines_to_rows(timelines: list) -> list[dict]:
+    """One flat dict per job timeline.
+
+    Accepts anything with a ``JobTimeline``-shaped ``to_dict()`` —
+    including :class:`~repro.cluster.faults.FaultyTimeline`, whose
+    resilience counters are dropped from the flat table (use
+    ``to_dict()`` directly when you want them).
+    """
+    dicts = [t.to_dict() for t in timelines]
+    nodes = sorted({node for d in dicts for node in d["disk_writes_per_second"]})
+    rows = []
+    for d in dicts:
+        row = {column: d[column] for column in TIMELINE_COLUMNS}
+        rates = d["disk_writes_per_second"]
+        for node in nodes:
+            row[f"disk_writes_per_second_{node}"] = rates.get(node, 0.0)
+        rows.append(row)
+    return rows
+
+
+def timelines_to_csv(timelines: list) -> str:
+    """Per-job timeline table as CSV text."""
+    rows = timelines_to_rows(timelines)
+    fieldnames = list(rows[0]) if rows else TIMELINE_COLUMNS
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def timelines_to_json(timelines: list, indent: int | None = 2) -> str:
+    """Per-job reports as a JSON array (full ``to_dict()``, nothing dropped)."""
+    return json.dumps([t.to_dict() for t in timelines], indent=indent)
+
+
+#: column order of the per-trace-job mix export
+MIX_COLUMNS = [
+    "index",
+    "workload",
+    "scale",
+    "size_class",
+    "user",
+    "pool",
+    "arrival_s",
+    "first_launch_s",
+    "finished_s",
+    "ideal_s",
+    "wait_s",
+    "turnaround_s",
+    "slowdown",
+]
+
+
+def mix_to_rows(mix) -> list[dict]:
+    """One dict per trace job of a :class:`~repro.cluster.tenancy.MixResult`."""
+    rows = []
+    for report in mix.reports:
+        d = report.to_dict()
+        rows.append({column: d[column] for column in MIX_COLUMNS})
+    return rows
+
+
+def mix_to_csv(mix) -> str:
+    """The per-trace-job accounting of a mix as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=MIX_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in mix_to_rows(mix):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def mix_to_json(mix, indent: int | None = 2) -> str:
+    """The whole mix — trace, per-job reports, outcome — as JSON."""
+    return json.dumps(mix.to_dict(), indent=indent)

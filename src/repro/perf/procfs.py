@@ -48,6 +48,9 @@ class ProcFs:
         # node, plus shuffle fetches that died on this node's reducers.
         self.tasks_failed = 0
         self.tasks_killed = 0
+        # Kills issued by a preempting scheduler (fair-share reclaim)
+        # rather than by fault recovery; also counted in tasks_killed.
+        self.tasks_preempted = 0
         self.tasks_speculative = 0
         self.fetch_failures = 0
         # Control-plane counters (the master's view): namenode edit-log
@@ -93,6 +96,10 @@ class ProcFs:
 
     def record_task_kill(self) -> None:
         self.tasks_killed += 1
+
+    def record_task_preemption(self) -> None:
+        self.tasks_killed += 1
+        self.tasks_preempted += 1
 
     def record_speculative(self) -> None:
         self.tasks_speculative += 1
@@ -182,6 +189,7 @@ class ProcFs:
         return (
             f"{self.node_name}: tasks_failed {self.tasks_failed} "
             f"tasks_killed {self.tasks_killed} "
+            f"tasks_preempted {self.tasks_preempted} "
             f"tasks_speculative {self.tasks_speculative} "
             f"fetch_failures {self.fetch_failures}"
         )

@@ -1,0 +1,465 @@
+"""Tests for the multi-tenant scheduling subsystem.
+
+The load-bearing contract is backward compatibility: a single job
+submitted to a :class:`MultiJobCluster` under the FIFO scheduler must
+replay the *exact* primitive-charge sequence of the stock
+``HadoopCluster.run_job`` — bit-identical timeline, ``/proc`` counters
+(including the sample stream), cluster clock and network totals.  On
+top of that sit the policy tests: FIFO ordering, fair sharing with
+min-share preemption, capacity queues with user limits, and the
+idle-cluster guard.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import (
+    JobWork,
+    MapWork,
+    ReduceWork,
+    StaleClusterError,
+    make_cluster,
+)
+from repro.cluster.scheduler import (
+    CapacityScheduler,
+    FairScheduler,
+    FifoScheduler,
+    MultiJobCluster,
+    PoolConfig,
+    QueueConfig,
+    jain_index,
+    make_scheduler,
+)
+from repro.workloads import workload
+
+
+def procfs_state(cluster):
+    """Every observable /proc variable of every slave, samples included."""
+    out = []
+    for node in cluster.slaves:
+        proc = node.procfs
+        out.append(
+            (
+                {k: v for k, v in vars(proc).items() if k != "samples"},
+                list(proc.samples),
+            )
+        )
+    return out
+
+
+def small_cluster():
+    return make_cluster(2, map_slots=4, reduce_slots=2, block_size=64 * 1024)
+
+
+def synthetic_job(name, n_maps=2, cpu=0.05, n_reduces=1):
+    return JobWork(
+        name,
+        maps=[MapWork(1024, cpu, 1024) for _ in range(n_maps)],
+        reduces=[ReduceWork(1024, cpu, 1024) for _ in range(n_reduces)],
+    )
+
+
+# -- fairness metric -----------------------------------------------------------
+
+
+class TestJainIndex:
+    def test_equal_allocations_are_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == 1.0
+
+    def test_empty_and_all_zero_degenerate_to_one(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+    def test_one_hog_drives_the_index_toward_one_over_n(self):
+        assert jain_index([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -0.5])
+
+
+# -- configuration validation --------------------------------------------------
+
+
+class TestConfigs:
+    def test_pool_rejects_bad_weight_and_min_share(self):
+        with pytest.raises(ValueError):
+            PoolConfig("p", weight=0.0)
+        with pytest.raises(ValueError):
+            PoolConfig("p", min_share=-1)
+
+    def test_queue_capacity_must_be_a_positive_fraction(self):
+        with pytest.raises(ValueError):
+            QueueConfig("q", capacity=0.0)
+        with pytest.raises(ValueError):
+            QueueConfig("q", capacity=1.5)
+        with pytest.raises(ValueError):
+            QueueConfig("q", user_limit=0.0)
+
+    def test_duplicate_pool_and_queue_names_rejected(self):
+        with pytest.raises(ValueError):
+            FairScheduler(pools=[PoolConfig("a"), PoolConfig("a")])
+        with pytest.raises(ValueError):
+            CapacityScheduler(queues=[QueueConfig("a"), QueueConfig("a")])
+
+    def test_make_scheduler_by_name(self):
+        assert isinstance(make_scheduler("fifo"), FifoScheduler)
+        assert isinstance(make_scheduler("fair"), FairScheduler)
+        assert isinstance(make_scheduler("capacity"), CapacityScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("deadline")
+
+
+# -- the backward-compat invariant ---------------------------------------------
+
+
+class TestSingleJobFifoParity:
+    @pytest.mark.parametrize("name", ["WordCount", "Sort", "Grep"])
+    def test_real_workload_is_bit_identical_to_stock(self, name):
+        stock = make_cluster(4)
+        run = workload(name).run(0.2, cluster=stock)
+
+        fresh = make_cluster(4)
+        multi = MultiJobCluster(fresh, FifoScheduler())
+        previous = None
+        for work in (r.work for r in run.job_results):
+            previous = multi.submit(work, after=previous)
+        outcome = multi.run()
+
+        assert [r.timeline for r in outcome.reports] == run.timelines
+        assert procfs_state(fresh) == procfs_state(stock)
+        assert fresh.clock == stock.clock
+        assert fresh.network.bytes_moved == stock.network.bytes_moved
+        assert fresh.network.transfers == stock.network.transfers
+
+    @given(
+        maps=st.lists(
+            st.tuples(
+                st.integers(0, 64 * 1024),  # input bytes
+                st.floats(0.0, 0.2, allow_nan=False),  # cpu seconds
+                st.integers(0, 64 * 1024),  # output bytes
+                st.sampled_from([(), ("slave1",), ("slave2",)]),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        reduces=st.lists(
+            st.tuples(
+                st.integers(0, 64 * 1024),
+                st.floats(0.0, 0.2, allow_nan=False),
+                st.integers(0, 64 * 1024),
+            ),
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_job_is_bit_identical_to_stock(self, maps, reduces):
+        work = JobWork(
+            "prop",
+            maps=[MapWork(i, c, o, preferred_nodes=p) for i, c, o, p in maps],
+            reduces=[ReduceWork(s, c, o) for s, c, o in reduces],
+        )
+        stock = small_cluster()
+        timeline = stock.run_job(work)
+
+        fresh = small_cluster()
+        multi = MultiJobCluster(fresh, FifoScheduler())
+        multi.submit(work)
+        outcome = multi.run()
+
+        assert outcome.reports[0].timeline == timeline
+        assert procfs_state(fresh) == procfs_state(stock)
+        assert fresh.clock == stock.clock
+        assert fresh.network.bytes_moved == stock.network.bytes_moved
+
+
+# -- FIFO ----------------------------------------------------------------------
+
+
+class TestFifoScheduler:
+    def test_jobs_launch_in_arrival_order(self):
+        multi = MultiJobCluster(small_cluster(), FifoScheduler())
+        multi.submit(synthetic_job("b"), arrival_s=0.2, job_id="late")
+        multi.submit(synthetic_job("a"), arrival_s=0.1, job_id="early")
+        outcome = multi.run()
+        early, late = outcome.report("early"), outcome.report("late")
+        assert early.first_launch_s <= late.first_launch_s
+
+    def test_ties_break_by_submission_sequence(self):
+        multi = MultiJobCluster(small_cluster(), FifoScheduler())
+        multi.submit(synthetic_job("first", n_maps=8), job_id="first")
+        multi.submit(synthetic_job("second", n_maps=8), job_id="second")
+        outcome = multi.run()
+        assert (
+            outcome.report("first").first_launch_s
+            <= outcome.report("second").first_launch_s
+        )
+
+    def test_mix_is_deterministic(self):
+        def play():
+            multi = MultiJobCluster(small_cluster(), FifoScheduler())
+            multi.submit(synthetic_job("a", n_maps=6), arrival_s=0.0)
+            multi.submit(synthetic_job("b", n_maps=3), arrival_s=0.05)
+            return multi.run().to_dict()
+
+        assert play() == play()
+
+
+# -- Fair ----------------------------------------------------------------------
+
+
+def elephant(name="elephant", n_maps=6, cpu=0.5):
+    return JobWork(name, maps=[MapWork(1024, cpu, 1024) for _ in range(n_maps)])
+
+
+def mouse(name="mouse"):
+    return JobWork(name, maps=[MapWork(1024, 0.05, 1024)])
+
+
+class TestFairScheduler:
+    def pools(self, min_share=1):
+        return [PoolConfig("batch"), PoolConfig("interactive", min_share=min_share)]
+
+    def test_small_pool_overtakes_a_queued_elephant(self):
+        """Under FIFO the mouse waits behind every elephant map; the fair
+        scheduler hands it a slot as soon as one frees."""
+
+        def launch_of(scheduler):
+            multi = MultiJobCluster(small_cluster(), scheduler)
+            multi.submit(elephant(n_maps=16), pool="batch", user="bo")
+            multi.submit(mouse(), arrival_s=0.05, pool="interactive", user="ada")
+            return multi.run().report("job-0001").first_launch_s
+
+        assert launch_of(
+            FairScheduler(pools=self.pools(), preemption=False)
+        ) < launch_of(FifoScheduler())
+
+    def test_delay_s_overrides_the_cluster_locality_wait(self):
+        cluster = small_cluster()
+        assert FairScheduler(delay_s=0.25).locality_wait_s(cluster) == 0.25
+        assert (
+            FairScheduler().locality_wait_s(cluster) == cluster.locality_wait_s
+        )
+
+    def test_preemption_frees_a_slot_at_the_min_share_deadline(self):
+        cluster = make_cluster(1, map_slots=2, reduce_slots=1, block_size=64 * 1024)
+        scheduler = FairScheduler(
+            pools=self.pools(),
+            preemption=True,
+            min_share_timeout_s=0.2,
+            fair_share_timeout_s=10.0,
+        )
+        multi = MultiJobCluster(cluster, scheduler)
+        multi.submit(elephant(), pool="batch", user="bo")
+        multi.submit(mouse(), arrival_s=0.1, pool="interactive", user="ada")
+        outcome = multi.run()
+
+        assert outcome.preemptions == 1
+        assert outcome.preemption_wasted_s > 0
+        # the mouse is granted its slot at arrival + min-share timeout,
+        # not at the elephant's next natural map completion
+        assert outcome.report("job-0001").first_launch_s == pytest.approx(0.3)
+        assert outcome.report("job-0000").preempted == 1
+        # the killed attempt is requeued and the elephant still finishes
+        assert outcome.report("job-0000").finished_s is not None
+        assert cluster.slaves[0].procfs.tasks_killed == 1
+        assert cluster.slaves[0].procfs.tasks_preempted == 1
+
+    def test_preemption_off_waits_for_a_natural_slot(self):
+        cluster = make_cluster(1, map_slots=2, reduce_slots=1, block_size=64 * 1024)
+        multi = MultiJobCluster(
+            cluster, FairScheduler(pools=self.pools(), preemption=False)
+        )
+        multi.submit(elephant(), pool="batch", user="bo")
+        multi.submit(mouse(), arrival_s=0.1, pool="interactive", user="ada")
+        outcome = multi.run()
+        assert outcome.preemptions == 0
+        assert outcome.report("job-0001").first_launch_s > 0.3
+
+    def test_preemption_timeouts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairScheduler(min_share_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            FairScheduler(delay_s=-1.0)
+
+
+# -- Capacity ------------------------------------------------------------------
+
+
+class TestCapacityScheduler:
+    def test_user_limit_caps_one_user_while_others_wait(self):
+        """With user_limit=0.5 of a whole-cluster queue, ada cannot take
+        more than half the slots of the first wave while bo has demand."""
+        cluster = small_cluster()  # 8 map slots
+        scheduler = CapacityScheduler(
+            queues=[QueueConfig("q", capacity=1.0, user_limit=0.5)]
+        )
+        multi = MultiJobCluster(cluster, scheduler)
+        multi.submit(elephant("ada-1", n_maps=12), pool="q", user="ada")
+        multi.submit(elephant("bo-1", n_maps=4), pool="q", user="bo")
+        outcome = multi.run()
+        # bo gets slots in the very first wave even though ada was first
+        assert outcome.report("job-0001").first_launch_s == 0.0
+        first_wave = [
+            iv for iv in outcome.task_intervals if iv.start_s == 0.0
+        ]
+        ada_share = sum(1 for iv in first_wave if iv.job_id == "job-0000")
+        assert ada_share == 4
+        assert len(first_wave) == 8
+
+    def test_single_user_queue_falls_back_instead_of_deadlocking(self):
+        cluster = small_cluster()
+        scheduler = CapacityScheduler(
+            queues=[QueueConfig("q", capacity=0.25, user_limit=0.25)]
+        )
+        multi = MultiJobCluster(cluster, scheduler)
+        multi.submit(elephant("only", n_maps=6), pool="q", user="ada")
+        outcome = multi.run()  # must not raise "mix deadlocked"
+        assert outcome.report("job-0000").finished_s is not None
+
+    def test_idle_capacity_is_elastic(self):
+        """A queue may exceed its capacity when no other queue has demand."""
+        cluster = small_cluster()  # 8 map slots; q gets 2 of them nominally
+        scheduler = CapacityScheduler(
+            queues=[QueueConfig("q", capacity=0.25), QueueConfig("idle", capacity=0.75)]
+        )
+        multi = MultiJobCluster(cluster, scheduler)
+        multi.submit(elephant("burst", n_maps=8, cpu=0.3), pool="q", user="ada")
+        outcome = multi.run()
+        assert outcome.peak_concurrency() > 2
+
+
+# -- submission validation and the idle-cluster guard --------------------------
+
+
+class TestSubmissionValidation:
+    def test_duplicate_job_id_rejected(self):
+        multi = MultiJobCluster(small_cluster())
+        multi.submit(synthetic_job("a"), job_id="dup")
+        with pytest.raises(ValueError):
+            multi.submit(synthetic_job("b"), job_id="dup")
+
+    def test_auto_ids_are_unique_and_deterministic(self):
+        multi = MultiJobCluster(small_cluster())
+        ids = [multi.submit(synthetic_job(f"j{i}")).job_id for i in range(3)]
+        assert ids == ["job-0000", "job-0001", "job-0002"]
+
+    def test_bad_arrival_user_and_pool_rejected(self):
+        multi = MultiJobCluster(small_cluster())
+        with pytest.raises(ValueError):
+            multi.submit(synthetic_job("a"), arrival_s=-1.0)
+        with pytest.raises(ValueError):
+            multi.submit(synthetic_job("a"), arrival_s=float("nan"))
+        with pytest.raises(ValueError):
+            multi.submit(synthetic_job("a"), user="  ")
+        with pytest.raises(ValueError):
+            multi.submit(synthetic_job("a"), pool="")
+
+    def test_dependency_must_be_a_submitted_job(self):
+        multi = MultiJobCluster(small_cluster())
+        other = MultiJobCluster(small_cluster())
+        foreign = other.submit(synthetic_job("x"))
+        with pytest.raises(ValueError):
+            multi.submit(synthetic_job("a"), after=foreign)
+
+    def test_submit_after_run_rejected(self):
+        multi = MultiJobCluster(small_cluster())
+        multi.submit(synthetic_job("a"))
+        multi.run()
+        with pytest.raises(RuntimeError):
+            multi.submit(synthetic_job("b"))
+        with pytest.raises(RuntimeError):
+            multi.run()
+
+    def test_job_work_requires_a_name(self):
+        with pytest.raises(ValueError):
+            JobWork("", maps=[MapWork(0, 0.0, 0)])
+        with pytest.raises(ValueError):
+            JobWork("   ", maps=[MapWork(0, 0.0, 0)])
+
+
+class TestStaleClusterGuard:
+    def test_run_job_refuses_a_busy_cluster(self):
+        cluster = small_cluster()
+        cluster.slaves[0].map_slot_free[0] = cluster.clock + 5.0
+        with pytest.raises(StaleClusterError):
+            cluster.run_job(synthetic_job("a"))
+
+    def test_stale_reduce_slot_also_caught(self):
+        cluster = small_cluster()
+        cluster.slaves[1].reduce_slot_free[0] = cluster.clock + 1.0
+        with pytest.raises(StaleClusterError):
+            cluster.run_job(synthetic_job("a"))
+
+    def test_reset_restores_schedulability(self):
+        cluster = small_cluster()
+        cluster.slaves[0].map_slot_free[0] = cluster.clock + 5.0
+        cluster.reset()
+        cluster.run_job(synthetic_job("a"))  # must not raise
+
+    def test_multi_job_cluster_checks_at_run(self):
+        cluster = small_cluster()
+        multi = MultiJobCluster(cluster)
+        multi.submit(synthetic_job("a"))
+        cluster.slaves[0].map_slot_free[0] = cluster.clock + 5.0
+        with pytest.raises(StaleClusterError):
+            multi.run()
+
+    def test_consecutive_jobs_on_an_advanced_clock_still_fine(self):
+        cluster = small_cluster()
+        cluster.run_job(synthetic_job("a"))
+        cluster.run_job(synthetic_job("b"))  # idle-at-clock is schedulable
+
+
+# -- outcome accounting --------------------------------------------------------
+
+
+class TestMixOutcome:
+    def outcome(self):
+        multi = MultiJobCluster(small_cluster(), FifoScheduler())
+        multi.submit(synthetic_job("a", n_maps=4), pool="etl", user="ada")
+        multi.submit(synthetic_job("b", n_maps=2), arrival_s=0.05, pool="ad-hoc")
+        return multi.run()
+
+    def test_reports_and_lookup(self):
+        outcome = self.outcome()
+        assert [r.job_id for r in outcome.reports] == ["job-0000", "job-0001"]
+        assert outcome.report("job-0001").pool == "ad-hoc"
+        with pytest.raises(KeyError):
+            outcome.report("nope")
+
+    def test_wait_and_turnaround_are_consistent(self):
+        outcome = self.outcome()
+        for report in outcome.reports:
+            assert report.wait_s == pytest.approx(
+                report.first_launch_s - report.arrival_s
+            )
+            assert report.turnaround_s >= report.wait_s
+
+    def test_occupancy_series_counts_task_edges(self):
+        outcome = self.outcome()
+        series = outcome.occupancy_series()
+        assert series, "expected at least one task edge"
+        assert outcome.peak_concurrency() >= 1
+        # occupancy is zero again after the last edge
+        assert series[-1][1] == 0 and series[-1][2] == 0
+        # per-node series never exceeds the whole-cluster peak
+        assert outcome.peak_concurrency("slave1") <= outcome.peak_concurrency()
+
+    def test_by_pool_groups_every_job(self):
+        outcome = self.outcome()
+        pools = outcome.by_pool()
+        assert set(pools) == {"etl", "ad-hoc"}
+        assert pools["etl"]["jobs"] == 1
+
+    def test_to_dict_is_json_serializable(self):
+        payload = json.loads(json.dumps(self.outcome().to_dict()))
+        assert payload["scheduler"] == "fifo"
+        assert len(payload["jobs"]) == 2
+        assert payload["jobs"][0]["timeline"]["map_tasks"] == 4

@@ -1,0 +1,234 @@
+"""Tests for trace-driven multi-tenant workload mixes.
+
+Pins the PR's acceptance criteria: on a heavy-tailed trace (one Sort
+elephant, four interactive mice) the fair scheduler strictly improves
+both the small-job mean slowdown *and* the Jain fairness index over
+FIFO; and a chaos-injected mix — node crash plus network partition mid
+trace — completes with every job's output bit-identical to the
+fault-free run.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.faults import FaultPlan
+from repro.cluster.scheduler import (
+    CapacityScheduler,
+    FairScheduler,
+    FifoScheduler,
+)
+from repro.cluster.tenancy import (
+    TraceJob,
+    WorkloadTrace,
+    characterize_colocation,
+    default_pools,
+    default_queues,
+    generate_trace,
+    run_mix,
+)
+
+SMALL = dict(num_slaves=2, map_slots=4, reduce_slots=2, block_size=64 * 1024)
+
+
+def pinned_trace() -> WorkloadTrace:
+    """One Sort elephant, then four interactive mice arriving during its
+    long map phase — the regime the fair scheduler was built for."""
+    jobs = (
+        TraceJob(0, "Sort", 0.3, 0.0, "bo", "batch", "large"),
+        TraceJob(1, "Grep", 0.05, 0.02, "ada", "interactive", "small"),
+        TraceJob(2, "WordCount", 0.05, 0.04, "carol", "interactive", "small"),
+        TraceJob(3, "Grep", 0.05, 0.06, "ada", "interactive", "small"),
+        TraceJob(4, "WordCount", 0.05, 0.08, "deepak", "interactive", "small"),
+    )
+    return WorkloadTrace(jobs, seed=0, arrival_rate_per_s=0.0)
+
+
+# -- trace generation ----------------------------------------------------------
+
+
+class TestGenerateTrace:
+    def test_same_seed_same_trace(self):
+        assert generate_trace(seed=7) == generate_trace(seed=7)
+
+    def test_different_seed_different_trace(self):
+        assert generate_trace(seed=7) != generate_trace(seed=8)
+
+    def test_arrivals_are_sorted_and_non_negative(self):
+        trace = generate_trace(seed=1, num_jobs=20, arrival_rate_per_s=3.0)
+        arrivals = [j.arrival_s for j in trace.jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(a >= 0 for a in arrivals)
+
+    def test_mix_is_heavy_tailed(self):
+        """Small jobs dominate the count, as in the production traces."""
+        trace = generate_trace(seed=0, num_jobs=200, arrival_rate_per_s=5.0)
+        by_class = {
+            name: sum(1 for j in trace.jobs if j.size_class == name)
+            for name in ("small", "medium", "large")
+        }
+        assert by_class["small"] > by_class["medium"] > by_class["large"]
+        assert by_class["small"] >= 0.55 * len(trace.jobs)
+
+    def test_trace_job_validation(self):
+        with pytest.raises(ValueError):
+            TraceJob(0, "NotAWorkload", 0.1, 0.0, "u", "p", "small")
+        with pytest.raises(ValueError):
+            TraceJob(0, "Grep", 0.0, 0.0, "u", "p", "small")
+        with pytest.raises(ValueError):
+            TraceJob(0, "Grep", 0.1, -1.0, "u", "p", "small")
+
+    def test_trace_to_dict_round_trips_through_json(self):
+        trace = generate_trace(seed=2, num_jobs=5)
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert len(payload["jobs"]) == 5
+        assert payload["seed"] == 2
+
+    def test_default_pools_and_queues_cover_the_trace(self):
+        trace = generate_trace(seed=0, num_jobs=30)
+        assert {p.name for p in default_pools(trace)} == set(trace.pools())
+        queues = default_queues(trace)
+        assert {q.name for q in queues} == set(trace.pools())
+        assert sum(q.capacity for q in queues) == pytest.approx(1.0)
+
+
+# -- the pinned acceptance trace -----------------------------------------------
+
+
+class TestFairBeatsFifo:
+    def test_fair_strictly_improves_small_job_slowdown_and_jain(self):
+        trace = pinned_trace()
+        fifo = run_mix(trace, FifoScheduler(), **SMALL)
+        fair = run_mix(trace, FairScheduler(pools=default_pools(trace)), **SMALL)
+
+        assert fair.mean_slowdown(size_class="small") < fifo.mean_slowdown(
+            size_class="small"
+        )
+        assert fair.jain_fairness() > fifo.jain_fairness()
+        # scheduling policy must never change what the jobs compute
+        assert fair.outputs == fifo.outputs
+
+        # the gap is large, not a rounding artifact: FIFO makes the mice
+        # wait out the elephant's map waves (total time >> ideal, i.e.
+        # slowdown near 10x and up), fair sharing keeps them interactive
+        assert fifo.mean_slowdown(size_class="small") > 5.0
+        assert fair.mean_slowdown(size_class="small") < 5.0
+
+    def test_the_elephant_is_not_starved_by_fair_sharing(self):
+        trace = pinned_trace()
+        fair = run_mix(trace, FairScheduler(pools=default_pools(trace)), **SMALL)
+        (large,) = [r for r in fair.reports if r.trace_job.size_class == "large"]
+        assert large.slowdown < 3.0
+
+    def test_capacity_scheduler_completes_the_same_trace(self):
+        trace = pinned_trace()
+        fifo = run_mix(trace, FifoScheduler(), **SMALL)
+        cap = run_mix(trace, CapacityScheduler(queues=default_queues(trace)), **SMALL)
+        assert cap.outputs == fifo.outputs
+        assert cap.makespan_s > 0
+
+    def test_mix_result_accessors(self):
+        mix = run_mix(pinned_trace(), FifoScheduler(), **SMALL)
+        assert mix.mean_wait(pool="interactive") >= 0
+        assert 0 < mix.jain_fairness(by="user") <= 1
+        assert 0 < mix.jain_fairness(by="pool") <= 1
+        with pytest.raises(ValueError):
+            mix.jain_fairness(by="moon-phase")
+        with pytest.raises(ValueError):
+            mix.mean_slowdown(pool="nonexistent")
+        assert set(mix.by_pool()) == {"batch", "interactive"}
+        payload = json.loads(json.dumps(mix.to_dict()))
+        assert payload["scheduler"] == "fifo"
+        assert len(payload["jobs"]) == 5
+
+    def test_mix_is_deterministic(self):
+        a = run_mix(pinned_trace(), FifoScheduler(), **SMALL)
+        b = run_mix(pinned_trace(), FifoScheduler(), **SMALL)
+        assert a.to_dict() == b.to_dict()
+        assert a.outputs == b.outputs
+
+
+# -- chaos during a multi-tenant mix -------------------------------------------
+
+
+class TestChaosMix:
+    def fault_free_outputs(self):
+        return run_mix(pinned_trace(), FifoScheduler(), **SMALL).outputs
+
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            lambda trace: FifoScheduler(),
+            lambda trace: FairScheduler(pools=default_pools(trace)),
+        ],
+        ids=["fifo", "fair"],
+    )
+    def test_crash_plus_partition_preserves_every_output(self, scheduler_factory):
+        trace = pinned_trace()
+        plan = FaultPlan(
+            node_crashes=(("slave2", 0.15),),
+            partitions=(("slave1", 0.1, 0.6),),
+        )
+        chaos = run_mix(trace, scheduler_factory(trace), plan=plan, **SMALL)
+        assert chaos.outputs == self.fault_free_outputs()
+        accounting = chaos.outcome.fault_accounting
+        assert accounting.nodes_crashed == ("slave2",)
+        assert accounting.partition_windows == 1
+        assert accounting.killed_attempts > 0
+        assert accounting.maps_reexecuted > 0
+        assert accounting.wasted_task_seconds > 0
+
+    def test_long_partition_fences_zombie_attempts(self):
+        trace = pinned_trace()
+        plan = FaultPlan(partitions=(("slave1", 0.1, 1.0),))
+        chaos = run_mix(trace, FifoScheduler(), plan=plan, **SMALL)
+        assert chaos.outputs == self.fault_free_outputs()
+        accounting = chaos.outcome.fault_accounting
+        assert accounting.zombies_fenced > 0
+
+    def test_unsupported_fault_classes_are_rejected(self):
+        with pytest.raises(ValueError, match="node_crashes and partitions"):
+            run_mix(
+                pinned_trace(),
+                FifoScheduler(),
+                plan=FaultPlan(map_failure_rate=0.5),
+                **SMALL,
+            )
+
+    def test_unknown_crash_node_rejected(self):
+        with pytest.raises(ValueError):
+            run_mix(
+                pinned_trace(),
+                FifoScheduler(),
+                plan=FaultPlan(node_crashes=(("slave9", 0.1),)),
+                **SMALL,
+            )
+
+
+# -- shared-LLC co-location ----------------------------------------------------
+
+
+class TestColocation:
+    def test_busiest_instant_is_characterized(self):
+        trace = generate_trace(seed=0, num_jobs=6, arrival_rate_per_s=20.0)
+        mix = run_mix(trace, FifoScheduler(), **SMALL)
+        report = characterize_colocation(mix, instructions=6000)
+        assert report is not None
+        assert len(report.workloads) >= 2
+        assert set(report.slowdowns) == set(report.workloads)
+        assert all(s >= 1.0 for s in report.slowdowns.values())
+        assert all(ipc > 0 for ipc in report.solo_ipc.values())
+        worst_name, worst_slowdown = report.worst()
+        assert worst_name in report.workloads
+        assert worst_slowdown == max(report.slowdowns.values())
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["node"] == report.node
+
+    def test_single_job_mix_has_no_colocation(self):
+        trace = WorkloadTrace(
+            (TraceJob(0, "Grep", 0.05, 0.0, "ada", "interactive", "small"),),
+            seed=0,
+            arrival_rate_per_s=0.0,
+        )
+        mix = run_mix(trace, FifoScheduler(), **SMALL)
+        assert characterize_colocation(mix, instructions=6000) is None

@@ -8,7 +8,19 @@ import pytest
 
 from repro.__main__ import build_parser, main
 from repro.core import DCBench, characterize
-from repro.core.export import COLUMNS, to_csv, to_json
+from repro.core.export import (
+    COLUMNS,
+    MIX_COLUMNS,
+    TIMELINE_COLUMNS,
+    mix_to_csv,
+    mix_to_json,
+    mix_to_rows,
+    timelines_to_csv,
+    timelines_to_json,
+    timelines_to_rows,
+    to_csv,
+    to_json,
+)
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +54,71 @@ class TestExports:
         json_rows = json.loads(to_json(chars))
         for c_row, j_row in zip(csv_rows, json_rows):
             assert float(c_row["l2_mpki"]) == pytest.approx(j_row["l2_mpki"])
+
+
+@pytest.fixture(scope="module")
+def mix():
+    from repro.cluster.scheduler import FifoScheduler
+    from repro.cluster.tenancy import generate_trace, run_mix
+
+    trace = generate_trace(seed=3, num_jobs=4, arrival_rate_per_s=3.0)
+    return run_mix(trace, FifoScheduler(), num_slaves=2, map_slots=4,
+                   reduce_slots=2, block_size=64 * 1024)
+
+
+class TestTimelineExports:
+    def test_timeline_csv_flattens_disk_rates_per_node(self, mix):
+        timelines = [r.timeline for r in mix.outcome.reports]
+        rows = list(csv.DictReader(io.StringIO(timelines_to_csv(timelines))))
+        assert len(rows) == len(timelines)
+        assert set(TIMELINE_COLUMNS) <= set(rows[0])
+        assert "disk_writes_per_second_slave1" in rows[0]
+        assert float(rows[0]["duration_s"]) > 0
+
+    def test_timeline_json_keeps_the_full_report(self, mix):
+        timelines = [r.timeline for r in mix.outcome.reports]
+        data = json.loads(timelines_to_json(timelines))
+        assert data[0]["job_name"] == timelines[0].job_name
+        assert set(data[0]["disk_writes_per_second"]) == {"slave1", "slave2"}
+
+    def test_faulty_timeline_exports_resilience_counters(self):
+        from repro.cluster import FaultPlan, FaultyCluster, make_cluster
+        from repro.workloads import workload
+
+        cluster = FaultyCluster(
+            make_cluster(2, block_size=64 * 1024), FaultPlan(seed=1)
+        )
+        run = workload("Grep").run(0.05, cluster=cluster)
+        report = run.timelines[0].to_dict()
+        assert "resilience" in report
+        assert "killed_attempts" in report["resilience"]
+        json.dumps(report)  # fully serializable
+        # and the flat table still accepts the faulty timeline
+        assert timelines_to_rows(run.timelines)[0]["job_name"] == "grep"
+
+    def test_empty_timeline_table_keeps_the_header(self):
+        text = timelines_to_csv([])
+        assert text.splitlines()[0].split(",") == TIMELINE_COLUMNS
+
+
+class TestMixExports:
+    def test_mix_rows_one_per_trace_job(self, mix):
+        rows = mix_to_rows(mix)
+        assert len(rows) == 4
+        assert set(rows[0]) == set(MIX_COLUMNS)
+        assert all(row["slowdown"] >= 0 for row in rows)
+
+    def test_mix_csv_roundtrip(self, mix):
+        rows = list(csv.DictReader(io.StringIO(mix_to_csv(mix))))
+        assert [r["index"] for r in rows] == ["0", "1", "2", "3"]
+        assert float(rows[0]["turnaround_s"]) >= float(rows[0]["wait_s"])
+
+    def test_mix_json_has_trace_jobs_and_outcome(self, mix):
+        data = json.loads(mix_to_json(mix))
+        assert data["scheduler"] == "fifo"
+        assert len(data["jobs"]) == 4
+        assert data["trace"]["seed"] == 3
+        assert data["outcome"]["peak_concurrency"] >= 1
 
 
 class TestCli:
@@ -170,3 +247,57 @@ class TestRunFlagValidation:
         assert main(["run", "Grep", "--scale", "0.1",
                      "--crash-node", "slave2", "--crash-time", "0.02"]) == 0
         assert "resilience accounting" in capsys.readouterr().out
+
+
+MIX_SMALL = ["--jobs", "4", "--slaves", "2",
+             "--map-slots", "4", "--reduce-slots", "2"]
+
+
+class TestMixCli:
+    def test_mix_table(self, capsys):
+        assert main(["mix", *MIX_SMALL, "--scheduler", "fair"]) == 0
+        out = capsys.readouterr().out
+        assert "fair scheduler: 4 jobs" in out
+        assert "slowdown" in out and "per-pool:" in out
+
+    def test_mix_json(self, capsys):
+        assert main(["mix", *MIX_SMALL, "--scheduler", "capacity",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scheduler"] == "capacity"
+        assert len(data["jobs"]) == 4
+
+    def test_mix_with_faults_prints_accounting(self, capsys):
+        assert main(["mix", *MIX_SMALL, "--crash-node", "slave2",
+                     "--crash-time", "0.3", "--partition", "slave1:0.1:0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "fault accounting:" in out
+        assert "nodes_crashed" in out
+
+    def test_mix_is_reproducible(self, capsys):
+        assert main(["mix", *MIX_SMALL, "--seed", "5", "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["mix", *MIX_SMALL, "--seed", "5", "--format", "json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_mix_rejects_unknown_crash_node(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mix", *MIX_SMALL, "--crash-node", "slave9"])
+        assert excinfo.value.code == 2
+        assert "slave9" in capsys.readouterr().err
+
+    def test_mix_crash_time_requires_crash_node(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mix", *MIX_SMALL, "--crash-time", "0.5"])
+        assert excinfo.value.code == 2
+        assert "--crash-time requires --crash-node" in capsys.readouterr().err
+
+    def test_mix_rejects_malformed_partition(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mix", *MIX_SMALL, "--partition", "slave1:oops"])
+        assert excinfo.value.code == 2
+
+    def test_mix_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mix", "--scheduler", "deadline"])
+        assert excinfo.value.code == 2

@@ -55,6 +55,13 @@ class TestExamples:
         # every row must report matching outputs
         assert "NO" not in out
 
+    def test_multi_tenant(self, capsys):
+        load_example("multi_tenant").main()
+        out = capsys.readouterr().out
+        assert "small-job mean slowdown" in out
+        assert "Jain fairness index" in out
+        assert "outputs identical across schedulers: True" in out
+
     @pytest.mark.slow
     def test_scaling_study(self, capsys):
         load_example("scaling_study").main()
