@@ -4,6 +4,16 @@ The full-suite characterization (26 workloads × 200k micro-ops on the
 scaled Table III machine) is computed once per session and shared by all
 figure benchmarks; each benchmark then regenerates and prints its
 figure's series and asserts the paper's shape.
+
+The dataset is produced through the fast-path layer: the batched engine
+(bit-identical to the reference interpreter — see docs/performance.md),
+``workers=auto`` process fan-out, and the persistent ``.repro-cache``
+result cache, so a repeat ``pytest benchmarks/`` session completes in
+seconds.  Two options control it:
+
+* ``--sim-engine=reference`` forces the per-μop interpreter (CI's
+  equivalence job uses this to cross-check the dataset end to end);
+* ``--no-sim-cache`` bypasses the persistent cache for this session.
 """
 
 from __future__ import annotations
@@ -11,7 +21,24 @@ from __future__ import annotations
 import pytest
 
 from repro.core.characterize import characterize_suite
+from repro.core.simcache import SimCache
 from repro.core.suite import DCBench
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--sim-engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="simulation engine for the session dataset (bit-identical)",
+    )
+    group.addoption(
+        "--no-sim-cache",
+        action="store_true",
+        default=False,
+        help="bypass the persistent .repro-cache simulation result cache",
+    )
 
 
 def pytest_configure(config):
@@ -26,9 +53,22 @@ def suite():
 
 
 @pytest.fixture(scope="session")
-def suite_chars(suite):
+def sim_cache(request):
+    """Session cache handle (None when --no-sim-cache is given)."""
+    if request.config.getoption("--no-sim-cache"):
+        return None
+    return SimCache()
+
+
+@pytest.fixture(scope="session")
+def suite_chars(suite, sim_cache, request):
     """Characterization of all 26 workloads (the Figures 3–12 dataset)."""
-    return characterize_suite(suite)
+    return characterize_suite(
+        suite,
+        engine=request.config.getoption("--sim-engine"),
+        workers="auto",
+        cache=sim_cache,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,78 @@
+"""Engine micro-benchmarks: reference vs fast vs warm-cache timings.
+
+A scaled-down ``bench-sim`` run (the CLI twin is ``python -m repro
+bench-sim``, which times the full 26-workload suite at 200k μops and
+writes the repo-root ``BENCH_uarch.json``).  Here we time a representative
+workload subset with a smaller budget so the perf tier stays quick, and
+assert the structural invariants of the fast path:
+
+* every engine comparison in the report is bit-identical,
+* the fast engine is no slower than the reference engine,
+* a warm cache hit is at least an order of magnitude faster than a
+  reference simulation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import run_once
+from repro.perf.bench import run_bench, write_report
+
+#: One workload per behavioural family: streaming analytics, iterative ML,
+#: latency-bound service, desktop, and two HPCC corners.
+BENCH_WORKLOADS = [
+    "WordCount",
+    "K-means",
+    "Media Streaming",
+    "SPECINT",
+    "HPCC-STREAM",
+    "HPCC-RandomAccess",
+]
+
+BENCH_INSTRUCTIONS = 60_000
+
+
+@pytest.fixture(scope="module")
+def bench_report(tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("bench-cache")
+    return run_bench(
+        instructions=BENCH_INSTRUCTIONS,
+        workloads=BENCH_WORKLOADS,
+        cache_root=str(cache_root),
+    )
+
+
+def test_bench_sim_report(benchmark, bench_report, tmp_path):
+    """Write and sanity-check a BENCH_uarch.json from the sampled run."""
+    path = run_once(
+        benchmark, lambda: write_report(bench_report, str(tmp_path / "BENCH_uarch.json"))
+    )
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["schema"] == 1
+    assert payload["totals"]["workloads"] == len(BENCH_WORKLOADS)
+    for row in payload["workloads"]:
+        assert row["bit_identical"], f"{row['name']}: engines disagree"
+        assert row["uops_per_sec_fast"] > 0
+    totals = payload["totals"]
+    print(
+        f"\nengine speedup (cold) {totals['engine_speedup_cold']:.2f}x, "
+        f"fast path (warm cache) {totals['fastpath_speedup_warm']:.1f}x, "
+        f"cache hit rate {totals['cache_hit_rate']:.0%}"
+    )
+
+
+def test_fast_engine_not_slower(bench_report):
+    totals = bench_report.totals()
+    assert totals["bit_identical"]
+    assert totals["engine_speedup_cold"] > 1.0, totals
+
+
+def test_warm_cache_order_of_magnitude(bench_report):
+    totals = bench_report.totals()
+    assert totals["fastpath_speedup_warm"] >= 10.0, totals
+    # Each workload probes the cache twice: the populating miss, then a hit.
+    assert totals["cache_hit_rate"] == pytest.approx(0.5)

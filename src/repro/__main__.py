@@ -93,6 +93,19 @@ def _seconds(text: str) -> float:
     return value
 
 
+def _workers(text: str):
+    """argparse type: a positive worker count or the literal "auto"."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a worker count") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return value
+
+
 def _cmd_list(_args) -> int:
     suite = DCBench.default()
     print(f"{'workload':<18s}{'group':<15s}info")
@@ -198,15 +211,28 @@ def _cmd_run(args) -> int:
 def _cmd_characterize(args) -> int:
     from repro.core.characterize import characterize, characterize_suite
     from repro.core.export import to_csv, to_json
+    from repro.core.simcache import SimCache
 
+    cache = None if args.no_sim_cache else SimCache()
     suite = DCBench.default()
     if args.workloads:
         chars = [
-            characterize(suite.entry(name), instructions=args.instructions)
+            characterize(
+                suite.entry(name),
+                instructions=args.instructions,
+                engine=args.engine,
+                cache=cache,
+            )
             for name in args.workloads
         ]
     else:
-        chars = characterize_suite(suite, instructions=args.instructions)
+        chars = characterize_suite(
+            suite,
+            instructions=args.instructions,
+            engine=args.engine,
+            workers=args.workers,
+            cache=cache,
+        )
     if args.format == "csv":
         print(to_csv(chars), end="")
     elif args.format == "json":
@@ -223,6 +249,30 @@ def _cmd_characterize(args) -> int:
                   f"{m.l3_hit_ratio_of_l2_misses:>6.0%}{m.dtlb_walks_pki:>7.2f}"
                   f"{m.branch_misprediction_ratio:>8.2%}")
     return 0
+
+
+def _cmd_bench_sim(args) -> int:
+    from repro.perf.bench import run_bench, write_report
+
+    report = run_bench(
+        instructions=args.instructions,
+        workloads=args.workloads or None,
+    )
+    path = write_report(report, args.output)
+    totals = report.totals()
+    header = (f"{'workload':<18s}{'ref s':>8s}{'fast s':>8s}{'warm s':>9s}"
+              f"{'engine x':>9s}{'warm x':>9s}")
+    print(header)
+    print("-" * len(header))
+    for row in report.rows:
+        print(f"{row.name:<18s}{row.reference_seconds:>8.3f}{row.fast_seconds:>8.3f}"
+              f"{row.warm_seconds:>9.4f}{row.engine_speedup:>9.2f}{row.warm_speedup:>9.1f}")
+    print("-" * len(header))
+    print(f"engine speedup (cold): {totals['engine_speedup_cold']:.2f}x   "
+          f"fast path speedup (warm cache): {totals['fastpath_speedup_warm']:.1f}x   "
+          f"bit-identical: {totals['bit_identical']}")
+    print(f"wrote {path}")
+    return 0 if totals["bit_identical"] else 1
 
 
 def _cmd_speedup(_args) -> int:
@@ -438,7 +488,21 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("workloads", nargs="*", help="workload names (default: all)")
     ch.add_argument("--instructions", type=int, default=200_000)
     ch.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    ch.add_argument("--engine", choices=("fast", "reference"), default="fast",
+                    help="simulation engine (bit-identical; fast is the default)")
+    ch.add_argument("--workers", type=_workers, default=None, metavar="N|auto",
+                    help="parallelize the suite over N processes")
+    ch.add_argument("--no-sim-cache", action="store_true",
+                    help="bypass the persistent .repro-cache result cache")
     ch.set_defaults(fn=_cmd_characterize)
+
+    bench = sub.add_parser("bench-sim",
+                           help="time reference vs fast engine, write BENCH_uarch.json")
+    bench.add_argument("workloads", nargs="*", help="workload names (default: all)")
+    bench.add_argument("--instructions", type=int, default=200_000)
+    bench.add_argument("--output", default="BENCH_uarch.json",
+                       help="report path (default: BENCH_uarch.json)")
+    bench.set_defaults(fn=_cmd_bench_sim)
 
     sub.add_parser("speedup", help="the Figure 2 scaling study").set_defaults(
         fn=_cmd_speedup

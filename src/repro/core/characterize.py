@@ -14,9 +14,13 @@ setup; latencies, widths and buffer sizes are untouched.  See DESIGN.md.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.metrics import Metrics
+from repro.core.simcache import SimCache
 from repro.core.suite import DCBench, SuiteEntry
 from repro.perf.session import PerfReading, PerfSession
 from repro.uarch.config import MachineConfig, scaled_machine
@@ -47,6 +51,12 @@ class Characterization:
         )
 
 
+#: Default simulation engine for characterization runs.  The fast engine
+#: is bit-identical to the reference engine by contract (property-tested
+#: in tests/uarch/test_fastpath.py), so it is safe as the default.
+DEFAULT_ENGINE = "fast"
+
+
 def characterize(
     entry: SuiteEntry,
     instructions: int = DEFAULT_INSTRUCTIONS,
@@ -54,18 +64,31 @@ def characterize(
     machine: MachineConfig | None = None,
     warmup: int | None = None,
     seed: int | None = None,
+    engine: str = DEFAULT_ENGINE,
+    cache: "SimCache | None" = None,
 ) -> Characterization:
     """Measure one suite entry on a fresh simulated core.
 
     ``machine`` overrides the scaled Table III machine (ablation studies
     pass modified configs here — in that case ``scale`` is still used to
     shrink the *workload* footprints, so pass a machine scaled to match).
+
+    ``engine`` selects ``"fast"`` (batched, default) or ``"reference"``
+    (the per-μop interpreter).  Passing a :class:`~repro.core.simcache.
+    SimCache` as ``cache`` memoises the simulation on disk; by default no
+    cache is consulted, so tests that patch the model always see live runs.
     """
     if machine is None:
         machine = scaled_machine(scale)
     spec = entry.trace_spec(instructions, seed=seed).scaled(scale)
-    core = Core(machine)
-    result = core.run(SyntheticTrace(spec), warmup=warmup)
+    if cache is not None:
+        result = cache.simulate(spec, machine, warmup=warmup, engine=engine)
+    elif engine == "fast":
+        from repro.perf.fastpath import run_fast
+
+        result = run_fast(Core(machine), SyntheticTrace(spec), warmup=warmup)
+    else:
+        result = Core(machine).run(SyntheticTrace(spec), warmup=warmup)
     metrics = Metrics.from_result(result)
     reading = PerfSession(machine=machine).measure_result(result)
     return Characterization(
@@ -73,15 +96,76 @@ def characterize(
     )
 
 
+def _characterize_task(args: tuple) -> Characterization:
+    """Top-level (picklable) worker for the process pool."""
+    entry, instructions, scale, machine, engine, use_cache, cache_root = args
+    cache = SimCache(root=cache_root) if use_cache else None
+    return characterize(
+        entry,
+        instructions=instructions,
+        scale=scale,
+        machine=machine,
+        engine=engine,
+        cache=cache,
+    )
+
+
+def resolve_workers(workers: int | str | None, jobs: int) -> int:
+    """Normalise a ``workers`` argument to a concrete count.
+
+    ``None`` or 1 → serial; ``"auto"`` → one worker per available CPU,
+    capped at the number of jobs.
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return max(1, min(jobs, os.cpu_count() or 1))
+    count = int(workers)
+    if count < 1:
+        raise ValueError("workers must be >= 1")
+    return min(count, jobs) if jobs else 1
+
+
 def characterize_suite(
     suite: DCBench | None = None,
     instructions: int = DEFAULT_INSTRUCTIONS,
     scale: int = DEFAULT_SCALE,
     machine: MachineConfig | None = None,
+    engine: str = DEFAULT_ENGINE,
+    workers: int | str | None = None,
+    cache: "SimCache | None" = None,
 ) -> list[Characterization]:
-    """Characterize every entry of *suite* (default: the full DCBench)."""
+    """Characterize every entry of *suite* (default: the full DCBench).
+
+    ``workers`` fans entries out over a spawn-context
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``"auto"`` sizes the
+    pool to the machine).  Results are returned in suite order regardless
+    of completion order, and every simulation is seeded from its spec, so
+    ``workers=N`` is bit-identical to ``workers=1``.
+    """
     suite = suite or DCBench.default()
-    return [
-        characterize(entry, instructions=instructions, scale=scale, machine=machine)
-        for entry in suite
+    entries = list(suite)
+    count = resolve_workers(workers, len(entries))
+    if count <= 1:
+        return [
+            characterize(
+                entry,
+                instructions=instructions,
+                scale=scale,
+                machine=machine,
+                engine=engine,
+                cache=cache,
+            )
+            for entry in entries
+        ]
+    # Spawn (not fork) for determinism and safety under pytest/threads;
+    # futures are collected in submission order, so output order is stable.
+    context = multiprocessing.get_context("spawn")
+    tasks = [
+        (entry, instructions, scale, machine, engine, cache is not None,
+         str(cache.root) if cache is not None else None)
+        for entry in entries
     ]
+    with ProcessPoolExecutor(max_workers=count, mp_context=context) as pool:
+        futures = [pool.submit(_characterize_task, task) for task in tasks]
+        return [future.result() for future in futures]

@@ -1,0 +1,228 @@
+"""Persistent content-addressed cache for simulation results.
+
+Characterization work is heavily repetitive: the same (TraceSpec,
+MachineConfig, warmup) triples are simulated over and over across figure
+benchmarks, CLI invocations and CI jobs, and the simulator is fully
+deterministic.  This module memoises :class:`~repro.uarch.pipeline.
+SimulationResult`s on disk, content-addressed by a stable hash of
+
+* the trace spec (every field, via ``dataclasses.asdict``),
+* the machine config (every field, including nested cache/TLB/core configs),
+* the warmup override, and
+* the **code version** — a digest of the source bytes of every module that
+  can influence a counter value, so any change to the timing model
+  invalidates the whole cache automatically.
+
+The engine (fast vs reference) is deliberately *not* part of the key: the
+two engines are bit-identical by contract (see ``repro.perf.fastpath``),
+so their results are interchangeable.  Cache hits are required to be
+bit-identical to cold runs — ``tests/core/test_simcache.py`` round-trips
+results through the store and compares every field.
+
+Layout: one JSON file per result under ``.repro-cache/sim/<key[:2]>/<key>.json``
+(the two-level fan-out keeps directories small).  Writes are atomic
+(``os.replace`` of a same-directory temp file) so concurrent workers and
+interrupted runs can never publish a torn file.
+
+Escape hatches: ``REPRO_SIM_CACHE=0`` (or ``--no-sim-cache`` on the CLI and
+pytest runs) disables the cache; ``REPRO_CACHE_DIR`` relocates it;
+:func:`clear` invalidates it explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import Core, SimulationResult
+from repro.uarch.trace import SyntheticTrace, TraceSpec
+
+#: Bump when the on-disk entry format (not the simulated values) changes.
+SCHEMA_VERSION = 1
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Modules whose source bytes define the simulated counter values.  Any
+#: edit to one of these produces a new code version and a cold cache.
+_VERSIONED_MODULES = (
+    "repro.uarch.isa",
+    "repro.uarch.config",
+    "repro.uarch.trace",
+    "repro.uarch.caches",
+    "repro.uarch.tlb",
+    "repro.uarch.branch",
+    "repro.uarch.frontend",
+    "repro.uarch.backend",
+    "repro.uarch.pipeline",
+    "repro.perf.fastpath",
+)
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the timing-model source files (cached per process)."""
+    global _code_version
+    if _code_version is None:
+        digest = hashlib.sha256()
+        import importlib
+
+        for module_name in _VERSIONED_MODULES:
+            module = importlib.import_module(module_name)
+            path = getattr(module, "__file__", None)
+            digest.update(module_name.encode())
+            if path and os.path.exists(path):
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def cache_enabled(default: bool = True) -> bool:
+    """Honour the ``REPRO_SIM_CACHE`` escape hatch (0/false/off disable)."""
+    value = os.environ.get("REPRO_SIM_CACHE")
+    if value is None:
+        return default
+    return value.strip().lower() not in {"0", "false", "off", "no", ""}
+
+
+def cache_dir(root: str | os.PathLike | None = None) -> Path:
+    """Resolve the cache root (arg > ``REPRO_CACHE_DIR`` > default)."""
+    if root is None:
+        root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return Path(root)
+
+
+def sim_cache_key(
+    spec: TraceSpec,
+    machine: MachineConfig,
+    warmup: int | None = None,
+) -> str:
+    """Stable content hash for one simulation's inputs.
+
+    Every field of the spec and machine participates, so *any* change —
+    instruction budget, a cache geometry, the predictor kind, a region
+    footprint — produces a different key.  The digest also folds in the
+    code version and schema version.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code": code_version(),
+        "warmup": warmup,
+        "spec": dataclasses.asdict(spec),
+        "machine": dataclasses.asdict(machine),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _entry_path(root: Path, key: str) -> Path:
+    return root / "sim" / key[:2] / f"{key}.json"
+
+
+def load_result(key: str, root: str | os.PathLike | None = None) -> SimulationResult | None:
+    """Fetch a cached result by key, or None on miss/corruption."""
+    path = _entry_path(cache_dir(root), key)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    data = payload.get("result")
+    if not isinstance(data, dict):
+        return None
+    try:
+        return SimulationResult(**data)
+    except TypeError:
+        # Field mismatch from an old entry written before a schema bump.
+        return None
+
+
+def store_result(
+    key: str, result: SimulationResult, root: str | os.PathLike | None = None
+) -> None:
+    """Persist *result* under *key* atomically (tmp file + rename)."""
+    path = _entry_path(cache_dir(root), key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code": code_version(),
+        "result": dataclasses.asdict(result),
+    }
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def clear(root: str | os.PathLike | None = None) -> int:
+    """Explicit invalidation: delete every cached entry; return the count."""
+    sim_root = cache_dir(root) / "sim"
+    if not sim_root.exists():
+        return 0
+    count = sum(1 for _ in sim_root.rglob("*.json"))
+    shutil.rmtree(sim_root)
+    return count
+
+
+class SimCache:
+    """One cache handle with hit/miss accounting.
+
+    ``simulate`` is the memoised twin of building a ``Core`` and running a
+    trace: on a hit the stored result is returned without simulating; on a
+    miss the chosen engine runs and the result is persisted.  Both paths
+    return bit-identical values.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        self.root = cache_dir(root)
+        self.enabled = cache_enabled() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+
+    def simulate(
+        self,
+        spec: TraceSpec,
+        machine: MachineConfig,
+        warmup: int | None = None,
+        engine: str = "fast",
+    ) -> SimulationResult:
+        key = None
+        if self.enabled:
+            key = sim_cache_key(spec, machine, warmup)
+            cached = load_result(key, self.root)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        if engine == "fast":
+            from repro.perf.fastpath import run_fast
+
+            result = run_fast(Core(machine), SyntheticTrace(spec), warmup=warmup)
+        else:
+            result = Core(machine).run(SyntheticTrace(spec), warmup=warmup)
+        if key is not None:
+            store_result(key, result, self.root)
+        return result
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,175 @@
+"""Micro-benchmark harness for the simulation engines (``bench-sim``).
+
+Times every suite workload three ways —
+
+* **reference**: the per-μop interpreter in ``uarch/pipeline.py`` (cold),
+* **fast**: the batched engine in ``perf/fastpath.py`` (cold), and
+* **warm**: the fast path through a freshly-populated
+  :class:`~repro.core.simcache.SimCache` (a cache hit),
+
+verifies all three produced bit-identical :class:`SimulationResult`s, and
+writes the measurements to ``BENCH_uarch.json`` so the perf trajectory is
+tracked across PRs.  ``docs/performance.md`` explains how to read the file.
+
+The headline ``totals.fastpath_speedup_warm`` is the speedup of the fast
+path as deployed (fast engine + result cache, which is how benchmarks and
+the CLI consume it); ``totals.engine_speedup_cold`` isolates the engine
+itself with an empty cache.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core.simcache import SimCache, code_version
+from repro.core.suite import DCBench
+from repro.perf.fastpath import run_fast
+from repro.uarch.config import MachineConfig, scaled_machine
+from repro.uarch.pipeline import Core
+from repro.uarch.trace import SyntheticTrace
+
+#: Schema of BENCH_uarch.json; bump on layout changes.
+BENCH_SCHEMA = 1
+
+#: Default per-workload μop budget for benchmarking.
+DEFAULT_BENCH_INSTRUCTIONS = 200_000
+
+
+@dataclass
+class BenchRow:
+    """Per-workload engine timings (seconds) and derived rates."""
+
+    name: str
+    group: str
+    uops: int
+    reference_seconds: float
+    fast_seconds: float
+    warm_seconds: float
+    bit_identical: bool
+
+    @property
+    def engine_speedup(self) -> float:
+        return self.reference_seconds / self.fast_seconds if self.fast_seconds else 0.0
+
+    @property
+    def warm_speedup(self) -> float:
+        return self.reference_seconds / self.warm_seconds if self.warm_seconds else 0.0
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["engine_speedup"] = round(self.engine_speedup, 3)
+        data["warm_speedup"] = round(self.warm_speedup, 3)
+        data["uops_per_sec_reference"] = (
+            round(self.uops / self.reference_seconds) if self.reference_seconds else 0
+        )
+        data["uops_per_sec_fast"] = (
+            round(self.uops / self.fast_seconds) if self.fast_seconds else 0
+        )
+        return data
+
+
+@dataclass
+class BenchReport:
+    """The full bench-sim run: rows plus aggregate totals."""
+
+    instructions: int
+    scale: int
+    rows: list[BenchRow] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def totals(self) -> dict:
+        ref = sum(row.reference_seconds for row in self.rows)
+        fast = sum(row.fast_seconds for row in self.rows)
+        warm = sum(row.warm_seconds for row in self.rows)
+        uops = sum(row.uops for row in self.rows)
+        probes = self.cache_hits + self.cache_misses
+        return {
+            "workloads": len(self.rows),
+            "uops": uops,
+            "reference_seconds": round(ref, 4),
+            "fast_seconds": round(fast, 4),
+            "warm_seconds": round(warm, 4),
+            "engine_speedup_cold": round(ref / fast, 3) if fast else 0.0,
+            "fastpath_speedup_warm": round(ref / warm, 3) if warm else 0.0,
+            "uops_per_sec_reference": round(uops / ref) if ref else 0,
+            "uops_per_sec_fast": round(uops / fast) if fast else 0,
+            "cache_hit_rate": round(self.cache_hits / probes, 4) if probes else 0.0,
+            "bit_identical": all(row.bit_identical for row in self.rows),
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "generated_unix": int(time.time()),
+            "code_version": code_version(),
+            "instructions": self.instructions,
+            "scale": self.scale,
+            "totals": self.totals(),
+            "workloads": [row.to_json() for row in self.rows],
+        }
+
+
+def run_bench(
+    instructions: int = DEFAULT_BENCH_INSTRUCTIONS,
+    scale: int = 8,
+    workloads: list[str] | None = None,
+    machine: MachineConfig | None = None,
+    cache_root: str | None = None,
+) -> BenchReport:
+    """Time reference vs fast vs warm-cache for each suite workload.
+
+    ``cache_root=None`` uses a throwaway temp directory so benchmarking
+    never interferes with (or benefits from) the working tree's cache.
+    """
+    suite = DCBench.default()
+    entries = (
+        [suite.entry(name) for name in workloads] if workloads else list(suite)
+    )
+    if machine is None:
+        machine = scaled_machine(scale)
+    report = BenchReport(instructions=instructions, scale=scale)
+
+    def measure(entry, root: str) -> BenchRow:
+        spec = entry.trace_spec(instructions).scaled(scale)
+        t0 = time.perf_counter()
+        ref = Core(machine).run(SyntheticTrace(spec))
+        t1 = time.perf_counter()
+        fast = run_fast(Core(machine), SyntheticTrace(spec))
+        t2 = time.perf_counter()
+        cache = SimCache(root=root, enabled=True)
+        cache.simulate(spec, machine)  # populate (miss)
+        t3 = time.perf_counter()
+        warm = cache.simulate(spec, machine)  # timed hit
+        t4 = time.perf_counter()
+        report.cache_hits += cache.hits
+        report.cache_misses += cache.misses
+        return BenchRow(
+            name=entry.name,
+            group=entry.group,
+            uops=instructions,
+            reference_seconds=t1 - t0,
+            fast_seconds=t2 - t1,
+            warm_seconds=t4 - t3,
+            bit_identical=(asdict(ref) == asdict(fast) == asdict(warm)),
+        )
+
+    if cache_root is None:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            for entry in entries:
+                report.rows.append(measure(entry, tmp))
+    else:
+        for entry in entries:
+            report.rows.append(measure(entry, cache_root))
+    return report
+
+
+def write_report(report: BenchReport, path: str = "BENCH_uarch.json") -> str:
+    """Serialize *report* to *path*; return the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

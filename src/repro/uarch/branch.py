@@ -21,7 +21,9 @@ class BimodalPredictor:
     def __init__(self, entries: int) -> None:
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("entries must be a positive power of two")
-        self._table = [2] * entries  # weakly taken
+        # bytearray: one byte per 2-bit counter — contiguous storage, no
+        # per-slot object pointers on the scalar path.
+        self._table = bytearray([2]) * entries  # weakly taken
         self._mask = entries - 1
 
     def predict(self, pc: int) -> bool:
@@ -47,7 +49,7 @@ class GSharePredictor:
             raise ValueError("entries must be a positive power of two")
         if history_bits <= 0:
             raise ValueError("history_bits must be positive")
-        self._table = [2] * entries
+        self._table = bytearray([2]) * entries
         self._mask = entries - 1
         self._history = 0
         self._history_bits = history_bits
@@ -79,7 +81,7 @@ class TournamentPredictor:
     def __init__(self, entries: int, history_bits: int = 12) -> None:
         self._bimodal = BimodalPredictor(entries)
         self._gshare = GSharePredictor(entries, history_bits)
-        self._chooser = [2] * entries  # >=2 selects gshare
+        self._chooser = bytearray([2]) * entries  # >=2 selects gshare
         self._mask = entries - 1
 
     def predict(self, pc: int) -> bool:

@@ -29,6 +29,7 @@ class Cache:
         "name",
         "_sets",
         "_num_sets",
+        "_set_mask",
         "_line_shift",
         "ways",
         "hits",
@@ -44,9 +45,11 @@ class Cache:
         if config.line_bytes & (config.line_bytes - 1):
             raise ValueError(f"{config.name}: line size must be a power of two")
         self._sets: list[list[int]] = [[] for _ in range(num_sets)]
-        # Non-power-of-two set counts (e.g. the 12 MB L3's 12288 sets) are
-        # indexed by modulo instead of a bit mask.
         self._num_sets = num_sets
+        # Power-of-two set counts index with a precomputed bit mask; only
+        # non-power-of-two geometries (e.g. the 12 MB L3's 12288 sets)
+        # fall back to the modulo path.
+        self._set_mask = num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
         self._line_shift = config.line_bytes.bit_length() - 1
         self.ways = config.associativity
         self.hits = 0
@@ -58,10 +61,16 @@ class Cache:
         """Return the line address (addr with offset bits stripped)."""
         return addr >> self._line_shift
 
+    def set_index(self, line: int) -> int:
+        """Map a line address to its set (mask when power-of-two sets)."""
+        mask = self._set_mask
+        return line & mask if mask is not None else line % self._num_sets
+
     def access(self, addr: int) -> bool:
         """Access *addr*; return True on hit.  Misses allocate the line."""
         line = addr >> self._line_shift
-        ways = self._sets[line % self._num_sets]
+        mask = self._set_mask
+        ways = self._sets[line & mask if mask is not None else line % self._num_sets]
         if line in ways:
             # Move-to-front LRU: front of the list is most recent.
             if ways[0] != line:
@@ -79,12 +88,14 @@ class Cache:
     def probe(self, addr: int) -> bool:
         """Check presence without updating LRU state or counters."""
         line = addr >> self._line_shift
-        return line in self._sets[line % self._num_sets]
+        mask = self._set_mask
+        return line in self._sets[line & mask if mask is not None else line % self._num_sets]
 
     def fill(self, addr: int) -> None:
         """Install a line (prefetch fill): no hit/miss accounting."""
         line = addr >> self._line_shift
-        ways = self._sets[line % self._num_sets]
+        mask = self._set_mask
+        ways = self._sets[line & mask if mask is not None else line % self._num_sets]
         if line in ways:
             return
         ways.insert(0, line)

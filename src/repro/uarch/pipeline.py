@@ -469,12 +469,31 @@ class Core:
         }
 
 
-def simulate(spec_or_trace, machine: MachineConfig = XEON_E5645) -> SimulationResult:
-    """Convenience wrapper: build a fresh core and run one trace on it."""
+def simulate(
+    spec_or_trace,
+    machine: MachineConfig = XEON_E5645,
+    engine: str = "reference",
+) -> SimulationResult:
+    """Convenience wrapper: build a fresh core and run one trace on it.
+
+    ``engine`` selects the implementation: ``"reference"`` is this module's
+    per-μop interpreter; ``"fast"`` is the batched engine in
+    :mod:`repro.perf.fastpath`, bit-identical by contract.  The fast engine
+    needs a spec-backed trace (it replays generation in batch form), so
+    arbitrary micro-op iterables always use the reference path.
+    """
     if isinstance(spec_or_trace, TraceSpec):
         trace = SyntheticTrace(spec_or_trace)
     elif hasattr(spec_or_trace, "__iter__"):
         trace = spec_or_trace
     else:
         raise TypeError("expected a TraceSpec or an iterable of micro-ops")
+    if engine == "fast":
+        if isinstance(trace, SyntheticTrace):
+            from repro.perf.fastpath import run_fast
+
+            return run_fast(Core(machine), trace)
+        engine = "reference"
+    if engine != "reference":
+        raise ValueError(f"unknown engine: {engine!r}")
     return Core(machine).run(trace)

@@ -16,7 +16,17 @@ from repro.uarch.config import TlbConfig
 class Tlb:
     """Set-associative TLB with LRU replacement, keyed by virtual page."""
 
-    __slots__ = ("config", "name", "_sets", "_num_sets", "_page_shift", "ways", "hits", "misses")
+    __slots__ = (
+        "config",
+        "name",
+        "_sets",
+        "_num_sets",
+        "_set_mask",
+        "_page_shift",
+        "ways",
+        "hits",
+        "misses",
+    )
 
     def __init__(self, config: TlbConfig) -> None:
         self.config = config
@@ -26,6 +36,9 @@ class Tlb:
             raise ValueError(f"{config.name}: page size must be a power of two")
         self._sets: list[list[int]] = [[] for _ in range(num_sets)]
         self._num_sets = num_sets
+        # Power-of-two set counts (every shipped TLB geometry) index with a
+        # precomputed mask; odd geometries fall back to modulo.
+        self._set_mask = num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
         self._page_shift = config.page_bytes.bit_length() - 1
         self.ways = config.associativity
         self.hits = 0
@@ -34,10 +47,16 @@ class Tlb:
     def page_of(self, addr: int) -> int:
         return addr >> self._page_shift
 
+    def set_index(self, page: int) -> int:
+        """Map a virtual page to its set (mask when power-of-two sets)."""
+        mask = self._set_mask
+        return page & mask if mask is not None else page % self._num_sets
+
     def access(self, addr: int) -> bool:
         """Translate *addr*; return True on hit.  Misses allocate the PTE."""
         page = addr >> self._page_shift
-        ways = self._sets[page % self._num_sets]
+        mask = self._set_mask
+        ways = self._sets[page & mask if mask is not None else page % self._num_sets]
         if page in ways:
             if ways[0] != page:
                 ways.remove(page)

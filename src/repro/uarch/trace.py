@@ -26,6 +26,11 @@ import math
 import random
 from dataclasses import dataclass, field, replace
 
+try:  # NumPy backs the batched fast path; the scalar path never needs it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None
+
 from repro.uarch.isa import MicroOp, OpClass
 
 #: Base virtual address of user code, data regions and kernel space.
@@ -226,6 +231,117 @@ class TraceStats:
         return self.kernel_instructions / self.instructions if self.instructions else 0.0
 
 
+#: Default number of micro-ops per batch on the fast path.
+DEFAULT_BATCH_SIZE = 8192
+
+
+class TraceBatch:
+    """A chunk of micro-ops stored as parallel field columns.
+
+    The batched fast engine (:mod:`repro.perf.fastpath`) consumes micro-ops
+    in struct-of-arrays form: one column per :class:`MicroOp` field, in
+    program order.  Columns are plain Python lists internally (the scalar
+    simulation loop indexes them directly); :meth:`arrays` exposes the same
+    columns as NumPy arrays for the vectorized decode kernels.
+    """
+
+    __slots__ = ("op", "pc", "addr", "taken", "target", "dep1", "dep2", "kernel")
+
+    def __init__(self, op, pc, addr, taken, target, dep1, dep2, kernel) -> None:
+        self.op = op
+        self.pc = pc
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+        self.dep1 = dep1
+        self.dep2 = dep2
+        self.kernel = kernel
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def arrays(self) -> dict[str, "object"]:
+        """Return the columns as parallel NumPy arrays (int64/bool)."""
+        if _np is None:  # pragma: no cover - numpy ships with the package
+            raise RuntimeError("NumPy is required for TraceBatch.arrays()")
+        return {
+            "op": _np.asarray(self.op, dtype=_np.int64),
+            "pc": _np.asarray(self.pc, dtype=_np.int64),
+            "addr": _np.asarray(self.addr, dtype=_np.int64),
+            "taken": _np.asarray(self.taken, dtype=bool),
+            "target": _np.asarray(self.target, dtype=_np.int64),
+            "dep1": _np.asarray(self.dep1, dtype=_np.int64),
+            "dep2": _np.asarray(self.dep2, dtype=_np.int64),
+            "kernel": _np.asarray(self.kernel, dtype=bool),
+        }
+
+    def micro_ops(self) -> list[MicroOp]:
+        """Rehydrate the batch into :class:`MicroOp` objects (tests only)."""
+        return [
+            MicroOp(
+                OpClass(o),
+                pc,
+                addr=addr,
+                taken=taken,
+                target=target,
+                dep1=d1,
+                dep2=d2,
+                kernel=kern,
+            )
+            for o, pc, addr, taken, target, d1, d2, kern in zip(
+                self.op,
+                self.pc,
+                self.addr,
+                self.taken,
+                self.target,
+                self.dep1,
+                self.dep2,
+                self.kernel,
+            )
+        ]
+
+
+class _Columns:
+    """Append-side accumulator behind :meth:`SyntheticTrace.iter_batches`."""
+
+    __slots__ = ("op", "pc", "addr", "taken", "target", "dep1", "dep2", "kernel")
+
+    def __init__(self) -> None:
+        self.op: list[int] = []
+        self.pc: list[int] = []
+        self.addr: list[int] = []
+        self.taken: list[bool] = []
+        self.target: list[int] = []
+        self.dep1: list[int] = []
+        self.dep2: list[int] = []
+        self.kernel: list[bool] = []
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def carve(self, n: int) -> TraceBatch:
+        """Cut the first *n* accumulated ops into a :class:`TraceBatch`."""
+        batch = TraceBatch(
+            self.op[:n],
+            self.pc[:n],
+            self.addr[:n],
+            self.taken[:n],
+            self.target[:n],
+            self.dep1[:n],
+            self.dep2[:n],
+            self.kernel[:n],
+        )
+        del self.op[:n]
+        del self.pc[:n]
+        del self.addr[:n]
+        del self.taken[:n]
+        del self.target[:n]
+        del self.dep1[:n]
+        del self.dep2[:n]
+        del self.kernel[:n]
+        return batch
+
+
 class _BranchSite:
     """Static branch site state: kind, bias, loop trip counter, targets."""
 
@@ -275,6 +391,81 @@ class SyntheticTrace:
     def materialize(self) -> list[MicroOp]:
         """Expand the full stream into a list (tests / small traces only)."""
         return list(self._generate())
+
+    # -- batched generation (fast path) ------------------------------------
+
+    def generate_batch(self, n: int) -> TraceBatch:
+        """Expand the first ``min(n, len(self))`` micro-ops into one batch.
+
+        The batch carries the identical op stream the scalar iterator
+        yields — same RNG consumption, same fields — but in parallel
+        column (struct-of-arrays) form.
+        """
+        if n <= 0:
+            raise ValueError("batch size must be positive")
+        for batch in self.iter_batches(batch_size=n):
+            return batch
+        raise AssertionError("trace produced no micro-ops")  # pragma: no cover
+
+    def iter_batches(self, batch_size: int = DEFAULT_BATCH_SIZE):
+        """Yield the full stream as :class:`TraceBatch` chunks.
+
+        This is the batch twin of :meth:`__iter__`: it replays the exact
+        same RNG call sequence (the equivalence is property-tested in
+        ``tests/uarch/test_fastpath.py``), so the concatenated batches are
+        bit-identical to the scalar stream, including ``self.stats``.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        stats = TraceStats()
+        self.stats = stats
+
+        f = spec.kernel_fraction
+        episode_len = max(1, spec.kernel_episode_len)
+        user_gap = episode_len * (1.0 - f) / f if f > 0 else 0.0
+        if user_gap > spec.instructions:
+            user_gap = 0.0
+
+        user = _ModeState(spec, rng, kernel=False)
+        kern = _ModeState(spec, rng, kernel=True)
+        cols = _Columns()
+
+        remaining = spec.instructions
+        kernel_remaining = 0
+        while remaining > 0:
+            if kernel_remaining > 0:
+                state = kern
+                take = min(kernel_remaining, remaining)
+            else:
+                state = user
+                if user_gap > 0:
+                    gap = max(1, int(user_gap * rng.uniform(0.7, 1.3)))
+                else:
+                    gap = remaining
+                take = min(gap, remaining)
+            produced = 0
+            while produced < take:
+                produced += state.emit_block_cols(
+                    min(take - produced, remaining - produced), cols
+                )
+            remaining -= produced
+            if state is kern:
+                kernel_remaining -= produced
+                stats.kernel_instructions += produced
+            elif user_gap > 0 and remaining > 0:
+                kernel_remaining = max(1, int(episode_len * rng.uniform(0.7, 1.3)))
+            stats.instructions += produced
+            stats.loads += state.block_loads
+            stats.stores += state.block_stores
+            stats.branches += state.block_branches
+            stats.fp_ops += state.block_fp
+            state.clear_block_counts()
+            while len(cols) >= batch_size:
+                yield cols.carve(batch_size)
+        if len(cols):
+            yield cols.carve(len(cols))
 
     # -- generation --------------------------------------------------------
 
@@ -489,6 +680,9 @@ class _ModeState:
 
     def _geometric(self, p: float) -> int:
         u = self.rng.random()
+        if p >= 1.0:
+            # Degenerate geometric (dep_mean <= 1): the draw is always 1.
+            return 1
         # Inverse-CDF geometric starting at 1.
         return max(1, int(math.log(max(u, 1e-12)) / math.log(1.0 - p)) + 1)
 
@@ -612,6 +806,153 @@ class _ModeState:
         else:
             self.pc = pc
         return ops
+
+    def emit_block_cols(self, budget: int, cols: _Columns) -> int:
+        """Batch twin of :meth:`emit_block`: append fields to *cols*.
+
+        Emits the identical micro-op fields in the identical RNG call
+        order; the only differences are structural (column appends instead
+        of :class:`~repro.uarch.isa.MicroOp` construction, and the cheap
+        per-op samplers inlined).  Floating-point expressions are kept
+        operation-for-operation identical so every ``int()`` truncation
+        lands on the same value.
+        """
+        spec = self.spec
+        rng = self.rng
+        rng_random = rng.random
+        body_len = min(self._block_body_len(self.pc), max(1, budget - 1))
+        pc = self.pc
+        kernel = self.kernel
+        index = self.index
+        last_load = self.last_load_distance
+        op_cum = self.op_cum
+        # Plain ints in the hot loop: IntEnum comparisons cost ~2x.
+        op_choices = [int(choice) for choice in self.op_choices]
+        op_alu = int(OpClass.ALU)
+        op_load = int(OpClass.LOAD)
+        op_store = int(OpClass.STORE)
+        op_fp = int(OpClass.FP)
+        dep_density = spec.dep_density
+        # Same operands as _geometric: p, then log(1 - p) — division by the
+        # precomputed log is bit-identical to dividing by math.log(1.0 - p).
+        # None marks the degenerate p == 1 case (_geometric returns 1).
+        dep_p = 1.0 / max(1.0, spec.dep_mean)
+        log_one_minus_p = math.log(1.0 - dep_p) if dep_p < 1.0 else None
+        weights_cum = self.weights_cum
+        cursors = self.cursors
+        single_region = len(cursors) == 1
+        log = math.log
+
+        col_op = cols.op
+        col_pc = cols.pc
+        col_addr = cols.addr
+        col_taken = cols.taken
+        col_target = cols.target
+        col_dep1 = cols.dep1
+        col_dep2 = cols.dep2
+        col_kernel = cols.kernel
+
+        count = 0
+        for _ in range(body_len):
+            # _pick_op, inlined.
+            r = rng_random()
+            op_class = op_alu
+            for j, threshold in enumerate(op_cum):
+                if r < threshold:
+                    op_class = op_choices[j]
+                    break
+            # _dep_pair, inlined (including _geometric).
+            if rng_random() >= dep_density:
+                dep1 = 0
+                dep2 = 0
+            else:
+                u = rng_random()
+                if log_one_minus_p is None:
+                    d1 = 1
+                else:
+                    d1 = int(log(u if u > 1e-12 else 1e-12) / log_one_minus_p) + 1
+                    if d1 < 1:
+                        d1 = 1
+                if rng_random() < 0.4:
+                    u = rng_random()
+                    if log_one_minus_p is None:
+                        d2 = 1
+                    else:
+                        d2 = int(log(u if u > 1e-12 else 1e-12) / log_one_minus_p) + 1
+                        if d2 < 1:
+                            d2 = 1
+                else:
+                    d2 = 0
+                dep1 = d1 if d1 < MAX_DEP_DISTANCE else MAX_DEP_DISTANCE
+                if dep1 > index:
+                    dep1 = index
+                dep2 = d2 if d2 < MAX_DEP_DISTANCE else MAX_DEP_DISTANCE
+                if dep2 > index:
+                    dep2 = index
+            addr = 0
+            if op_class == op_load or op_class == op_store:
+                # _pick_region, inlined.
+                if single_region:
+                    cursor = cursors[0]
+                else:
+                    r = rng_random()
+                    cursor = cursors[-1]
+                    for j, threshold in enumerate(weights_cum):
+                        if r < threshold:
+                            cursor = cursors[j]
+                            break
+                addr, chase = self._data_address(cursor)
+                if chase and last_load:
+                    dep1 = min(last_load, MAX_DEP_DISTANCE)
+                if op_class == op_load:
+                    self.block_loads += 1
+                else:
+                    self.block_stores += 1
+            elif op_class == op_fp:
+                self.block_fp += 1
+            col_op.append(op_class)
+            col_pc.append(pc)
+            col_addr.append(addr)
+            col_taken.append(False)
+            col_target.append(0)
+            col_dep1.append(dep1)
+            col_dep2.append(dep2)
+            col_kernel.append(kernel)
+            if op_class == op_load:
+                last_load = 1
+            elif last_load:
+                last_load += 1
+            pc += 4
+            index += 1
+            count += 1
+
+        if count < budget:
+            branch_pc = pc
+            site = self._branch_site(branch_pc)
+            taken, target = self._resolve_branch(site, branch_pc)
+            col_op.append(int(OpClass.BRANCH))
+            col_pc.append(branch_pc)
+            col_addr.append(0)
+            col_taken.append(taken)
+            col_target.append(target if taken else branch_pc + 4)
+            col_dep1.append(1)
+            col_dep2.append(0)
+            col_kernel.append(kernel)
+            self.block_branches += 1
+            index += 1
+            count += 1
+            if last_load:
+                last_load += 1
+            self.pc = target if taken else branch_pc + 4
+            if not self.code_base <= self.pc < self.code_base + self.code_size:
+                self.pc = self.code_base + (
+                    (self.pc - self.code_base) % self.code_size
+                ) // 4 * 4
+        else:
+            self.pc = pc
+        self.index = index
+        self.last_load_distance = last_load
+        return count
 
     def _resolve_branch(self, site: _BranchSite, pc: int) -> tuple[bool, int]:
         rng = self.rng

@@ -1,0 +1,183 @@
+"""Tests for the persistent simulation result cache and parallel suite runs.
+
+The cache's contract has two halves: keys are *stable* (the same inputs
+always address the same entry, and any input change addresses a new one),
+and hits are *bit-identical* to cold runs.  Parallel characterization
+carries the same promise — ``workers=N`` must return the exact result
+list of a serial run, in the same order.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.core.characterize import characterize_suite, resolve_workers
+from repro.core.simcache import (
+    SimCache,
+    cache_enabled,
+    clear,
+    code_version,
+    load_result,
+    sim_cache_key,
+    store_result,
+)
+from repro.core.suite import DCBench
+from repro.uarch.config import XEON_E5645, scaled_machine
+from repro.uarch.pipeline import Core
+from repro.uarch.trace import SyntheticTrace, TraceSpec
+
+SCALED = scaled_machine(8)
+
+
+@pytest.fixture()
+def spec():
+    return TraceSpec(name="cachetest", instructions=5_000, seed=11)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self, spec):
+        assert sim_cache_key(spec, SCALED) == sim_cache_key(spec, SCALED)
+        # A structurally equal copy hashes identically too.
+        assert sim_cache_key(dataclasses.replace(spec), SCALED) == (
+            sim_cache_key(spec, SCALED)
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"instructions": 6_000},
+            {"seed": 12},
+            {"load_fraction": 0.31},
+            {"dep_mean": 3.5},
+        ],
+    )
+    def test_any_spec_field_changes_key(self, spec, change):
+        other = dataclasses.replace(spec, **change)
+        assert sim_cache_key(other, SCALED) != sim_cache_key(spec, SCALED)
+
+    def test_machine_changes_key(self, spec):
+        assert sim_cache_key(spec, XEON_E5645) != sim_cache_key(spec, SCALED)
+
+    def test_warmup_changes_key(self, spec):
+        assert sim_cache_key(spec, SCALED, warmup=100) != sim_cache_key(spec, SCALED)
+
+    def test_key_folds_in_code_version(self, spec, monkeypatch):
+        base = sim_cache_key(spec, SCALED)
+        monkeypatch.setattr("repro.core.simcache._code_version", "deadbeefdeadbeef")
+        assert sim_cache_key(spec, SCALED) != base
+
+    def test_code_version_shape(self):
+        version = code_version()
+        assert len(version) == 16
+        int(version, 16)  # hex digest prefix
+
+
+class TestStore:
+    def test_round_trip_bit_identical(self, spec, tmp_path):
+        result = Core(SCALED).run(SyntheticTrace(spec))
+        key = sim_cache_key(spec, SCALED)
+        store_result(key, result, tmp_path)
+        loaded = load_result(key, tmp_path)
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(result)
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert load_result("0" * 64, tmp_path) is None
+
+    def test_corrupt_entry_is_a_miss(self, spec, tmp_path):
+        result = Core(SCALED).run(SyntheticTrace(spec))
+        key = sim_cache_key(spec, SCALED)
+        store_result(key, result, tmp_path)
+        path = tmp_path / "sim" / key[:2] / f"{key}.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert load_result(key, tmp_path) is None
+
+    def test_clear_counts_and_removes(self, spec, tmp_path):
+        result = Core(SCALED).run(SyntheticTrace(spec))
+        store_result(sim_cache_key(spec, SCALED), result, tmp_path)
+        other = dataclasses.replace(spec, seed=99)
+        store_result(sim_cache_key(other, SCALED), result, tmp_path)
+        assert clear(tmp_path) == 2
+        assert clear(tmp_path) == 0
+        assert load_result(sim_cache_key(spec, SCALED), tmp_path) is None
+
+
+class TestSimCache:
+    def test_hit_is_bit_identical_to_cold_run(self, spec, tmp_path):
+        cache = SimCache(tmp_path, enabled=True)
+        cold = cache.simulate(spec, SCALED)
+        warm = cache.simulate(spec, SCALED)
+        assert dataclasses.asdict(cold) == dataclasses.asdict(warm)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_engines_share_entries(self, spec, tmp_path):
+        # The engine is not part of the key: bit-identity makes the
+        # results interchangeable, so a reference run serves fast hits.
+        cache = SimCache(tmp_path, enabled=True)
+        cold = cache.simulate(spec, SCALED, engine="reference")
+        warm = cache.simulate(spec, SCALED, engine="fast")
+        assert dataclasses.asdict(cold) == dataclasses.asdict(warm)
+        assert cache.hits == 1
+
+    def test_disabled_cache_never_stores(self, spec, tmp_path):
+        cache = SimCache(tmp_path, enabled=False)
+        cache.simulate(spec, SCALED)
+        cache.simulate(spec, SCALED)
+        assert cache.hits == 0
+        assert cache.misses == 2
+        assert not (tmp_path / "sim").exists()
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_CACHE", raising=False)
+        assert cache_enabled()
+        for off in ("0", "false", "off", "no", ""):
+            monkeypatch.setenv("REPRO_SIM_CACHE", off)
+            assert not cache_enabled()
+        monkeypatch.setenv("REPRO_SIM_CACHE", "1")
+        assert cache_enabled()
+
+    def test_env_dir_override(self, spec, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "relocated"))
+        cache = SimCache(enabled=True)
+        cache.simulate(spec, SCALED)
+        assert (tmp_path / "relocated" / "sim").exists()
+
+
+class TestParallelSuite:
+    def test_resolve_workers(self):
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(1, 10) == 1
+        assert resolve_workers(3, 2) == 2  # capped at job count
+        auto = resolve_workers("auto", 8)
+        assert 1 <= auto <= min(8, os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            resolve_workers(0, 10)
+        with pytest.raises(ValueError):
+            resolve_workers("many", 10)
+
+    def test_workers_match_serial(self):
+        """workers=4 returns the bit-identical, same-order result list."""
+        sub = DCBench.data_analysis_only()
+        serial = characterize_suite(sub, instructions=5_000, workers=1)
+        parallel = characterize_suite(sub, instructions=5_000, workers=4)
+        assert [c.name for c in parallel] == [e.name for e in sub]
+        for a, b in zip(serial, parallel):
+            assert a.name == b.name
+            assert a.metrics == b.metrics
+            assert dataclasses.asdict(a.result) == dataclasses.asdict(b.result)
+
+    def test_workers_with_shared_cache(self, tmp_path):
+        """Parallel workers populate one cache; a serial rerun hits it."""
+        sub = DCBench.data_analysis_only()
+        cold_cache = SimCache(tmp_path, enabled=True)
+        cold = characterize_suite(
+            sub, instructions=5_000, workers=2, cache=cold_cache
+        )
+        warm_cache = SimCache(tmp_path, enabled=True)
+        warm = characterize_suite(
+            sub, instructions=5_000, workers=1, cache=warm_cache
+        )
+        assert warm_cache.hits == len(sub)
+        for a, b in zip(cold, warm):
+            assert dataclasses.asdict(a.result) == dataclasses.asdict(b.result)

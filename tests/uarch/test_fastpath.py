@@ -1,0 +1,192 @@
+"""Fast engine ≡ reference engine, bit for bit.
+
+The fast path (repro.perf.fastpath) re-implements trace generation and the
+core timing loop in batched form; its entire value rests on never changing
+a counter.  These tests enforce that contract:
+
+* a hypothesis property over randomized TraceSpecs and machine variants
+  asserting every SimulationResult field matches exactly,
+* batch-stream equivalence (iter_batches ≡ the scalar iterator),
+* a fixed equivalence matrix over representative suite workloads and the
+  ablation machines (virtualized, hugepages, prefetch off, each predictor).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.suite import DCBench
+from repro.perf.fastpath import run_fast
+from repro.uarch.config import (
+    hugepage_machine,
+    scaled_machine,
+    virtualized_machine,
+)
+from repro.uarch.pipeline import Core, simulate
+from repro.uarch.trace import MemoryRegion, SyntheticTrace, TraceSpec
+
+SCALED = scaled_machine(8)
+
+
+def machine_variant(kind: str):
+    if kind == "base":
+        return SCALED
+    if kind == "virt":
+        return virtualized_machine(SCALED)
+    if kind == "huge":
+        return hugepage_machine(SCALED)
+    if kind == "noprefetch":
+        return dataclasses.replace(SCALED, name="nopf", prefetch=False)
+    # predictor kinds
+    return dataclasses.replace(
+        SCALED, name=kind, core=dataclasses.replace(SCALED.core, predictor=kind)
+    )
+
+
+regions_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["sequential", "strided", "random", "pointer"]),
+        st.integers(10, 22),  # log2 size
+        st.floats(0.1, 1.0),
+    ),
+    min_size=1,
+    max_size=3,
+).map(
+    lambda items: tuple(
+        MemoryRegion(
+            name=f"r{i}",
+            size_bytes=1 << bits,
+            weight=weight,
+            pattern=pattern,
+            stride=256 if pattern == "strided" else 64,
+        )
+        for i, (pattern, bits, weight) in enumerate(items)
+    )
+)
+
+spec_strategy = st.builds(
+    TraceSpec,
+    name=st.just("prop"),
+    instructions=st.integers(500, 4000),
+    seed=st.integers(0, 2**31 - 1),
+    load_fraction=st.floats(0.0, 0.35),
+    store_fraction=st.floats(0.0, 0.2),
+    fp_fraction=st.floats(0.0, 0.2),
+    mul_fraction=st.floats(0.0, 0.1),
+    div_fraction=st.floats(0.0, 0.02),
+    mean_block_len=st.floats(2.0, 20.0),
+    code_footprint=st.integers(4 * 1024, 512 * 1024),
+    call_fraction=st.floats(0.0, 0.3),
+    indirect_fraction=st.floats(0.0, 0.3),
+    loop_branch_fraction=st.floats(0.0, 0.9),
+    mean_trip_count=st.floats(1.0, 40.0),
+    branch_regularity=st.floats(0.0, 1.0),
+    taken_bias=st.floats(0.0, 1.0),
+    regions=regions_strategy,
+    dep_mean=st.floats(1.0, 12.0),
+    dep_density=st.floats(0.0, 1.0),
+    partial_register_ratio=st.floats(0.0, 0.3),
+    kernel_fraction=st.floats(0.0, 0.3),
+    kernel_episode_len=st.integers(1, 300),
+)
+
+
+class TestFastEqualsReference:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        spec=spec_strategy,
+        machine_kind=st.sampled_from(
+            ["base", "virt", "huge", "noprefetch", "bimodal", "gshare", "tournament"]
+        ),
+    )
+    def test_property_bit_identical(self, spec, machine_kind):
+        machine = machine_variant(machine_kind)
+        ref = Core(machine).run(SyntheticTrace(spec))
+        fast = run_fast(Core(machine), SyntheticTrace(spec))
+        assert dataclasses.asdict(ref) == dataclasses.asdict(fast)
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec=spec_strategy)
+    def test_batch_stream_equals_scalar_stream(self, spec):
+        scalar_trace = SyntheticTrace(spec)
+        scalar = scalar_trace.materialize()
+        batch_trace = SyntheticTrace(spec)
+        batched = [
+            uop for batch in batch_trace.iter_batches(batch_size=777)
+            for uop in batch.micro_ops()
+        ]
+        assert len(scalar) == len(batched) == spec.instructions
+        for a, b in zip(scalar, batched):
+            assert (a.op, a.pc, a.addr, a.taken, a.target, a.dep1, a.dep2, a.kernel) == (
+                b.op, b.pc, b.addr, b.taken, b.target, b.dep1, b.dep2, b.kernel
+            )
+        assert scalar_trace.stats == batch_trace.stats
+
+
+#: The CI perf tier's equivalence matrix: one workload per family.
+MATRIX_WORKLOADS = [
+    "WordCount",
+    "K-means",
+    "Media Streaming",
+    "SPECINT",
+    "HPCC-STREAM",
+    "HPCC-RandomAccess",
+]
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("name", MATRIX_WORKLOADS)
+    def test_suite_workload(self, name):
+        entry = DCBench.default().entry(name)
+        spec = entry.trace_spec(30_000).scaled(8)
+        ref = Core(SCALED).run(SyntheticTrace(spec))
+        fast = run_fast(Core(SCALED), SyntheticTrace(spec))
+        assert dataclasses.asdict(ref) == dataclasses.asdict(fast)
+
+    @pytest.mark.parametrize(
+        "kind", ["virt", "huge", "noprefetch", "bimodal", "gshare", "tournament"]
+    )
+    def test_machine_variants(self, kind):
+        machine = machine_variant(kind)
+        spec = DCBench.default().entry("Sort").trace_spec(20_000).scaled(8)
+        ref = Core(machine).run(SyntheticTrace(spec))
+        fast = run_fast(Core(machine), SyntheticTrace(spec))
+        assert dataclasses.asdict(ref) == dataclasses.asdict(fast)
+
+    def test_core_state_writeback(self):
+        """After run_fast the core's caches/predictors hold the same state
+        as after a reference run: a second run on the reused core matches."""
+        spec = DCBench.default().entry("Grep").trace_spec(10_000).scaled(8)
+        core_ref = Core(SCALED)
+        core_fast = Core(SCALED)
+        first_ref = core_ref.run(SyntheticTrace(spec))
+        first_fast = run_fast(core_fast, SyntheticTrace(spec))
+        assert dataclasses.asdict(first_ref) == dataclasses.asdict(first_fast)
+        second_ref = core_ref.run(SyntheticTrace(spec))
+        second_fast = run_fast(core_fast, SyntheticTrace(spec))
+        assert dataclasses.asdict(second_ref) == dataclasses.asdict(second_fast)
+        # Warm state changed the numbers (i.e. the write-back mattered).
+        assert dataclasses.asdict(first_ref) != dataclasses.asdict(second_ref)
+
+
+class TestSimulateDispatch:
+    def test_engine_fast_on_spec(self):
+        spec = TraceSpec(name="d", instructions=3000)
+        assert dataclasses.asdict(simulate(spec, SCALED, engine="fast")) == (
+            dataclasses.asdict(simulate(spec, SCALED, engine="reference"))
+        )
+
+    def test_engine_fast_falls_back_for_iterables(self):
+        spec = TraceSpec(name="d", instructions=1000)
+        uops = SyntheticTrace(spec).materialize()
+        result = simulate(uops, SCALED, engine="fast")
+        assert result.instructions == 1000 - 200  # warmup-excluded
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(TraceSpec(name="d", instructions=1000), SCALED, engine="warp")
+
+    def test_run_fast_rejects_non_synthetic(self):
+        with pytest.raises(TypeError):
+            run_fast(Core(SCALED), [1, 2, 3])
