@@ -19,6 +19,10 @@ Sub-commands mirror how the paper's artefacts are used:
                             trace through the FIFO/Fair/Capacity scheduler
                             (``--scheduler``, ``--jobs``, ``--rate``,
                             ``--crash-node``, ``--partition``, ``--colocate``)
+* ``serve``              — open-loop service traffic through a frontend with
+                            graceful degradation (``--rate``, ``--pattern``,
+                            ``--deadline``, ``--shed-rate``, ``--limp``,
+                            ``--unprotected``, ``--compare``)
 """
 
 from __future__ import annotations
@@ -91,6 +95,67 @@ def _seconds(text: str) -> float:
             f"must be a finite non-negative number of seconds, got {text}"
         )
     return value
+
+
+def _positive_rate(text: str) -> float:
+    """argparse type: a finite, strictly positive rate (NaN-proof)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not (value > 0.0 and math.isfinite(value)):
+        raise argparse.ArgumentTypeError(
+            f"must be a finite positive rate, got {text}"
+        )
+    return value
+
+
+def _count(text: str) -> int:
+    """argparse type: a positive integer count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a count") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a count >= 1, got {text}")
+    return value
+
+
+def _retry_budget(text: str) -> int:
+    """argparse type: a retry budget in [0, 16]."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a retry count") from None
+    if not 0 <= value <= 16:
+        raise argparse.ArgumentTypeError(
+            f"retry budget must be in [0, 16], got {text}"
+        )
+    return value
+
+
+def _limp(text: str) -> tuple[int, float]:
+    """argparse type: a limping-server spec ``INDEX:FACTOR``."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(f"expected INDEX:FACTOR, got {text!r}")
+    index_text, factor_text = parts
+    try:
+        index = int(index_text)
+        factor = float(factor_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"INDEX must be an integer and FACTOR a number, got {text!r}"
+        ) from None
+    if index < 0:
+        raise argparse.ArgumentTypeError(
+            f"limping server INDEX must be >= 0, got {index_text}"
+        )
+    if not (factor >= 1.0 and math.isfinite(factor)):
+        raise argparse.ArgumentTypeError(
+            f"limp FACTOR must be finite and >= 1, got {factor_text}"
+        )
+    return (index, factor)
 
 
 def _workers(text: str):
@@ -409,7 +474,7 @@ def _cmd_mix(args) -> int:
                 value = ", ".join(value) or "-"
             elif isinstance(value, float):
                 value = f"{value:.3f}"
-            print(f"  {key:<24s}{value}")
+            print(f"  {key:<27s}{value}")
     if args.colocate:
         if colocation is None:
             print("co-location: no instant with two jobs' tasks on one node")
@@ -419,6 +484,91 @@ def _cmd_mix(args) -> int:
             for name in colocation.workloads:
                 print(f"  {name:<18s}solo IPC {colocation.solo_ipc[name]:.2f}  "
                       f"shared-LLC slowdown {colocation.slowdowns[name]:.2f}x")
+    return 0
+
+
+def _render_serve_report(label: str, report) -> None:
+    pct = report.latency_percentiles
+    quantiles = "  ".join(
+        f"{name} {value:.3f}s" if value == value else f"{name} -"
+        for name, value in pct.items()
+    )
+    print(f"{label}: {report.offered} offered on {report.servers} server(s)  "
+          f"completed {report.completed}  shed {report.shed}  "
+          f"killed {report.killed}  retries {report.retries}")
+    print(f"  latency   {quantiles}")
+    print(f"  goodput   {report.goodput_rps:.2f} req/s  "
+          f"utilization {report.utilization:.1%}  "
+          f"SLO attainment {report.slo_attainment:.1%}")
+    print(f"  {report.procfs.render_overload()}")
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.cluster.chaos import run_overload_chaos
+    from repro.cluster.serve import ArrivalProcess, ServePolicy, run_service
+
+    if args.compare:
+        result = run_overload_chaos(
+            seed=args.seed,
+            rate_per_s=args.rate,
+            num_requests=args.requests,
+            servers=args.servers,
+            pattern=args.pattern,
+            deadline_s=args.deadline,
+        )
+        if args.format == "json":
+            payload = {
+                "seed": result.seed,
+                "rate_per_s": result.rate_per_s,
+                "pattern": result.pattern,
+                "deadline_s": result.deadline_s,
+                "p99_gap_s": result.p99_gap_s,
+                "ordering_holds": result.ordering_holds,
+                "protected": result.protected.to_dict(),
+                "unprotected": result.unprotected.to_dict(),
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"overload comparison: {args.pattern} arrivals at "
+                  f"{args.rate:g} req/s, deadline {args.deadline:g}s")
+            _render_serve_report("protected", result.protected)
+            _render_serve_report("unprotected", result.unprotected)
+            print(f"p99 gap {result.p99_gap_s:.3f}s  "
+                  f"degradation ordering holds: {result.ordering_holds}")
+        return 0 if result.ordering_holds else 1
+
+    for index, _ in args.limp or ():
+        if index >= args.servers:
+            args.parser.error(
+                f"--limp server {index} is not in the bank "
+                f"(have 0..{args.servers - 1})"
+            )
+    process = ArrivalProcess(rate_per_s=args.rate, pattern=args.pattern)
+    if args.unprotected:
+        policy = ServePolicy.unprotected(deadline_s=args.deadline)
+    else:
+        policy = ServePolicy(
+            deadline_s=args.deadline,
+            max_queue_depth=args.max_queue,
+            shed_rate=args.shed_rate,
+            shed_threshold=args.shed_threshold,
+            retry_budget=args.retries,
+        )
+    report = run_service(
+        process=process,
+        num_requests=args.requests,
+        servers=args.servers,
+        policy=policy,
+        seed=args.seed,
+        limping_servers=tuple(args.limp or ()),
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        posture = "unprotected" if args.unprotected else "protected"
+        _render_serve_report(posture, report)
     return 0
 
 
@@ -547,6 +697,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace length per workload for --colocate")
     mix.add_argument("--format", choices=("table", "json"), default="table")
     mix.set_defaults(fn=_cmd_mix, parser=mix)
+
+    serve = sub.add_parser(
+        "serve", help="open-loop service traffic through a degrading frontend"
+    )
+    serve.add_argument("--rate", type=_positive_rate, default=8.0,
+                       metavar="PER_SECOND",
+                       help="mean open-loop arrival rate (requests per second)")
+    serve.add_argument("--requests", type=_count, default=200,
+                       help="number of requests to offer")
+    serve.add_argument("--servers", type=_count, default=4,
+                       help="identical servers in the bank")
+    serve.add_argument("--pattern", choices=("poisson", "diurnal", "bursty"),
+                       default="poisson", help="arrival process shape")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="arrival/class/shed seed (runs are reproducible)")
+    serve.add_argument("--deadline", type=_positive_rate, default=8.0,
+                       metavar="SECONDS", help="per-request deadline (the SLO)")
+    serve.add_argument("--max-queue", type=_count, default=64,
+                       help="admission-control queue-depth limit")
+    serve.add_argument("--shed-rate", type=_rate, default=0.0, metavar="RATE",
+                       help="fraction of traffic shed above --shed-threshold")
+    serve.add_argument("--shed-threshold", type=_count, default=16,
+                       help="queue depth at which shedding starts")
+    serve.add_argument("--retries", type=_retry_budget, default=1,
+                       help="retry budget for deadline-killed requests [0, 16]")
+    serve.add_argument("--limp", type=_limp, action="append",
+                       metavar="INDEX:FACTOR",
+                       help="limp this server's service time by FACTOR "
+                            "(repeatable; e.g. 0:3.0)")
+    serve.add_argument("--unprotected", action="store_true",
+                       help="disable every degradation control "
+                            "(the overload control group)")
+    serve.add_argument("--compare", action="store_true",
+                       help="run protected vs unprotected on the same "
+                            "arrivals; exit 1 if the protected frontend "
+                            "does not win on p99")
+    serve.add_argument("--format", choices=("table", "json"), default="table")
+    serve.set_defaults(fn=_cmd_serve, parser=serve)
 
     prof = sub.add_parser("profile", help="sampled flat profile of a workload")
     prof.add_argument("workload")

@@ -30,7 +30,11 @@ paper measures it:
   shared slot/disk/network/HDFS models;
 * :mod:`repro.cluster.tenancy` — trace-driven workload mixes: seeded
   Poisson arrivals over a heavy-tailed job-size distribution, named
-  users/pools, fairness metrics, and shared-LLC co-location reports.
+  users/pools, fairness metrics, and shared-LLC co-location reports;
+* :mod:`repro.cluster.serve` — open-loop service traffic: seeded
+  Poisson/diurnal/bursty arrivals over a server bank with graceful
+  degradation (admission control, load shedding, deadlines, bounded
+  retries) and p50/p95/p99/p999 latency reporting.
 """
 
 from repro.cluster.disk import Disk
@@ -79,13 +83,28 @@ from repro.cluster.attempts import (
 from repro.cluster.faults import FaultPlan, FaultyCluster, FaultyTimeline
 from repro.cluster.chaos import (
     ChaosResult,
+    FailSlowChaosResult,
     IntegrityChaosResult,
     MasterCrashResult,
+    OverloadChaosResult,
     chaos_plan,
     integrity_chaos_plan,
     run_chaos,
+    run_fail_slow_chaos,
     run_integrity_chaos,
     run_master_crash_chaos,
+    run_overload_chaos,
+)
+from repro.cluster.serve import (
+    ArrivalProcess,
+    RequestClass,
+    RequestRecord,
+    ServePolicy,
+    ServeReport,
+    default_request_classes,
+    percentile,
+    request_classes_from_trace,
+    run_service,
 )
 from repro.cluster.scheduler import (
     CapacityScheduler,
@@ -155,13 +174,26 @@ __all__ = [
     "FaultyCluster",
     "FaultyTimeline",
     "ChaosResult",
+    "FailSlowChaosResult",
     "IntegrityChaosResult",
     "MasterCrashResult",
+    "OverloadChaosResult",
     "chaos_plan",
     "integrity_chaos_plan",
     "run_chaos",
+    "run_fail_slow_chaos",
     "run_integrity_chaos",
     "run_master_crash_chaos",
+    "run_overload_chaos",
+    "ArrivalProcess",
+    "RequestClass",
+    "RequestRecord",
+    "ServePolicy",
+    "ServeReport",
+    "default_request_classes",
+    "percentile",
+    "request_classes_from_trace",
+    "run_service",
     "Scheduler",
     "FifoScheduler",
     "FairScheduler",

@@ -436,3 +436,263 @@ def run_master_crash_chaos(
         restart_accounting=aggregate_accounting(runs["restart"].timelines),
         resume_accounting=aggregate_accounting(runs["resume"].timelines),
     )
+
+
+@dataclass(frozen=True)
+class FailSlowChaosResult:
+    """Outcome of one fail-slow chaos run: a limping node, three mixes.
+
+    The same job trace runs fault-free, with one limping node and
+    speculation off, and with the same limping node and speculation on.
+    A fail-slow node completes everything it is given — slowly — so the
+    damage shows up in tail latency, not in failures; the mitigation
+    claim is that straggler detection plus speculative backups claws
+    most of that tail back while the commit fence keeps exactly one
+    attempt's output per task.
+    """
+
+    workload: str
+    seed: int
+    scheduler: str
+    limping_node: str
+    limp_factor: float
+    baseline_p99_s: float
+    limping_p99_s: float
+    speculative_p99_s: float
+    identical_outputs: bool
+    single_job_identical: bool
+    single_job_slowdown: float
+    stragglers_detected: tuple[str, ...]
+    speculative_attempts: int
+    speculative_wins: int
+    speculative_losers_fenced: int
+    zombies_fenced: int
+    fence_fenced: int
+
+    @property
+    def limping_slowdown(self) -> float:
+        """How much the limping node inflated the mix p99 (speculation off)."""
+        if self.baseline_p99_s <= 0:
+            return 1.0
+        return self.limping_p99_s / self.baseline_p99_s
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Share of the fail-slow p99 inflation speculation clawed back."""
+        inflation = self.limping_p99_s - self.baseline_p99_s
+        if inflation <= 0:
+            return 1.0
+        return (self.limping_p99_s - self.speculative_p99_s) / inflation
+
+    @property
+    def every_loser_fenced(self) -> bool:
+        """Each speculative race fenced exactly one losing attempt."""
+        return (
+            self.speculative_losers_fenced == self.speculative_attempts
+            and self.fence_fenced
+            == self.zombies_fenced + self.speculative_losers_fenced
+        )
+
+
+def run_fail_slow_chaos(
+    workload_name: str = "Sort",
+    seed: int = 0,
+    scheduler: str = "fifo",
+    jobs: int = 5,
+    scale: float = 0.12,
+    num_slaves: int = 3,
+    map_slots: int = 4,
+    reduce_slots: int = 2,
+    block_size: int = 64 * 1024,
+    limp_factor: float = 3.0,
+) -> FailSlowChaosResult:
+    """Run a job trace against a limping node, with and without speculation.
+
+    Builds a trace of *jobs* identical jobs with seeded staggered
+    arrivals, limps the last slave's CPU/disk/NIC by *limp_factor*, and
+    plays the trace three ways (fault-free, limping with speculation
+    off, limping with speculation on) under the named scheduler.  Also
+    runs the workload solo through a limping :class:`FaultyCluster` to
+    check functional output is untouched by fail-slow hardware.
+    """
+    from repro.cluster.scheduler import FairScheduler, FifoScheduler
+    from repro.cluster.tenancy import TraceJob, WorkloadTrace, run_mix
+    from repro.workloads import workload as load_workload
+
+    if jobs < 1:
+        raise ValueError("chaos needs at least one trace job")
+    makers = {"fifo": FifoScheduler, "fair": FairScheduler}
+    if scheduler not in makers:
+        raise ValueError("scheduler must be fifo or fair")
+    victim = f"slave{num_slaves}"  # slaves are named slave1..slaveN
+    limp = ((victim, limp_factor),)
+
+    solo_plain = load_workload(workload_name).run(
+        scale=scale, cluster=make_cluster(num_slaves, block_size=block_size)
+    )
+    solo_limping = load_workload(workload_name).run(
+        scale=scale,
+        cluster=FaultyCluster(
+            make_cluster(num_slaves, block_size=block_size),
+            FaultPlan(limping_nodes=limp, seed=seed),
+        ),
+    )
+
+    # Space arrivals just past the healthy solo duration: a fault-free
+    # cluster keeps up with the offered load, a limping one falls
+    # steadily behind — the fail-slow failure mode is a latency tail
+    # that compounds, and mitigation has idle healthy slots to race on.
+    rng = random.Random(f"failslow-chaos:{seed}")
+    arrival = 0.0
+    trace_jobs = []
+    for index in range(jobs):
+        trace_jobs.append(
+            TraceJob(
+                index,
+                workload_name,
+                scale,
+                arrival,
+                f"user{index % 3}",
+                "batch",
+                "small",
+            )
+        )
+        arrival += solo_plain.duration_s * rng.uniform(1.05, 1.25)
+    trace = WorkloadTrace(tuple(trace_jobs), seed=seed, arrival_rate_per_s=0.0)
+    shape = dict(
+        num_slaves=num_slaves,
+        map_slots=map_slots,
+        reduce_slots=reduce_slots,
+        block_size=block_size,
+    )
+
+    def p99(mix) -> float:
+        from repro.cluster.serve import percentile
+
+        return percentile([r.turnaround_s for r in mix.reports], 99.0)
+
+    baseline = run_mix(trace, makers[scheduler](), **shape)
+    limping = run_mix(
+        trace,
+        makers[scheduler](),
+        plan=FaultPlan(
+            speculative_execution=False, limping_nodes=limp, seed=seed
+        ),
+        **shape,
+    )
+    speculative = run_mix(
+        trace,
+        makers[scheduler](),
+        plan=FaultPlan(limping_nodes=limp, seed=seed),
+        **shape,
+    )
+    acct = speculative.outcome.fault_accounting
+
+    return FailSlowChaosResult(
+        workload=workload_name,
+        seed=seed,
+        scheduler=scheduler,
+        limping_node=victim,
+        limp_factor=limp_factor,
+        baseline_p99_s=p99(baseline),
+        limping_p99_s=p99(limping),
+        speculative_p99_s=p99(speculative),
+        identical_outputs=(
+            repr(limping.outputs) == repr(baseline.outputs)
+            and repr(speculative.outputs) == repr(baseline.outputs)
+        ),
+        single_job_identical=repr(solo_plain.output) == repr(solo_limping.output),
+        single_job_slowdown=(
+            solo_limping.duration_s / solo_plain.duration_s
+            if solo_plain.duration_s > 0
+            else 1.0
+        ),
+        stragglers_detected=acct.stragglers_detected,
+        speculative_attempts=acct.speculative_attempts,
+        speculative_wins=acct.speculative_wins,
+        speculative_losers_fenced=acct.speculative_losers_fenced,
+        zombies_fenced=acct.zombies_fenced,
+        fence_fenced=speculative.outcome.fenced_attempts,
+    )
+
+
+@dataclass(frozen=True)
+class OverloadChaosResult:
+    """Outcome of one overload chaos run: protected vs unprotected frontend.
+
+    The same saturating open-loop arrival stream plays twice: once
+    through a frontend with admission control, shedding and deadlines,
+    once through an anything-goes frontend.  Graceful degradation means
+    the protected frontend holds its admitted-traffic p99 near the
+    deadline while the unprotected queue — and its p99 — grows without
+    bound.
+    """
+
+    seed: int
+    rate_per_s: float
+    num_requests: int
+    servers: int
+    pattern: str
+    deadline_s: float
+    protected: object  # ServeReport
+    unprotected: object  # ServeReport
+
+    @property
+    def p99_gap_s(self) -> float:
+        return self.unprotected.p99_s - self.protected.p99_s
+
+    @property
+    def ordering_holds(self) -> bool:
+        """The degradation ordering the controls are supposed to buy."""
+        return self.protected.p99_s < self.unprotected.p99_s
+
+
+def run_overload_chaos(
+    seed: int = 0,
+    rate_per_s: float = 40.0,
+    num_requests: int = 600,
+    servers: int = 4,
+    pattern: str = "bursty",
+    deadline_s: float = 2.0,
+) -> OverloadChaosResult:
+    """Saturate a service frontend with and without degradation controls.
+
+    The defaults offer ~2.4x the bank's capacity (mean demand 0.24 s,
+    4 servers ≈ 16.7 req/s) in bursts, so the unprotected queue grows
+    essentially without bound while the protected frontend sheds its
+    way to a bounded admitted-traffic p99.
+    """
+    from repro.cluster.serve import ArrivalProcess, ServePolicy, run_service
+
+    process = ArrivalProcess(rate_per_s=rate_per_s, pattern=pattern)
+    protected_policy = ServePolicy(
+        deadline_s=deadline_s,
+        max_queue_depth=32,
+        shed_rate=0.5,
+        shed_threshold=8,
+        retry_budget=1,
+    )
+    protected = run_service(
+        process=process,
+        num_requests=num_requests,
+        servers=servers,
+        policy=protected_policy,
+        seed=seed,
+    )
+    unprotected = run_service(
+        process=process,
+        num_requests=num_requests,
+        servers=servers,
+        policy=ServePolicy.unprotected(deadline_s=deadline_s),
+        seed=seed,
+    )
+    return OverloadChaosResult(
+        seed=seed,
+        rate_per_s=rate_per_s,
+        num_requests=num_requests,
+        servers=servers,
+        pattern=pattern,
+        deadline_s=deadline_s,
+        protected=protected,
+        unprotected=unprotected,
+    )

@@ -4,6 +4,12 @@ A disk is a bandwidth-limited, serialised resource: requests complete in
 FIFO order at the device's sustained rate, and every completed operation is
 recorded into the node's simulated ``/proc`` so the Figure 5 analysis can
 sample write rates exactly like the paper's OS-level collector.
+
+Fail-slow hardware: a *limping* disk (dying spindle remapping sectors,
+firmware retry storms) still completes every request, just slower.
+Setting ``slow_factor`` above 1 stretches each operation's service time
+by that multiplier; at the default ``1.0`` the timing math is
+bit-identical to the healthy path.
 """
 
 from __future__ import annotations
@@ -33,6 +39,9 @@ class Disk:
         self.read_bw = read_bw
         self.write_bw = write_bw
         self.seek_s = seek_s
+        #: fail-slow multiplier on every operation's service time (>= 1);
+        #: 1.0 is a healthy disk and charges bit-identical durations.
+        self.slow_factor = 1.0
         self.busy_until = 0.0
         # Sub-buffer writes accumulate until a 64 KB request is issued,
         # like the block layer merging adjacent small writes.
@@ -44,6 +53,8 @@ class Disk:
             raise ValueError("read size must be non-negative")
         start = max(now, self.busy_until)
         duration = self.seek_s + num_bytes / self.read_bw
+        if self.slow_factor != 1.0:
+            duration *= self.slow_factor
         self.busy_until = start + duration
         self.procfs.record_disk_read(num_bytes)
         return self.busy_until
@@ -60,6 +71,8 @@ class Disk:
             raise ValueError("write size must be non-negative")
         start = max(now, self.busy_until)
         duration = self.seek_s + num_bytes / self.write_bw
+        if self.slow_factor != 1.0:
+            duration *= self.slow_factor
         self.busy_until = start + duration
         self._pending_write_bytes += num_bytes
         while self._pending_write_bytes >= WRITE_OP_BYTES:

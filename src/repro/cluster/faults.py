@@ -147,6 +147,25 @@ class FaultPlan:
             ``policy.graylist_window_s`` on the graylist.
         scrub: run a full DataBlockScanner sweep after each job, so
             at-rest corruption is caught even on replicas no task read.
+        limping_nodes: ``(node_name, factor)`` pairs — fail-slow CPUs:
+            the node's compute runs ``factor`` times slower (thermal
+            throttling, a dying VRM).  Unlike ``straggler_nodes`` (an
+            attempt-level stretch applied only by the single-job fault
+            scheduler), limp factors live on the device models, so every
+            charge — map, reduce, shuffle, replication — sees them, and
+            the multi-job mix executor honours them too.
+        limping_disks: ``(node_name, factor)`` pairs — that node's disk
+            serves every request ``factor`` times slower (sector
+            remapping, firmware retry storms).
+        limping_nics: ``(node_name, factor)`` pairs — that node's NIC
+            runs at ``1/factor`` of its negotiated bandwidth.
+        fail_slow_rate: probability (from a dedicated seeded stream, so
+            enabling it never perturbs the other fault draws) that any
+            given node resource — CPU, disk or NIC, sampled
+            independently — limps, with a factor drawn uniformly from
+            ``fail_slow_factor_range``.
+        fail_slow_factor_range: ``(lo, hi)`` bounds for rate-drawn limp
+            factors, ``1 <= lo <= hi``.
         seed: seed for the rate-based injections.
         policy: the :class:`~repro.cluster.attempts.RetryPolicy` knobs.
     """
@@ -174,6 +193,11 @@ class FaultPlan:
     lossy_links: tuple[tuple[str, str, float], ...] = ()
     partitions: tuple[tuple[str, float, float], ...] = ()
     scrub: bool = False
+    limping_nodes: tuple[tuple[str, float], ...] = ()
+    limping_disks: tuple[tuple[str, float], ...] = ()
+    limping_nics: tuple[tuple[str, float], ...] = ()
+    fail_slow_rate: float = 0.0
+    fail_slow_factor_range: tuple[float, float] = (2.0, 4.0)
     seed: int = 0
     policy: RetryPolicy = field(default_factory=RetryPolicy)
 
@@ -238,6 +262,70 @@ class FaultPlan:
                 raise ValueError(
                     "partition durations must be finite and positive"
                 )
+        for name, factor in (
+            self.limping_nodes + self.limping_disks + self.limping_nics
+        ):
+            if not name:
+                raise ValueError("limping resource node names must be non-empty")
+            if not (factor >= 1.0 and math.isfinite(factor)):
+                raise ValueError("limp factors must be finite and >= 1")
+        if not 0.0 <= self.fail_slow_rate <= 1.0:
+            raise ValueError("fail_slow_rate must be in [0, 1]")
+        lo, hi = self.fail_slow_factor_range
+        if not (1.0 <= lo <= hi and math.isfinite(hi)):
+            raise ValueError(
+                "fail_slow_factor_range needs 1 <= lo <= hi, both finite"
+            )
+
+    @property
+    def injects_fail_slow(self) -> bool:
+        """True when any fail-slow (limping-hardware) class is configured."""
+        return bool(
+            self.limping_nodes
+            or self.limping_disks
+            or self.limping_nics
+            or self.fail_slow_rate
+        )
+
+    def resolve_fail_slow(
+        self, node_names: tuple[str, ...]
+    ) -> dict[str, dict[str, float]]:
+        """Effective per-node limp factors: ``{node: {cpu, disk, nic}}``.
+
+        A ``limping_nodes`` entry limps the whole machine — CPU, disk
+        and NIC together, the thermal-throttled / misconfigured-host
+        presentation — while ``limping_disks`` / ``limping_nics`` limp
+        one device.  Explicit entries apply first; ``fail_slow_rate``
+        then samples each (node, resource) pair from its own seeded
+        stream (``failslow:<seed>``), so turning it on never perturbs
+        the task-failure or gray-failure draws.  Factors combine by
+        ``max`` — the worse diagnosis wins.
+        """
+        factors = {
+            name: {"cpu": 1.0, "disk": 1.0, "nic": 1.0} for name in node_names
+        }
+        for resources, pairs in (
+            (("cpu", "disk", "nic"), self.limping_nodes),
+            (("disk",), self.limping_disks),
+            (("nic",), self.limping_nics),
+        ):
+            for name, factor in pairs:
+                if name not in factors:
+                    raise ValueError(f"unknown limping node {name!r}")
+                for resource in resources:
+                    factors[name][resource] = max(
+                        factors[name][resource], factor
+                    )
+        if self.fail_slow_rate:
+            rng = random.Random(f"failslow:{self.seed}")
+            lo, hi = self.fail_slow_factor_range
+            for name in node_names:
+                for resource in ("cpu", "disk", "nic"):
+                    if rng.random() < self.fail_slow_rate:
+                        factors[name][resource] = max(
+                            factors[name][resource], rng.uniform(lo, hi)
+                        )
+        return factors
 
     @property
     def injects_faults(self) -> bool:
@@ -260,6 +348,7 @@ class FaultPlan:
             or self.link_loss_rate
             or self.lossy_links
             or self.partitions
+            or self.injects_fail_slow
         )
 
     @classmethod
@@ -552,7 +641,36 @@ class FaultyCluster:
         self._corruption_sampled: set[tuple[str, int, str]] = set()
         self._partition_windows: dict[str, list[tuple[float, float]]] = {}
         self._partitions_processed: set[tuple[str, float]] = set()
+        self._limping_names: frozenset[str] = frozenset()
         self._configure_gray_links()
+        self._apply_fail_slow()
+
+    def _apply_fail_slow(self) -> None:
+        """Push the plan's limp factors onto the device models.
+
+        A limping node behaves like a straggler to the jobtracker — its
+        attempts are raced by speculative backups and it is skipped as a
+        backup host — but unlike ``straggler_nodes`` the slowdown lives
+        on the devices, so *everything* it serves (shuffle sources,
+        replication targets) is slow, not just its own attempts.
+        """
+        plan = self.plan
+        if not plan.injects_fail_slow:
+            self._limping_names = frozenset()
+            return
+        factors = plan.resolve_fail_slow(
+            tuple(node.name for node in self.cluster.slaves)
+        )
+        for node in self.cluster.slaves:
+            per_resource = factors[node.name]
+            node.slow_factor = per_resource["cpu"]
+            node.disk.slow_factor = per_resource["disk"]
+            node.nic.slow_factor = per_resource["nic"]
+        self._limping_names = frozenset(
+            name
+            for name, per_resource in factors.items()
+            if any(factor != 1.0 for factor in per_resource.values())
+        )
 
     def _configure_gray_links(self) -> None:
         """Push the plan's link-loss model into the network fabric."""
@@ -603,6 +721,7 @@ class FaultyCluster:
         self._corruption_sampled = set()
         self._partition_windows = {}
         self._partitions_processed = set()
+        self._apply_fail_slow()
 
     # -- job execution --------------------------------------------------------
 
@@ -1057,11 +1176,12 @@ class FaultyCluster:
                 t = attempts.next_retry_time(failure_time)
                 continue
 
-            # Success — possibly racing a speculative backup off a straggler.
+            # Success — possibly racing a speculative backup off a
+            # straggler or a fail-slow (limping) node.
             node.map_slot_free[slot] = end
             if (
                 plan.speculative_execution
-                and node.name in stragglers
+                and (node.name in stragglers or node.name in self._limping_names)
                 and len(cluster.slaves) > 1
             ):
                 end, node = self._speculate_map(
@@ -1409,6 +1529,7 @@ class FaultyCluster:
             n
             for n in self.cluster.slaves
             if n.name not in stragglers
+            and n.name not in self._limping_names
             and not self.blacklist.is_blacklisted(n.name)
             and not self._node_dead_at(n.name, attempt_start)
             and self._partition_at(n.name, attempt_start) is None
@@ -1449,6 +1570,7 @@ class FaultyCluster:
             stats.killed_attempts += 1
             stats.wasted_seconds += max(0.0, backup_end - attempt_start)
             node.procfs.record_task_kill()
+            backup_node.procfs.record_speculative_win()
             backup_node.map_slot_free[backup_slot] = backup_end
             node.map_slot_free[slot] = backup_end
             return backup_end, backup_node
@@ -1651,10 +1773,11 @@ class FaultyCluster:
                 node, slot = self._pick_reduce_retry_slot(t, exclude)
                 continue
 
-            # Success — possibly racing a speculative backup off a straggler.
+            # Success — possibly racing a speculative backup off a
+            # straggler or a fail-slow (limping) node.
             if (
                 plan.speculative_execution
-                and node.name in stragglers
+                and (node.name in stragglers or node.name in self._limping_names)
                 and len(cluster.slaves) > 1
             ):
                 backup = self._speculate_reduce(
@@ -1708,6 +1831,7 @@ class FaultyCluster:
             n
             for n in self.cluster.slaves
             if n.name not in stragglers
+            and n.name not in self._limping_names
             and not self.blacklist.is_blacklisted(n.name)
             and not self._node_dead_at(n.name, map_phase_end)
             and self._partition_at(n.name, map_phase_end) is None
@@ -1752,6 +1876,7 @@ class FaultyCluster:
             stats.killed_attempts += 1
             stats.wasted_seconds += max(0.0, backup_end - exec_start)
             node.procfs.record_task_kill()
+            backup_node.procfs.record_speculative_win()
             node.reduce_slot_free[slot] = backup_end
             return backup_end, backup_node, backup_slot
         stats.wasted_seconds += backup_end - backup_start

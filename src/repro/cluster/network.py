@@ -30,15 +30,31 @@ SEGMENT_BYTES = 64 * 1024
 
 
 class Nic:
-    """One node's network interface with separate TX/RX serialisation."""
+    """One node's network interface with separate TX/RX serialisation.
+
+    Fail-slow hardware: a limping NIC (auto-negotiated down to a lower
+    rate, a flapping transceiver throttling itself) still moves every
+    byte, just slower.  ``slow_factor`` divides the effective bandwidth;
+    at the default ``1.0`` the timing math is bit-identical to the
+    healthy path.
+    """
 
     def __init__(self, procfs: ProcFs, bandwidth: float = GIGABIT_PER_S) -> None:
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.procfs = procfs
         self.bandwidth = bandwidth
+        #: fail-slow divisor on the link rate (>= 1); 1.0 is healthy.
+        self.slow_factor = 1.0
         self.tx_busy_until = 0.0
         self.rx_busy_until = 0.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """The rate transfers actually see (bandwidth / slow_factor)."""
+        if self.slow_factor != 1.0:
+            return self.bandwidth / self.slow_factor
+        return self.bandwidth
 
     def reset(self) -> None:
         self.tx_busy_until = 0.0
@@ -156,7 +172,7 @@ class Network:
         wire_bytes = num_bytes + extra_bytes
         stall = lost_segments * self.retransmit_timeout_s
         start = max(now, src.tx_busy_until, dst.rx_busy_until)
-        rate = min(src.bandwidth, dst.bandwidth)
+        rate = min(src.effective_bandwidth, dst.effective_bandwidth)
         if self.fabric_bandwidth is not None:
             # Shared fabric: the transfer also occupies the switch core.
             start = max(start, self.fabric_busy_until)

@@ -36,6 +36,10 @@ class Node:
         self.map_slots = map_slots
         self.reduce_slots = reduce_slots
         self.cpu_speed = cpu_speed
+        #: fail-slow multiplier on CPU time (thermal throttling, a core
+        #: pinned at its lowest P-state); 1.0 is a healthy node and
+        #: charges bit-identical durations.
+        self.slow_factor = 1.0
         self.procfs = ProcFs(node_name=name)
         self.disk = Disk(self.procfs, read_bw=disk_read_bw, write_bw=disk_write_bw)
         self.nic = Nic(self.procfs, bandwidth=nic_bandwidth)
@@ -47,7 +51,10 @@ class Node:
         """Wall time to execute *cpu_seconds* of normalised work."""
         if cpu_seconds < 0:
             raise ValueError("cpu work must be non-negative")
-        return cpu_seconds / self.cpu_speed
+        wall = cpu_seconds / self.cpu_speed
+        if self.slow_factor != 1.0:
+            wall *= self.slow_factor
+        return wall
 
     def earliest_map_slot(self) -> int:
         return min(range(self.map_slots), key=lambda i: self.map_slot_free[i])

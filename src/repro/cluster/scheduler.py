@@ -555,21 +555,34 @@ class MixFaultAccounting:
 
     nodes_crashed: tuple[str, ...] = ()
     partition_windows: int = 0
+    limping_nodes: tuple[str, ...] = ()
     killed_attempts: int = 0
     zombies_fenced: int = 0
     maps_reexecuted: int = 0
     reduces_reexecuted: int = 0
     wasted_task_seconds: float = 0.0
+    # Fail-slow mitigation: backup races launched by the mix-level
+    # straggler detector, races the backup won, losing attempts whose
+    # late commit the fence refused, and the nodes detection flagged.
+    speculative_attempts: int = 0
+    speculative_wins: int = 0
+    speculative_losers_fenced: int = 0
+    stragglers_detected: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         return {
             "nodes_crashed": list(self.nodes_crashed),
             "partition_windows": self.partition_windows,
+            "limping_nodes": list(self.limping_nodes),
             "killed_attempts": self.killed_attempts,
             "zombies_fenced": self.zombies_fenced,
             "maps_reexecuted": self.maps_reexecuted,
             "reduces_reexecuted": self.reduces_reexecuted,
             "wasted_task_seconds": self.wasted_task_seconds,
+            "speculative_attempts": self.speculative_attempts,
+            "speculative_wins": self.speculative_wins,
+            "speculative_losers_fenced": self.speculative_losers_fenced,
+            "stragglers_detected": list(self.stragglers_detected),
         }
 
 
@@ -584,6 +597,8 @@ class MixOutcome:
     preemption_wasted_s: float
     task_intervals: list[TaskInterval]
     fault_accounting: MixFaultAccounting | None = None
+    #: total attempts the commit fence refused (zombies + race losers)
+    fenced_attempts: int = 0
 
     def report(self, job_id: str) -> JobReport:
         for report in self.reports:
@@ -650,6 +665,7 @@ class MixOutcome:
             "fault_accounting": (
                 self.fault_accounting.to_dict() if self.fault_accounting else None
             ),
+            "fenced_attempts": self.fenced_attempts,
         }
 
 
@@ -666,17 +682,45 @@ class _MixFaults:
 
     def __init__(self, plan: FaultPlan, cluster: HadoopCluster, origin: float) -> None:
         supported = FaultPlan(
+            speculative_execution=plan.speculative_execution,
             node_crashes=plan.node_crashes,
             partitions=plan.partitions,
+            limping_nodes=plan.limping_nodes,
+            limping_disks=plan.limping_disks,
+            limping_nics=plan.limping_nics,
+            fail_slow_rate=plan.fail_slow_rate,
+            fail_slow_factor_range=plan.fail_slow_factor_range,
             seed=plan.seed,
             policy=plan.policy,
         )
         if plan != supported:
             raise ValueError(
-                "MultiJobCluster supports node_crashes and partitions only; "
-                "run other fault classes through FaultyCluster"
+                "MultiJobCluster supports node_crashes, partitions and "
+                "fail-slow limping only; run other fault classes through "
+                "FaultyCluster"
             )
         names = {node.name for node in cluster.slaves}
+        # Fail-slow hardware: resolve the limp factors (validating node
+        # names) and push them onto the shared cluster's device models.
+        # `speculation` arms the mix-level straggler detector — only when
+        # the plan actually configures limping hardware, so crash/
+        # partition-only plans keep their stock timelines bit for bit.
+        self.slow_nodes: frozenset[str] = frozenset()
+        if plan.injects_fail_slow:
+            limp = plan.resolve_fail_slow(
+                tuple(node.name for node in cluster.slaves)
+            )
+            for node in cluster.slaves:
+                per_resource = limp[node.name]
+                node.slow_factor = per_resource["cpu"]
+                node.disk.slow_factor = per_resource["disk"]
+                node.nic.slow_factor = per_resource["nic"]
+            self.slow_nodes = frozenset(
+                name
+                for name, per_resource in limp.items()
+                if any(factor != 1.0 for factor in per_resource.values())
+            )
+        self.speculation = plan.speculative_execution and bool(self.slow_nodes)
         for name, _at in plan.node_crashes:
             if name not in names:
                 raise ValueError(f"unknown crash node {name!r}")
@@ -728,6 +772,7 @@ class _MixFaults:
 _MAX_MIX_ATTEMPTS = 64
 
 
+
 class MultiJobCluster:
     """Run many jobs concurrently on one cluster under a scheduler.
 
@@ -765,6 +810,8 @@ class MultiJobCluster:
         self._intervals: list[TaskInterval] = []
         self._faults: _MixFaults | None = None
         self._acct: MixFaultAccounting | None = None
+        # Limping hosts whose attempts actually triggered a backup race.
+        self._detected_slow: set[str] = set()
 
     # -- submission ------------------------------------------------------------
 
@@ -850,6 +897,7 @@ class MultiJobCluster:
             self._acct = MixFaultAccounting(
                 nodes_crashed=tuple(sorted(self._faults.crash_at)),
                 partition_windows=self._faults.partition_windows,
+                limping_nodes=tuple(sorted(self._faults.slow_nodes)),
             )
         self._preemptions = 0
         self._preemption_wasted = 0.0
@@ -935,6 +983,8 @@ class MultiJobCluster:
             raise JobFailedError(
                 f"mix deadlocked with unfinished jobs: {', '.join(unfinished)}"
             )
+        if self._acct is not None:
+            self._acct.stragglers_detected = tuple(sorted(self._detected_slow))
         reports = [
             JobReport(
                 job_id=job.job_id,
@@ -957,6 +1007,7 @@ class MultiJobCluster:
             preemption_wasted_s=self._preemption_wasted,
             task_intervals=list(self._intervals),
             fault_accounting=self._acct,
+            fenced_attempts=self.fence.fenced,
         )
 
     # -- dispatch internals ----------------------------------------------------
@@ -1185,12 +1236,91 @@ class MultiJobCluster:
                 acct.wasted_task_seconds += end - task_start
                 self.fence.revoke(task_id, attempt)
                 self.fence.try_commit(task_id, attempt)
-                acct.zombies_fenced = self.fence.fenced
+                acct.zombies_fenced = self.fence.fenced - acct.speculative_losers_fenced
                 t = max(t, win_start + policy.heartbeat_timeout_s)
                 continue
+            if faults.speculation and node.name in faults.slow_nodes:
+                raced = self._speculate_map_mix(
+                    job, task, task_id, attempt, node, slot, task_start, end
+                )
+                if raced is not None:
+                    task_start, end, node, slot, attempt = raced
             self.fence.try_commit(task_id, attempt)
             return task_start, end, node, slot
         raise JobFailedError(f"map {task_id} exhausted {_MAX_MIX_ATTEMPTS} attempts")
+
+    def _speculate_map_mix(
+        self,
+        job: ScheduledJob,
+        task: MapWork,
+        task_id: str,
+        attempt: int,
+        node: Node,
+        slot: int,
+        task_start: float,
+        end: float,
+    ) -> tuple[float, float, Node, int, int] | None:
+        """Speculative backup race for a map on a diagnosed limping host.
+
+        The jobtracker's health monitor has flagged the host (the same
+        per-node diagnosis the single-job engine speculates on), so the
+        attempt gets a backup raced on a healthy node.  Whichever
+        attempt loses the race was never (or no longer) granted commit
+        rights, so the :class:`CommitFence` refuses its late commit —
+        the same canCommit protocol that fences partition zombies — and
+        exactly one attempt's output survives.  Returns the backup's
+        ``(start, end, node, slot, attempt)`` when the backup wins,
+        else ``None``.
+        """
+        cluster, faults, acct = self.cluster, self._faults, self._acct
+        candidates = [
+            n
+            for n in cluster.slaves
+            if n is not node
+            and n.name not in faults.slow_nodes
+            and not faults.dead_at(n.name, task_start)
+            and faults.partition_at(n.name, task_start) is None
+        ]
+        if not candidates:
+            return None
+        self._detected_slow.add(node.name)
+        acct.speculative_attempts += 1
+        backup_node = min(
+            candidates, key=lambda n: n.map_slot_free[n.earliest_map_slot()]
+        )
+        backup_slot = backup_node.earliest_map_slot()
+        backup_start = max(backup_node.map_slot_free[backup_slot], task_start)
+        backup_attempt = job.attempts[task_id] = attempt + 1
+        backup_end = cluster._charge_map_on(task, backup_node, backup_start)
+        backup_node.map_slot_free[backup_slot] = backup_end
+        backup_node.procfs.record_speculative()
+        crash = faults.crash_time(backup_node.name)
+        backup_lost = (
+            crash is not None and backup_start < crash < backup_end
+        ) or faults.partition_spanning(
+            backup_node.name, backup_start, backup_end
+        ) is not None
+        if backup_lost or backup_end >= end:
+            # Original wins (or the backup's host crashed/partitioned
+            # mid-race): the backup never held commit rights, so its
+            # late commit is fenced.
+            self.fence.try_commit(task_id, backup_attempt)
+            acct.speculative_losers_fenced += 1
+            acct.killed_attempts += 1
+            acct.wasted_task_seconds += backup_end - backup_start
+            backup_node.procfs.record_task_kill()
+            return None
+        # Backup wins: commit rights move to it and the limping
+        # original is fenced when it finally reports in.
+        self.fence.grant(task_id, backup_attempt)
+        self.fence.try_commit(task_id, attempt)
+        acct.speculative_losers_fenced += 1
+        acct.killed_attempts += 1
+        acct.wasted_task_seconds += end - task_start
+        acct.speculative_wins += 1
+        node.procfs.record_task_kill()
+        backup_node.procfs.record_speculative_win()
+        return backup_start, backup_end, backup_node, backup_slot, backup_attempt
 
     def _reexecute_lost_maps(self, job: ScheduledJob) -> None:
         """Re-run completed maps whose outputs died with their node.
@@ -1362,11 +1492,20 @@ class MultiJobCluster:
                         acct.wasted_task_seconds += now - exec_start
                         self.fence.revoke(task_id, attempt)
                         self.fence.try_commit(task_id, attempt)
-                        acct.zombies_fenced = self.fence.fenced
+                        acct.zombies_fenced = (
+                            self.fence.fenced - acct.speculative_losers_fenced
+                        )
                         shuffle_done = max(
                             shuffle_done, win_start + policy.heartbeat_timeout_s
                         )
                         continue
+                if faults.speculation and node.name in faults.slow_nodes:
+                    raced = self._speculate_reduce_mix(
+                        job, task, task_id, attempt, shuffle_done,
+                        map_phase_end, node, slot, exec_start, now,
+                    )
+                    if raced is not None:
+                        node, slot, exec_start, now, attempt = raced
                 if task.output_bytes:
                     targets = [
                         n
@@ -1396,3 +1535,77 @@ class MultiJobCluster:
                     f"reduce {task_id} exhausted {_MAX_MIX_ATTEMPTS} attempts"
                 )
         return end, map_phase_end, spans
+
+    def _speculate_reduce_mix(
+        self,
+        job: ScheduledJob,
+        task,
+        task_id: str,
+        attempt: int,
+        shuffle_done: float,
+        map_phase_end: float,
+        node: Node,
+        slot: int,
+        exec_start: float,
+        now: float,
+    ) -> tuple[Node, int, float, float, int] | None:
+        """Speculative backup race for a reduce on a diagnosed limping host.
+
+        The backup's copy phase is assumed concurrent with the
+        original's (both fetch the same map outputs), so the backup is
+        charged execution and output I/O only — the same assumption the
+        single-job engine's backup model makes.  Loser fencing is
+        identical to the map race.  Returns the backup's ``(node, slot,
+        start, end, attempt)`` when the backup wins, else ``None``.
+        """
+        cluster, faults, acct = self.cluster, self._faults, self._acct
+        candidates = [
+            n
+            for n in cluster.slaves
+            if n is not node
+            and n.name not in faults.slow_nodes
+            and not faults.dead_at(n.name, exec_start)
+            and faults.partition_at(n.name, exec_start) is None
+        ]
+        if not candidates:
+            return None
+        self._detected_slow.add(node.name)
+        acct.speculative_attempts += 1
+        backup_node = min(
+            candidates, key=lambda n: n.reduce_slot_free[n.earliest_reduce_slot()]
+        )
+        backup_slot = backup_node.earliest_reduce_slot()
+        backup_start = max(
+            shuffle_done, map_phase_end, backup_node.reduce_slot_free[backup_slot]
+        )
+        backup_attempt = job.attempts[task_id] = attempt + 1
+        backup_end = backup_start + backup_node.cpu_time(task.cpu_seconds)
+        backup_end = backup_node.disk.write(
+            backup_end, task.output_bytes + TASK_LOG_BYTES
+        )
+        backup_node.reduce_slot_free[backup_slot] = backup_end
+        backup_node.procfs.record_speculative()
+        crash = faults.crash_time(backup_node.name)
+        backup_lost = (
+            crash is not None and backup_start < crash < backup_end
+        ) or faults.partition_spanning(
+            backup_node.name, backup_start, backup_end
+        ) is not None
+        if backup_lost or backup_end >= now:
+            self.fence.try_commit(task_id, backup_attempt)
+            acct.speculative_losers_fenced += 1
+            acct.killed_attempts += 1
+            acct.wasted_task_seconds += backup_end - backup_start
+            backup_node.procfs.record_task_kill()
+            return None
+        self.fence.grant(task_id, backup_attempt)
+        self.fence.try_commit(task_id, attempt)
+        acct.speculative_losers_fenced += 1
+        acct.killed_attempts += 1
+        acct.wasted_task_seconds += now - exec_start
+        acct.speculative_wins += 1
+        node.procfs.record_task_kill()
+        backup_node.procfs.record_speculative_win()
+        # The limping original still occupies its slot to its own end.
+        node.reduce_slot_free[slot] = now
+        return backup_node, backup_slot, backup_start, backup_end, backup_attempt

@@ -71,6 +71,13 @@ class ProcFs:
         # retransmitted on lossy links and the wire bytes they cost.
         self.net_retransmits = 0
         self.net_retransmit_bytes = 0
+        # Overload/fail-slow counters (the service frontend's and
+        # jobtracker's degradation view): requests refused by admission
+        # control or load shedding, requests killed at their deadline,
+        # and speculative races won against a limping host.
+        self.requests_shed = 0
+        self.deadline_kills = 0
+        self.speculative_wins = 0
         self.samples: list[DiskSample] = []
 
     # -- recording (called by the cluster model) ---------------------------
@@ -138,6 +145,15 @@ class ProcFs:
         self.net_retransmits += segments
         self.net_retransmit_bytes += num_bytes
 
+    def record_request_shed(self) -> None:
+        self.requests_shed += 1
+
+    def record_deadline_kill(self) -> None:
+        self.deadline_kills += 1
+
+    def record_speculative_win(self) -> None:
+        self.speculative_wins += 1
+
     # -- sampling -----------------------------------------------------------
 
     def sample(self, time_s: float) -> DiskSample:
@@ -203,6 +219,14 @@ class ProcFs:
             f"scrub_bytes {self.scrub_bytes} "
             f"net_retransmits {self.net_retransmits} "
             f"net_retransmit_bytes {self.net_retransmit_bytes}"
+        )
+
+    def render_overload(self) -> str:
+        """A frontend-status line of the overload/fail-slow counters."""
+        return (
+            f"{self.node_name}: requests_shed {self.requests_shed} "
+            f"deadline_kills {self.deadline_kills} "
+            f"speculative_wins {self.speculative_wins}"
         )
 
     def render_control_plane(self) -> str:
