@@ -487,6 +487,126 @@ def _cmd_mix(args) -> int:
     return 0
 
 
+def _fail_stage(text: str) -> tuple[str, int]:
+    """argparse type: an injected stage-failure spec ``STAGE:N``."""
+    stage, sep, count_text = text.rpartition(":")
+    if not sep or not stage:
+        raise argparse.ArgumentTypeError(f"expected STAGE:N, got {text!r}")
+    try:
+        count = int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"N must be an integer, got {text!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"N must be >= 1, got {count_text}")
+    return (stage, count)
+
+
+def _cmd_workflow(args) -> int:
+    import json
+
+    from repro.cluster import make_cluster
+    from repro.cluster.workflow import (
+        WorkflowFaultPlan,
+        WorkflowRunner,
+        build_workflow,
+    )
+    from repro.core.export import workflow_to_json
+
+    parser = args.parser
+    if args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+    if args.slaves < 1:
+        parser.error(f"--slaves must be >= 1, got {args.slaves}")
+    if args.crash_time is not None and not args.crash_node:
+        parser.error("--crash-time requires --crash-node")
+    known = [f"slave{i}" for i in range(1, args.slaves + 1)]
+    if args.crash_node and args.crash_node not in known:
+        parser.error(f"--crash-node {args.crash_node!r} is not a slave "
+                     f"(have: {', '.join(known)})")
+    partitions = tuple(args.partition or ())
+    for part_node, _, _ in partitions:
+        if part_node not in known:
+            parser.error(f"--partition node {part_node!r} is not a slave "
+                         f"(have: {', '.join(known)})")
+
+    workflow = build_workflow(
+        args.dag, scale=args.scale, num_slaves=args.slaves
+    )
+    stages = set(workflow.order)
+    destroy = tuple(args.destroy_output or ())
+    fail_stages = tuple(args.fail_stage or ())
+    for name in destroy:
+        if name not in stages:
+            parser.error(f"--destroy-output stage {name!r} is not in "
+                         f"{args.dag} (have: {', '.join(workflow.order)})")
+    for name, _ in fail_stages:
+        if name not in stages:
+            parser.error(f"--fail-stage stage {name!r} is not in "
+                         f"{args.dag} (have: {', '.join(workflow.order)})")
+    if args.master_crash_after and args.master_crash_after not in stages:
+        parser.error(f"--master-crash-after stage "
+                     f"{args.master_crash_after!r} is not in {args.dag} "
+                     f"(have: {', '.join(workflow.order)})")
+
+    node_crashes = ()
+    if args.crash_node:
+        crash_time = args.crash_time if args.crash_time is not None else 1.0
+        node_crashes = ((args.crash_node, crash_time),)
+    plan = None
+    if node_crashes or partitions or destroy or fail_stages \
+            or args.master_crash_after:
+        plan = WorkflowFaultPlan(
+            node_crashes=node_crashes,
+            partitions=partitions,
+            destroy_outputs=destroy,
+            fail_stages=fail_stages,
+            master_crash_after=args.master_crash_after,
+            seed=args.seed,
+        )
+
+    cluster = make_cluster(num_slaves=args.slaves, block_size=256 * 1024)
+    runner = WorkflowRunner(cluster, scheduler=args.scheduler, plan=plan)
+    result = runner.run(workflow)
+
+    if args.format == "json":
+        print(workflow_to_json(result))
+    else:
+        acct = result.accounting
+        print(f"{args.dag} on {args.scheduler}: {result.status}, "
+              f"{len(workflow)} stage(s) in {acct.waves} wave(s), "
+              f"end {result.end_s:.3f}s")
+        header = (f"{'stage':<10s}{'status':<11s}{'execs':>6s}{'retries':>8s}"
+                  f"{'recomputes':>11s}{'finished':>10s}")
+        print(header)
+        print("-" * len(header))
+        for report in result.reports:
+            finished = (f"{report.finished_s:.3f}"
+                        if report.finished_s is not None else "-")
+            print(f"{report.stage:<10s}{report.status:<11s}"
+                  f"{report.executions:>6d}{report.retries:>8d}"
+                  f"{report.recomputes:>11d}{finished:>10s}")
+        print("accounting:")
+        for key, value in acct.to_dict().items():
+            if isinstance(value, float):
+                value = f"{value:.3f}"
+            print(f"  {key:<26s}{value}")
+        print(f"events: {len(result.events)} delivered")
+
+    # Contract: without injected permanent failures the DAG must
+    # complete (lineage recovery and retries absorb everything else).
+    expect_partial = any(
+        n > workflow.stage(stage).policy.max_retries
+        for stage, n in fail_stages
+    )
+    if result.status != "completed" and not expect_partial:
+        print(f"run-workflow: contract violation: workflow "
+              f"{result.status}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _render_serve_report(label: str, report) -> None:
     pct = report.latency_percentiles
     quantiles = "  ".join(
@@ -735,6 +855,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "does not win on p99")
     serve.add_argument("--format", choices=("table", "json"), default="table")
     serve.set_defaults(fn=_cmd_serve, parser=serve)
+
+    wf = sub.add_parser(
+        "run-workflow",
+        help="run a multi-stage DAG workflow with lineage-based recovery",
+    )
+    wf.add_argument("--dag",
+                    choices=("hive-chain", "kmeans", "pagerank", "diamond"),
+                    default="hive-chain", help="which prebuilt DAG to run")
+    wf.add_argument("--scheduler", choices=("fifo", "fair", "capacity"),
+                    default="fifo")
+    wf.add_argument("--seed", type=int, default=0,
+                    help="fault-injection seed (runs are reproducible)")
+    wf.add_argument("--scale", type=float, default=0.05,
+                    help="input scale of each stage's workload")
+    wf.add_argument("--slaves", type=int, default=4)
+    wf.add_argument("--crash-node", metavar="NAME",
+                    help="crash this slave mid-workflow (e.g. slave2)")
+    wf.add_argument("--crash-time", type=_seconds, default=None,
+                    metavar="SECONDS",
+                    help="workflow-relative time of the --crash-node crash "
+                         "(default 1.0; requires --crash-node)")
+    wf.add_argument("--partition", type=_partition, action="append",
+                    metavar="NODE:START:DURATION",
+                    help="partition NODE off the network (repeatable)")
+    wf.add_argument("--destroy-output", action="append", metavar="STAGE",
+                    help="destroy every replica of STAGE's output right "
+                         "after it commits (repeatable; forces a lineage "
+                         "recomputation)")
+    wf.add_argument("--fail-stage", type=_fail_stage, action="append",
+                    metavar="STAGE:N",
+                    help="fail STAGE's first N executions at commit "
+                         "(repeatable; N past the retry budget cancels "
+                         "the downstream cone)")
+    wf.add_argument("--master-crash-after", metavar="STAGE",
+                    help="crash the JobTracker right after STAGE's wave "
+                         "commits; the run resumes from the journal")
+    wf.add_argument("--format", choices=("table", "json"), default="table")
+    wf.set_defaults(fn=_cmd_workflow, parser=wf)
 
     prof = sub.add_parser("profile", help="sampled flat profile of a workload")
     prof.add_argument("workload")

@@ -34,7 +34,15 @@ paper measures it:
 * :mod:`repro.cluster.serve` — open-loop service traffic: seeded
   Poisson/diurnal/bursty arrivals over a server bank with graceful
   degradation (admission control, load shedding, deadlines, bounded
-  retries) and p50/p95/p99/p999 latency reporting.
+  retries) and p50/p95/p99/p999 latency reporting;
+* :mod:`repro.cluster.eventbus` — the deterministic typed event bus the
+  multi-job dispatch loop and the workflow orchestrator publish to,
+  with a replayable delivery log;
+* :mod:`repro.cluster.workflow` — event-driven DAG workflows over the
+  multi-job cluster: stages with data dependencies (HDFS paths),
+  bounded stage retries, lineage-based recomputation after total
+  replica loss, downstream-cone failure propagation, and journal
+  checkpoints a restarted JobTracker resumes from.
 """
 
 from repro.cluster.disk import Disk
@@ -120,6 +128,32 @@ from repro.cluster.scheduler import (
     jain_index,
     make_scheduler,
 )
+from repro.cluster.eventbus import (
+    EVENT_TYPES,
+    Event,
+    EventBus,
+)
+from repro.cluster.eventbus import replay as replay_events
+from repro.cluster.workflow import (
+    Stage,
+    StagePolicy,
+    StageReport,
+    Workflow,
+    WorkflowAccounting,
+    WorkflowCheckpoint,
+    WorkflowFaultPlan,
+    WorkflowResult,
+    WorkflowRunner,
+    build_workflow,
+    diamond_workflow,
+    hive_chain_workflow,
+    kmeans_workflow,
+    pagerank_workflow,
+    workflow_from_chain,
+    WORKFLOW_DAGS,
+)
+from repro.cluster.journal import WorkflowJournal, WorkflowStageRecord
+from repro.cluster.chaos import WorkflowChaosResult, run_workflow_chaos
 from repro.cluster.tenancy import (
     ColocationReport,
     MixResult,
@@ -216,4 +250,28 @@ __all__ = [
     "run_mix",
     "ColocationReport",
     "characterize_colocation",
+    "Event",
+    "EventBus",
+    "EVENT_TYPES",
+    "replay_events",
+    "Stage",
+    "StagePolicy",
+    "StageReport",
+    "Workflow",
+    "WorkflowAccounting",
+    "WorkflowCheckpoint",
+    "WorkflowFaultPlan",
+    "WorkflowResult",
+    "WorkflowRunner",
+    "WorkflowJournal",
+    "WorkflowStageRecord",
+    "WorkflowChaosResult",
+    "run_workflow_chaos",
+    "build_workflow",
+    "workflow_from_chain",
+    "hive_chain_workflow",
+    "kmeans_workflow",
+    "pagerank_workflow",
+    "diamond_workflow",
+    "WORKFLOW_DAGS",
 ]

@@ -47,10 +47,16 @@ class JobFailedError(RuntimeError):
     Mirrors Hadoop's ``Job failed as tasks failed`` terminal state.
     """
 
-    def __init__(self, task_id: str, attempts: int, reason: str) -> None:
-        super().__init__(
-            f"job failed: task {task_id} after {attempts} attempt(s): {reason}"
-        )
+    def __init__(self, task_id: str, attempts: int = 0, reason: str = "") -> None:
+        if attempts or reason:
+            message = (
+                f"job failed: task {task_id} after {attempts} attempt(s): {reason}"
+            )
+        else:
+            # Job-level aborts (dispatch deadlock, no live nodes) carry a
+            # single message rather than a task/attempt triple.
+            message = task_id
+        super().__init__(message)
         self.task_id = task_id
         self.attempts = attempts
         self.reason = reason

@@ -696,3 +696,168 @@ def run_overload_chaos(
         protected=protected,
         unprotected=unprotected,
     )
+
+
+@dataclass(frozen=True)
+class WorkflowChaosResult:
+    """Outcome of one workflow chaos run: one DAG, four fault regimes.
+
+    The same DAG runs fault-free, then under a mid-workflow node crash,
+    a network partition, and total replica corruption of one completed
+    stage's output.  A workflow's functional output is the payload each
+    sink commits, so "survived" means every faulted run completed with
+    sink outputs bit-identical to the baseline — corruption via lineage
+    recomputation of the minimal upstream subgraph rather than a
+    :class:`DataLossError`.  A fifth run exhausts one stage's retry
+    budget and checks failure propagation: exactly the downstream cone
+    is cancelled, every independent stage still completes.
+    """
+
+    dag: str
+    seed: int
+    scheduler: str
+    stages: int
+    baseline_end_s: float
+    crash_node: str
+    crash_at_s: float
+    partition_node: str
+    destroyed_stage: str
+    crash_identical: bool
+    partition_identical: bool
+    corruption_identical: bool
+    lineage_recomputes: int
+    destroyed_outputs: int
+    failed_stage: str
+    stage_retries: int
+    cancelled_stages: tuple[str, ...]
+    surviving_stages: tuple[str, ...]
+    cone_exact: bool
+    checkpoints: int
+
+    @property
+    def identical_outputs(self) -> bool:
+        """Every fault regime reproduced the baseline sink outputs."""
+        return (
+            self.crash_identical
+            and self.partition_identical
+            and self.corruption_identical
+        )
+
+    @property
+    def survived(self) -> bool:
+        """The workflow-robustness contract held under every regime."""
+        return (
+            self.identical_outputs
+            and self.lineage_recomputes >= 1
+            and self.destroyed_outputs >= 1
+            and self.stage_retries >= 1
+            and self.cone_exact
+        )
+
+
+def run_workflow_chaos(
+    dag: str = "hive-chain",
+    seed: int = 0,
+    scheduler: str = "fifo",
+    scale: float = 0.05,
+    num_slaves: int = 4,
+) -> WorkflowChaosResult:
+    """Run one DAG through the workflow fault regimes, seeded.
+
+    Builds the named DAG (see ``WORKFLOW_DAGS``), runs it fault-free
+    for the baseline, then replays it under a seeded node crash, a
+    seeded partition, replica corruption of a seeded non-sink stage's
+    output, and an injected permanent stage failure.  Each regime gets
+    a fresh cluster, so runs are independent and exactly reproducible.
+    """
+    from repro.cluster.workflow import (
+        WorkflowFaultPlan,
+        WorkflowRunner,
+        build_workflow,
+    )
+
+    workflow = build_workflow(dag, scale=scale, num_slaves=num_slaves)
+    rng = random.Random(f"workflow-chaos:{dag}:{scheduler}:{seed}")
+
+    def fresh():
+        return make_cluster(num_slaves=num_slaves, block_size=256 * 1024)
+
+    def run(plan=None):
+        return WorkflowRunner(fresh(), scheduler=scheduler, plan=plan).run(
+            workflow
+        )
+
+    baseline = run()
+    if baseline.status != "completed":
+        raise RuntimeError(f"baseline workflow {dag!r} did not complete")
+
+    # Mid-workflow fail-stop crash of a seeded datanode.
+    crash_node = f"slave{rng.randrange(1, num_slaves + 1)}"
+    crash_at = baseline.end_s * rng.uniform(0.2, 0.6)
+    crashed = run(WorkflowFaultPlan(node_crashes=((crash_node, crash_at),), seed=seed))
+
+    # Network partition of a seeded node across the middle of the run.
+    partition_node = f"slave{rng.randrange(1, num_slaves + 1)}"
+    start = baseline.end_s * rng.uniform(0.1, 0.4)
+    duration = max(1.0, baseline.end_s * rng.uniform(0.2, 0.5))
+    partitioned = run(
+        WorkflowFaultPlan(
+            partitions=((partition_node, start, duration),), seed=seed
+        )
+    )
+
+    # Total replica loss of one completed, still-needed stage output.
+    candidates = [
+        name for name in workflow.order if workflow.consumers_of(name)
+    ]
+    destroyed_stage = rng.choice(candidates)
+    corrupted = run(
+        WorkflowFaultPlan(destroy_outputs=(destroyed_stage,), seed=seed)
+    )
+
+    # Permanent failure: exhaust the retry budget of a seeded stage and
+    # check exactly its downstream cone is cancelled.
+    failed_stage = rng.choice(list(workflow.order))
+    budget = workflow.stage(failed_stage).policy.max_retries
+    cascaded = run(
+        WorkflowFaultPlan(fail_stages=((failed_stage, budget + 1),), seed=seed)
+    )
+    cone = set(workflow.downstream_cone(failed_stage))
+    cancelled = tuple(
+        r.stage for r in cascaded.reports if r.status == "cancelled"
+    )
+    survivors = tuple(
+        r.stage for r in cascaded.reports if r.status == "completed"
+    )
+    cone_exact = set(cancelled) == cone and set(survivors) == (
+        set(workflow.order) - cone - {failed_stage}
+    )
+
+    def identical(result) -> bool:
+        return (
+            result.status == "completed"
+            and repr(result.outputs) == repr(baseline.outputs)
+        )
+
+    return WorkflowChaosResult(
+        dag=dag,
+        seed=seed,
+        scheduler=scheduler,
+        stages=len(workflow),
+        baseline_end_s=baseline.end_s,
+        crash_node=crash_node,
+        crash_at_s=crash_at,
+        partition_node=partition_node,
+        destroyed_stage=destroyed_stage,
+        crash_identical=identical(crashed),
+        partition_identical=identical(partitioned),
+        corruption_identical=identical(corrupted),
+        lineage_recomputes=corrupted.accounting.lineage_recomputes,
+        destroyed_outputs=corrupted.accounting.destroyed_outputs,
+        failed_stage=failed_stage,
+        stage_retries=cascaded.accounting.stage_retries,
+        cancelled_stages=cancelled,
+        surviving_stages=survivors,
+        cone_exact=cone_exact,
+        checkpoints=baseline.accounting.checkpoints,
+    )

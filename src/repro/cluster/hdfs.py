@@ -315,6 +315,50 @@ class Hdfs:
     def nodes_with_block(self, block: Block) -> tuple[str, ...]:
         return block.replicas
 
+    # -- lineage hooks (workflow recovery) ------------------------------------
+
+    def file_exists(self, name: str) -> bool:
+        return name in self.files
+
+    def lost_blocks(self, name: str) -> list[int]:
+        """Indices of *name*'s blocks with zero surviving replicas.
+
+        The workflow orchestrator's lineage check: a consumer stage may
+        read its input only when this is empty; otherwise the producer
+        subgraph must be re-executed.  A file missing from the namespace
+        entirely reads as all-lost (empty files have no blocks to lose,
+        so a zero-block file is intact).
+        """
+        hfile = self.files.get(name)
+        if hfile is None:
+            return [-1]
+        return [
+            block.index for block in hfile.blocks if not block.replicas
+        ]
+
+    def destroy_replicas(self, name: str) -> int:
+        """Fault injection: drop every replica of every block of *name*.
+
+        Models the pathological loss window the lineage machinery exists
+        for — all replica holders of a completed stage's output die
+        before any consumer reads it.  The namespace entry survives (the
+        namenode still lists the file); the data is gone.  Returns the
+        number of blocks destroyed.
+        """
+        hfile = self.files.get(name)
+        if hfile is None:
+            raise KeyError(f"no such HDFS file: {name!r}")
+        self._corrupt_replicas = {
+            marker for marker in self._corrupt_replicas if marker[0] != name
+        }
+        destroyed = 0
+        for i, block in enumerate(hfile.blocks):
+            if block.replicas:
+                hfile.blocks[i] = replace(block, replicas=())
+                destroyed += 1
+        self._log_edit("destroy_replicas", name)
+        return destroyed
+
     def blocks_of(self, name: str) -> list[Block]:
         try:
             return self.files[name].blocks

@@ -51,9 +51,11 @@ OP_DELETE_FILE = "delete_file"
 OP_FAIL_NODE = "fail_node"
 OP_RE_REPLICATE = "re_replicate_block"
 OP_BAD_BLOCK = "report_bad_block"
+OP_DESTROY_REPLICAS = "destroy_replicas"
 
 _KNOWN_OPS = (
-    OP_CREATE_FILE, OP_DELETE_FILE, OP_FAIL_NODE, OP_RE_REPLICATE, OP_BAD_BLOCK
+    OP_CREATE_FILE, OP_DELETE_FILE, OP_FAIL_NODE, OP_RE_REPLICATE, OP_BAD_BLOCK,
+    OP_DESTROY_REPLICAS,
 )
 
 
@@ -201,6 +203,9 @@ def apply_op(hdfs: Hdfs, op: EditOp) -> None:
     elif op.op == OP_BAD_BLOCK:
         file_name, index, node_name = op.args
         hdfs.report_bad_block(file_name, index, node_name)
+    elif op.op == OP_DESTROY_REPLICAS:
+        (name,) = op.args
+        hdfs.destroy_replicas(name)
     else:  # pragma: no cover - EditOp already validates
         raise ValueError(f"unknown edit-log op {op.op!r}")
 
@@ -346,3 +351,63 @@ class JobHistoryJournal:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Workflow (DAG) progress journal
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkflowStageRecord:
+    """One committed stage of a workflow, as the progress journal records it."""
+
+    stage: str
+    finished_s: float
+    attempts: int
+    output: str  # HDFS path of the stage's committed output
+
+
+@dataclass
+class WorkflowJournal:
+    """The orchestrator's persisted per-workflow progress log.
+
+    The DAG analogue of :class:`JobHistoryJournal`: each stage commit is
+    recorded write-ahead style, so a JobTracker crash mid-workflow can
+    resume the DAG from its journal — completed stages are *not*
+    re-executed (their outputs are durable in HDFS, unlike map outputs
+    on local disks), only stages that had not committed re-run.  Like
+    all journaling here it is pure bookkeeping: recording never touches
+    the simulated clock.
+    """
+
+    workflow: str = ""
+    records: list[WorkflowStageRecord] = field(default_factory=list)
+
+    def record_stage(
+        self, stage: str, finished_s: float, attempts: int, output: str
+    ) -> WorkflowStageRecord:
+        if any(r.stage == stage for r in self.records):
+            raise ValueError(f"stage {stage!r} already journaled")
+        record = WorkflowStageRecord(stage, finished_s, attempts, output)
+        self.records.append(record)
+        return record
+
+    def forget_stage(self, stage: str) -> None:
+        """Drop *stage*'s record (its output was lost; it must re-run)."""
+        self.records = [r for r in self.records if r.stage != stage]
+
+    def completed_stages(self) -> tuple[str, ...]:
+        return tuple(r.stage for r in self.records)
+
+    def record_for(self, stage: str) -> WorkflowStageRecord | None:
+        for record in self.records:
+            if record.stage == stage:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -50,6 +50,16 @@ from repro.cluster.cluster import (
     JobWork,
     MapWork,
 )
+from repro.cluster.eventbus import (
+    EVENT_ATTEMPT_FINISHED,
+    EVENT_DISPATCH,
+    EVENT_JOB_CANCELLED,
+    EVENT_JOB_FAILED,
+    EVENT_JOB_FINISHED,
+    EVENT_STAGE_READY,
+    EVENT_SUBMIT,
+    EventBus,
+)
 from repro.cluster.faults import FaultPlan
 from repro.cluster.node import Node
 
@@ -171,6 +181,11 @@ class ScheduledJob:
     disk_writes: dict = field(default_factory=dict, repr=False)
     preempted: int = 0
     timeline: JobTimeline | None = None
+    #: "pending" until the mix resolves the job: "completed", "failed"
+    #: (a task exhausted its attempts / no live node), or "cancelled"
+    #: (an upstream dependency failed, so this job never dispatched)
+    status: str = "pending"
+    failure: JobFailedError | None = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -512,25 +527,37 @@ def make_scheduler(
 
 @dataclass
 class JobReport:
-    """Accounting for one job of a mix."""
+    """Accounting for one job of a mix.
+
+    ``first_launch_s`` / ``finished_s`` / ``timeline`` are ``None`` for
+    jobs that did not complete (``status`` is ``"failed"`` — a task
+    exhausted its attempts or no live node remained — or
+    ``"cancelled"`` — an upstream dependency failed so the job was
+    never dispatched against missing input).
+    """
 
     job_id: str
     name: str
     user: str
     pool: str
     arrival_s: float
-    first_launch_s: float
-    finished_s: float
+    first_launch_s: float | None
+    finished_s: float | None
     preempted: int
-    timeline: JobTimeline
+    timeline: JobTimeline | None
+    status: str = "completed"
 
     @property
-    def wait_s(self) -> float:
+    def wait_s(self) -> float | None:
         """Queueing delay: arrival until the first task launches."""
+        if self.first_launch_s is None:
+            return None
         return self.first_launch_s - self.arrival_s
 
     @property
-    def turnaround_s(self) -> float:
+    def turnaround_s(self) -> float | None:
+        if self.finished_s is None:
+            return None
         return self.finished_s - self.arrival_s
 
     def to_dict(self) -> dict:
@@ -545,7 +572,8 @@ class JobReport:
             "wait_s": self.wait_s,
             "turnaround_s": self.turnaround_s,
             "preempted": self.preempted,
-            "timeline": self.timeline.to_dict(),
+            "timeline": self.timeline.to_dict() if self.timeline else None,
+            "status": self.status,
         }
 
 
@@ -599,6 +627,12 @@ class MixOutcome:
     fault_accounting: MixFaultAccounting | None = None
     #: total attempts the commit fence refused (zombies + race losers)
     fenced_attempts: int = 0
+    #: jobs that aborted permanently (attempts exhausted / no live node)
+    failed_jobs: tuple[str, ...] = ()
+    #: jobs never dispatched because an upstream dependency failed
+    cancelled_jobs: tuple[str, ...] = ()
+    #: the delivered control-plane event log (empty under engine="legacy")
+    events: tuple = ()
 
     def report(self, job_id: str) -> JobReport:
         for report in self.reports:
@@ -638,6 +672,8 @@ class MixOutcome:
     def by_pool(self) -> dict[str, dict]:
         pools: dict[str, dict] = {}
         for report in self.reports:
+            if report.status != "completed":
+                continue
             agg = pools.setdefault(
                 report.pool, {"jobs": 0, "wait_s": 0.0, "turnaround_s": 0.0}
             )
@@ -666,6 +702,9 @@ class MixOutcome:
                 self.fault_accounting.to_dict() if self.fault_accounting else None
             ),
             "fenced_attempts": self.fenced_attempts,
+            "failed_jobs": list(self.failed_jobs),
+            "cancelled_jobs": list(self.cancelled_jobs),
+            "events": len(self.events),
         }
 
 
@@ -812,6 +851,12 @@ class MultiJobCluster:
         self._acct: MixFaultAccounting | None = None
         # Limping hosts whose attempts actually triggered a backup race.
         self._detected_slow: set[str] = set()
+        #: the control-plane event bus (built by run(engine="events");
+        #: stays None under the legacy reference engine, which publishes
+        #: nothing)
+        self.bus: EventBus | None = None
+        self._failures: list[JobFailedError] = []
+        self._ready_announced: set[str] = set()
 
     # -- submission ------------------------------------------------------------
 
@@ -884,7 +929,34 @@ class MultiJobCluster:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self) -> MixOutcome:
+    def run(
+        self, engine: str = "events", raise_on_failure: bool = True
+    ) -> MixOutcome:
+        """Execute the whole mix and return its :class:`MixOutcome`.
+
+        ``engine="events"`` (the default) drives dispatch through the
+        :class:`~repro.cluster.eventbus.EventBus`: every control-plane
+        transition (submit, stage-ready, dispatch round, attempt
+        finished, job finished/failed/cancelled) is published as a typed
+        event and the delivered log rides on the outcome.
+        ``engine="legacy"`` runs the original straight-line loop and
+        publishes nothing.  Both engines execute the identical per-round
+        logic in the identical order, so their simulation effects —
+        timelines, /proc counters, clock — are bit-identical (pinned by
+        ``tests/cluster/test_eventbus.py``).
+
+        When a job aborts permanently (a task exhausted its attempts, or
+        no live node remained), the mix does not deadlock: the job is
+        marked ``failed``, every job downstream of it (via ``after=`` /
+        :meth:`submit_chain`) is marked ``cancelled`` without ever being
+        dispatched against the missing input, and independent jobs run
+        to completion.  With ``raise_on_failure=True`` (default) the
+        first failure is re-raised after the survivors finish; with
+        ``False`` the outcome is returned with per-job ``status`` and
+        the mix-level ``failed_jobs`` / ``cancelled_jobs`` tuples.
+        """
+        if engine not in ("events", "legacy"):
+            raise ValueError(f"unknown engine {engine!r} (want events or legacy)")
         if self._ran:
             raise RuntimeError("mix already ran; build a new MultiJobCluster")
         self._ran = True
@@ -902,87 +974,41 @@ class MultiJobCluster:
         self._preemptions = 0
         self._preemption_wasted = 0.0
         self._obs_t = origin
+        self._origin = origin
 
-        def floor_of(job: ScheduledJob) -> float | None:
-            if job.depends_on is not None:
-                if job.depends_on.finished_s is None:
-                    return None
-                return max(origin, job.arrival_s, job.depends_on.finished_s)
-            return max(origin, job.arrival_s)
-
-        def finishable() -> list[ScheduledJob]:
-            return sorted(
-                (
-                    job
-                    for job in self.jobs
-                    if job.finished_s is None
-                    and not job.pending
-                    and len(job.map_ends) == len(job.work.maps)
-                ),
-                key=lambda job: (max(job.map_ends.values()), job.seq),
-            )
-
-        while True:
-            floors = {}
+        if engine == "events":
+            bus = self.bus = EventBus()
             for job in self.jobs:
-                if not job.pending:
-                    continue
-                floor = floor_of(job)
-                if floor is not None:
-                    floors[job] = floor
-            if not floors:
-                # No dispatchable map work left: run the deferred reduce
-                # phases (map-completion order), which may unblock chained
-                # stages — then look again.
-                ready = finishable()
-                if not ready:
-                    break
-                for job in ready:
-                    self._finish_job(job)
-                continue
-            now = max(self._earliest_slot_time(), min(floors.values()))
-            if self.scheduler.preemption:
-                # While every slot is busy until `now`, starvation can
-                # build up unobserved: wake at arrivals and at the
-                # scheduler's timeout deadlines so preemption can fire
-                # before the next natural slot-free event.
-                obs = self._next_observation(floors, now)
-                if obs is not None:
-                    self._observe_starvation(obs, floors)
-                    continue
-            # Charge deferred reduce phases the dispatch clock has caught
-            # up with *before* assigning more maps, so disk/NIC charges
-            # stay time-ordered across jobs (a job that finished its maps
-            # must not queue its whole reduce phase's I/O ahead of map
-            # tasks that start earlier).
-            caught_up = [
-                job for job in finishable() if max(job.map_ends.values()) <= now
-            ]
-            if caught_up:
-                for job in caught_up:
-                    self._finish_job(job)
-                continue
-            runnable = [job for job, floor in floors.items() if floor <= now]
-            self._running = [rt for rt in self._running if rt.end_s > now]
-            state = SchedulerState(
-                now, runnable, self._running, cluster.total_map_slots
-            )
-            victims = self.scheduler.tasks_to_preempt(now, state)
-            if victims:
-                self._apply_preemptions(now, state, victims)
-                continue
-            job = self.scheduler.pick_job(now, runnable, state)
-            if job not in runnable:
-                raise RuntimeError(
-                    f"{self.scheduler.name} picked a job that is not runnable"
+                bus.publish(
+                    EVENT_SUBMIT,
+                    time_s=job.arrival_s,
+                    job_id=job.job_id,
+                    name=job.name,
+                    user=job.user,
+                    pool=job.pool,
+                    after=job.depends_on.job_id if job.depends_on else None,
                 )
-            self._dispatch_map(job, floors[job])
 
-        unfinished = sorted(j.job_id for j in self.jobs if j.finished_s is None)
+            def on_dispatch(_event) -> None:
+                if self._run_round():
+                    bus.publish(EVENT_DISPATCH, time_s=cluster.clock)
+
+            bus.subscribe(EVENT_DISPATCH, on_dispatch)
+            bus.publish(EVENT_DISPATCH, time_s=origin)
+            bus.pump()
+        else:
+            while self._run_round():
+                pass
+
+        unfinished = sorted(
+            j.job_id for j in self.jobs if j.status == "pending"
+        )
         if unfinished:
             raise JobFailedError(
                 f"mix deadlocked with unfinished jobs: {', '.join(unfinished)}"
             )
+        if raise_on_failure and self._failures:
+            raise self._failures[0]
         if self._acct is not None:
             self._acct.stragglers_detected = tuple(sorted(self._detected_slow))
         reports = [
@@ -996,19 +1022,180 @@ class MultiJobCluster:
                 finished_s=job.finished_s,
                 preempted=job.preempted,
                 timeline=job.timeline,
+                status=job.status,
             )
             for job in self.jobs
         ]
         return MixOutcome(
             scheduler=self.scheduler.name,
             reports=reports,
-            end_s=max((job.finished_s for job in self.jobs), default=origin),
+            end_s=max(
+                (
+                    job.finished_s
+                    for job in self.jobs
+                    if job.finished_s is not None
+                ),
+                default=origin,
+            ),
             preemptions=self._preemptions,
             preemption_wasted_s=self._preemption_wasted,
             task_intervals=list(self._intervals),
             fault_accounting=self._acct,
             fenced_attempts=self.fence.fenced,
+            failed_jobs=tuple(
+                j.job_id for j in self.jobs if j.status == "failed"
+            ),
+            cancelled_jobs=tuple(
+                j.job_id for j in self.jobs if j.status == "cancelled"
+            ),
+            events=tuple(self.bus.log) if self.bus is not None else (),
         )
+
+    # -- the dispatch round (shared by both engines) ---------------------------
+
+    def _publish(self, event_type: str, time_s: float, **payload) -> None:
+        """Publish onto the bus when one is live (no-op under legacy)."""
+        if self.bus is not None:
+            self.bus.publish(event_type, time_s=time_s, **payload)
+
+    def _floor_of(self, job: ScheduledJob) -> float | None:
+        if job.depends_on is not None:
+            if job.depends_on.finished_s is None:
+                return None
+            return max(self._origin, job.arrival_s, job.depends_on.finished_s)
+        return max(self._origin, job.arrival_s)
+
+    def _finishable(self) -> list[ScheduledJob]:
+        return sorted(
+            (
+                job
+                for job in self.jobs
+                if job.status == "pending"
+                and job.finished_s is None
+                and not job.pending
+                and len(job.map_ends) == len(job.work.maps)
+            ),
+            key=lambda job: (max(job.map_ends.values()), job.seq),
+        )
+
+    def _run_round(self) -> bool:
+        """One round of the dispatch loop; False when the mix quiesced.
+
+        This is the single definition of dispatch semantics — the legacy
+        engine iterates it directly, the events engine runs it from the
+        ``dispatch`` handler — which is what makes the two engines
+        bit-identical by construction.
+        """
+        cluster = self.cluster
+        floors = {}
+        for job in self.jobs:
+            if job.status != "pending" or not job.pending:
+                continue
+            floor = self._floor_of(job)
+            if floor is not None:
+                floors[job] = floor
+                if job.job_id not in self._ready_announced:
+                    self._ready_announced.add(job.job_id)
+                    self._publish(
+                        EVENT_STAGE_READY,
+                        time_s=floor,
+                        job_id=job.job_id,
+                        floor_s=floor,
+                    )
+        if not floors:
+            # No dispatchable map work left: run the deferred reduce
+            # phases (map-completion order), which may unblock chained
+            # stages — then look again.
+            ready = self._finishable()
+            if not ready:
+                return False
+            for job in ready:
+                self._finish_or_fail(job)
+            return True
+        now = max(self._earliest_slot_time(), min(floors.values()))
+        if self.scheduler.preemption:
+            # While every slot is busy until `now`, starvation can
+            # build up unobserved: wake at arrivals and at the
+            # scheduler's timeout deadlines so preemption can fire
+            # before the next natural slot-free event.
+            obs = self._next_observation(floors, now)
+            if obs is not None:
+                self._observe_starvation(obs, floors)
+                return True
+        # Charge deferred reduce phases the dispatch clock has caught
+        # up with *before* assigning more maps, so disk/NIC charges
+        # stay time-ordered across jobs (a job that finished its maps
+        # must not queue its whole reduce phase's I/O ahead of map
+        # tasks that start earlier).
+        caught_up = [
+            job for job in self._finishable() if max(job.map_ends.values()) <= now
+        ]
+        if caught_up:
+            for job in caught_up:
+                self._finish_or_fail(job)
+            return True
+        runnable = [job for job, floor in floors.items() if floor <= now]
+        self._running = [rt for rt in self._running if rt.end_s > now]
+        state = SchedulerState(
+            now, runnable, self._running, cluster.total_map_slots
+        )
+        victims = self.scheduler.tasks_to_preempt(now, state)
+        if victims:
+            self._apply_preemptions(now, state, victims)
+            return True
+        job = self.scheduler.pick_job(now, runnable, state)
+        if job not in runnable:
+            raise RuntimeError(
+                f"{self.scheduler.name} picked a job that is not runnable"
+            )
+        try:
+            self._dispatch_map(job, floors[job])
+        except JobFailedError as exc:
+            self._fail_job(job, exc)
+        return True
+
+    def _finish_or_fail(self, job: ScheduledJob) -> None:
+        try:
+            self._finish_job(job)
+        except JobFailedError as exc:
+            self._fail_job(job, exc)
+
+    # -- failure propagation ---------------------------------------------------
+
+    def _fail_job(self, job: ScheduledJob, exc: JobFailedError) -> None:
+        """Mark *job* failed and cancel its whole downstream cone.
+
+        Queued dependents are never dispatched against the missing
+        input; jobs on independent branches keep running.
+        """
+        job.status = "failed"
+        job.failure = exc
+        job.pending.clear()
+        self._failures.append(exc)
+        self._running = [rt for rt in self._running if rt.job is not job]
+        self._publish(
+            EVENT_JOB_FAILED,
+            time_s=self.cluster.clock,
+            job_id=job.job_id,
+            reason=str(exc),
+        )
+        doomed = {job}
+        changed = True
+        while changed:
+            changed = False
+            for other in self.jobs:
+                if other.status == "pending" and other.depends_on in doomed:
+                    other.status = "cancelled"
+                    other.failure = exc
+                    other.pending.clear()
+                    doomed.add(other)
+                    changed = True
+                    self._publish(
+                        EVENT_JOB_CANCELLED,
+                        time_s=self.cluster.clock,
+                        job_id=other.job_id,
+                        upstream=job.job_id,
+                    )
 
     # -- dispatch internals ----------------------------------------------------
 
@@ -1061,6 +1248,15 @@ class MultiJobCluster:
         self._running.append(RunningTask(job, m_index, node, slot, task_start, end))
         self._intervals.append(
             TaskInterval("map", job.job_id, node.name, task_start, end)
+        )
+        self._publish(
+            EVENT_ATTEMPT_FINISHED,
+            time_s=end,
+            job_id=job.job_id,
+            task=f"m{m_index}",
+            node=node.name,
+            start_s=task_start,
+            end_s=end,
         )
 
     def _next_observation(self, floors, natural: float) -> float | None:
@@ -1155,10 +1351,26 @@ class MultiJobCluster:
             disk_writes_per_second=rates,
             network_bytes=job.net_bytes,
         )
-        for node, exec_start, exec_end in spans:
+        for r_index, (node, exec_start, exec_end) in enumerate(spans):
             self._intervals.append(
                 TaskInterval("reduce", job.job_id, node.name, exec_start, exec_end)
             )
+            self._publish(
+                EVENT_ATTEMPT_FINISHED,
+                time_s=exec_end,
+                job_id=job.job_id,
+                task=f"r{r_index}",
+                node=node.name,
+                start_s=exec_start,
+                end_s=exec_end,
+            )
+        job.status = "completed"
+        self._publish(
+            EVENT_JOB_FINISHED,
+            time_s=end,
+            job_id=job.job_id,
+            finished_s=end,
+        )
 
     # -- fault-injected charging -----------------------------------------------
 

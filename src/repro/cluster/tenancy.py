@@ -335,6 +335,7 @@ def run_mix(
     reduce_slots: int = 4,
     block_size: int = 256 * 1024,
     plan: FaultPlan | None = None,
+    engine: str = "events",
 ) -> MixResult:
     """Play *trace* through a shared cluster under *scheduler*.
 
@@ -384,7 +385,7 @@ def run_mix(
             id_prefix=f"t{tjob.index:03d}",
         )
         chains[tjob.index] = tuple(job.job_id for job in chain)
-    outcome = multi.run()
+    outcome = multi.run(engine=engine)
     reports = []
     for tjob in trace.jobs:
         stage_reports = [outcome.report(job_id) for job_id in chains[tjob.index]]

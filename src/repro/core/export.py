@@ -166,3 +166,43 @@ def mix_to_csv(mix) -> str:
 def mix_to_json(mix, indent: int | None = 2) -> str:
     """The whole mix — trace, per-job reports, outcome — as JSON."""
     return json.dumps(mix.to_dict(), indent=indent)
+
+
+#: column order of the per-stage workflow export
+WORKFLOW_COLUMNS = [
+    "stage",
+    "status",
+    "executions",
+    "retries",
+    "recomputes",
+    "first_launch_s",
+    "finished_s",
+    "output",
+    "cancelled_by",
+]
+
+
+def workflow_to_rows(result) -> list[dict]:
+    """One dict per stage of a :class:`~repro.cluster.workflow.WorkflowResult`."""
+    rows = []
+    for report in result.reports:
+        d = report.to_dict()
+        rows.append({column: d[column] for column in WORKFLOW_COLUMNS})
+    return rows
+
+
+def workflow_to_csv(result) -> str:
+    """The per-stage accounting of a workflow run as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=WORKFLOW_COLUMNS, lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in workflow_to_rows(result):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def workflow_to_json(result, indent: int | None = 2) -> str:
+    """The whole workflow run — stages, accounting, outputs — as JSON."""
+    return json.dumps(result.to_dict(), indent=indent)

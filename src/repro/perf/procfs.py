@@ -78,6 +78,16 @@ class ProcFs:
         self.requests_shed = 0
         self.deadline_kills = 0
         self.speculative_wins = 0
+        # Workflow counters (the DAG orchestrator's view, kept on the
+        # master): workflows entering/leaving the system, stage-level
+        # retries (distinct from task-attempt retries), minimal-subgraph
+        # re-executions after total output loss, and stages cancelled by
+        # an upstream permanent failure.
+        self.workflows_submitted = 0
+        self.workflows_completed = 0
+        self.stage_retries = 0
+        self.lineage_recomputes = 0
+        self.stages_cancelled = 0
         self.samples: list[DiskSample] = []
 
     # -- recording (called by the cluster model) ---------------------------
@@ -153,6 +163,21 @@ class ProcFs:
 
     def record_speculative_win(self) -> None:
         self.speculative_wins += 1
+
+    def record_workflow_submitted(self) -> None:
+        self.workflows_submitted += 1
+
+    def record_workflow_completed(self) -> None:
+        self.workflows_completed += 1
+
+    def record_stage_retry(self) -> None:
+        self.stage_retries += 1
+
+    def record_lineage_recompute(self) -> None:
+        self.lineage_recomputes += 1
+
+    def record_stage_cancelled(self) -> None:
+        self.stages_cancelled += 1
 
     # -- sampling -----------------------------------------------------------
 
@@ -235,4 +260,14 @@ class ProcFs:
             f"{self.node_name}: journal_edits {self.journal_edits} "
             f"journal_checkpoints {self.journal_checkpoints} "
             f"master_restarts {self.master_restarts}"
+        )
+
+    def render_workflow(self) -> str:
+        """An orchestrator-status line of the DAG workflow counters."""
+        return (
+            f"{self.node_name}: workflows_submitted {self.workflows_submitted} "
+            f"workflows_completed {self.workflows_completed} "
+            f"stage_retries {self.stage_retries} "
+            f"lineage_recomputes {self.lineage_recomputes} "
+            f"stages_cancelled {self.stages_cancelled}"
         )

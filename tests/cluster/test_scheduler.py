@@ -463,3 +463,87 @@ class TestMixOutcome:
         assert payload["scheduler"] == "fifo"
         assert len(payload["jobs"]) == 2
         assert payload["jobs"][0]["timeline"]["map_tasks"] == 4
+
+
+# -- failure propagation through job dependencies ------------------------------
+
+
+class TestFailurePropagation:
+    """A permanently failed upstream must cancel its queued dependents.
+
+    Regression for the pre-DAG dependency hole: a chained job whose
+    upstream aborted used to sit in the mix forever (deadlock) or be
+    dispatched against missing input.  Now the upstream is marked
+    ``failed``, its transitive dependents are ``cancelled`` without ever
+    launching a task, and independent jobs run to completion.
+    """
+
+    def build(self, engine):
+        from repro.cluster.faults import FaultPlan
+
+        cluster = small_cluster()
+        # Both slaves die at t=0.2: the independent job (arrival 0) is
+        # already done, the chain head (arrival 0.5) finds no live node.
+        plan = FaultPlan(node_crashes=(("slave1", 0.2), ("slave2", 0.2)))
+        multi = MultiJobCluster(cluster, FifoScheduler(), plan=plan)
+        independent = multi.submit(synthetic_job("solo"), arrival_s=0.0)
+        head = multi.submit(synthetic_job("head"), arrival_s=0.5)
+        mid = multi.submit(synthetic_job("mid"), after=head, arrival_s=0.5)
+        tail = multi.submit(synthetic_job("tail"), after=mid, arrival_s=0.5)
+        outcome = multi.run(engine=engine, raise_on_failure=False)
+        return independent, head, mid, tail, outcome
+
+    @pytest.mark.parametrize("engine", ["events", "legacy"])
+    def test_upstream_failure_cancels_the_whole_chain(self, engine):
+        independent, head, mid, tail, outcome = self.build(engine)
+        assert independent.status == "completed"
+        assert head.status == "failed"
+        assert mid.status == "cancelled"
+        assert tail.status == "cancelled"
+        assert outcome.failed_jobs == (head.job_id,)
+        assert set(outcome.cancelled_jobs) == {mid.job_id, tail.job_id}
+
+    @pytest.mark.parametrize("engine", ["events", "legacy"])
+    def test_cancelled_jobs_never_dispatch(self, engine):
+        _, _, mid, tail, outcome = self.build(engine)
+        for job in (mid, tail):
+            report = outcome.report(job.job_id)
+            assert report.status == "cancelled"
+            assert report.first_launch_s is None
+            assert report.timeline is None
+            assert report.wait_s is None
+
+    @pytest.mark.parametrize("engine", ["events", "legacy"])
+    def test_survivor_report_is_intact(self, engine):
+        independent, _, _, _, outcome = self.build(engine)
+        report = outcome.report(independent.job_id)
+        assert report.status == "completed"
+        assert report.timeline is not None
+        assert report.turnaround_s is not None
+
+    def test_raise_on_failure_raises_after_survivors_finish(self):
+        from repro.cluster.attempts import JobFailedError
+        from repro.cluster.faults import FaultPlan
+
+        cluster = small_cluster()
+        plan = FaultPlan(node_crashes=(("slave1", 0.2), ("slave2", 0.2)))
+        multi = MultiJobCluster(cluster, FifoScheduler(), plan=plan)
+        survivor = multi.submit(synthetic_job("solo"), arrival_s=0.0)
+        multi.submit(synthetic_job("head"), arrival_s=0.5)
+        with pytest.raises(JobFailedError):
+            multi.run()
+        assert survivor.status == "completed"
+
+    def test_failure_events_ride_on_the_outcome(self):
+        from repro.cluster.eventbus import (
+            EVENT_JOB_CANCELLED,
+            EVENT_JOB_FAILED,
+        )
+
+        _, head, mid, _, outcome = self.build("events")
+        by_type = {}
+        for event in outcome.events:
+            by_type.setdefault(event.type, []).append(event.payload)
+        assert [p["job_id"] for p in by_type[EVENT_JOB_FAILED]] == [head.job_id]
+        cancelled = by_type[EVENT_JOB_CANCELLED]
+        assert all(p["upstream"] == head.job_id for p in cancelled)

@@ -301,3 +301,114 @@ class TestMixCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["mix", "--scheduler", "deadline"])
         assert excinfo.value.code == 2
+
+
+@pytest.fixture(scope="module")
+def workflow_result():
+    from repro.cluster import make_cluster
+    from repro.cluster.workflow import (
+        WorkflowFaultPlan,
+        WorkflowRunner,
+        build_workflow,
+    )
+
+    wf = build_workflow("diamond", scale=0.05, num_slaves=4)
+    cluster = make_cluster(num_slaves=4, block_size=256 * 1024)
+    plan = WorkflowFaultPlan(fail_stages=(("left", 1),))
+    return WorkflowRunner(cluster, plan=plan).run(wf)
+
+
+class TestWorkflowExports:
+    def test_workflow_rows_one_per_stage(self, workflow_result):
+        from repro.core.export import WORKFLOW_COLUMNS, workflow_to_rows
+
+        rows = workflow_to_rows(workflow_result)
+        assert len(rows) == 5
+        assert set(rows[0]) == set(WORKFLOW_COLUMNS)
+        by_stage = {row["stage"]: row for row in rows}
+        assert by_stage["left"]["retries"] == 1
+        assert all(row["status"] == "completed" for row in rows)
+
+    def test_workflow_csv_roundtrip(self, workflow_result):
+        from repro.core.export import WORKFLOW_COLUMNS, workflow_to_csv
+
+        rows = list(csv.DictReader(io.StringIO(workflow_to_csv(workflow_result))))
+        assert len(rows) == 5
+        assert rows[0]["stage"] == "ingest"
+        assert set(rows[0]) == set(WORKFLOW_COLUMNS)
+        assert float(rows[-1]["finished_s"]) > 0
+
+    def test_workflow_json_keeps_accounting_and_outputs(self, workflow_result):
+        from repro.core.export import workflow_to_json
+
+        data = json.loads(workflow_to_json(workflow_result))
+        assert data["status"] == "completed"
+        assert data["accounting"]["stage_retries"] == 1
+        assert set(data["outputs"]) == {"side", "join"}
+        assert len(data["stages"]) == 5
+
+
+WF_SMALL = ["run-workflow", "--dag", "diamond"]
+
+
+class TestWorkflowCli:
+    def test_table_output(self, capsys):
+        assert main([*WF_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "diamond on fifo: completed" in out
+        assert "accounting:" in out
+        assert "lineage_recomputes" in out
+
+    def test_json_output_is_reproducible(self, capsys):
+        argv = [*WF_SMALL, "--format", "json", "--seed", "4"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert json.loads(first)["status"] == "completed"
+
+    def test_destroyed_output_recovers_via_lineage(self, capsys):
+        assert main([*WF_SMALL, "--destroy-output", "ingest"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "lineage_recomputes        1" in out
+
+    def test_exhausted_stage_exits_zero_when_partial_expected(self, capsys):
+        assert main([*WF_SMALL, "--fail-stage", "left:9"]) == 0
+        out = capsys.readouterr().out
+        assert "partial" in out
+        assert "cancelled" in out
+
+    def test_rejects_unknown_crash_node(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*WF_SMALL, "--crash-node", "slave9"])
+        assert excinfo.value.code == 2
+        assert "slave9" in capsys.readouterr().err
+
+    def test_crash_time_requires_crash_node(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*WF_SMALL, "--crash-time", "0.5"])
+        assert excinfo.value.code == 2
+        assert "--crash-time requires --crash-node" in capsys.readouterr().err
+
+    def test_rejects_unknown_stage_flags(self, capsys):
+        for argv in (
+            [*WF_SMALL, "--destroy-output", "ghost"],
+            [*WF_SMALL, "--fail-stage", "ghost:2"],
+            [*WF_SMALL, "--master-crash-after", "ghost"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_rejects_malformed_fail_stage(self):
+        for spec in ("left", "left:0", "left:x", ":3"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([*WF_SMALL, "--fail-stage", spec])
+            assert excinfo.value.code == 2
+
+    def test_rejects_unknown_dag(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-workflow", "--dag", "mapreduce"])
+        assert excinfo.value.code == 2
