@@ -8,7 +8,8 @@ Sub-commands mirror how the paper's artefacts are used:
                             optionally under fault injection
                             (``--faults``, ``--crash-node``, ``--seed``,
                             ``--corruption-rate``, ``--link-loss``,
-                            ``--partition``, ``--scrub``)
+                            ``--partition``, ``--scrub``, ``--racks``,
+                            ``--rack-fail``, ``--tor-fail``)
 * ``characterize [...]`` — Figures 3–12 metrics for named workloads
                             (or the whole suite) with optional CSV/JSON
 * ``speedup``            — the Figure 2 scaling study
@@ -18,7 +19,8 @@ Sub-commands mirror how the paper's artefacts are used:
 * ``mix``                — a multi-tenant day of traffic: seeded heavy-tailed
                             trace through the FIFO/Fair/Capacity scheduler
                             (``--scheduler``, ``--jobs``, ``--rate``,
-                            ``--crash-node``, ``--partition``, ``--colocate``)
+                            ``--crash-node``, ``--partition``, ``--racks``,
+                            ``--rack-fail``, ``--tor-fail``, ``--colocate``)
 * ``serve``              — open-loop service traffic through a frontend with
                             graceful degradation (``--rate``, ``--pattern``,
                             ``--deadline``, ``--shed-rate``, ``--limp``,
@@ -82,6 +84,55 @@ def _partition(text: str) -> tuple[str, float, float]:
             f"partition DURATION must be finite and positive, got {duration_text}"
         )
     return (node, start, duration)
+
+
+def _rack_fail(text: str) -> tuple[str, float]:
+    """argparse type: a rack power-outage spec ``RACK:TIME``."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(f"expected RACK:TIME, got {text!r}")
+    rack, time_text = parts
+    if not rack:
+        raise argparse.ArgumentTypeError("outage rack name must not be empty")
+    try:
+        time = float(time_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"TIME must be a number, got {text!r}"
+        ) from None
+    if not (time >= 0.0 and math.isfinite(time)):
+        raise argparse.ArgumentTypeError(
+            f"outage TIME must be finite and non-negative, got {time_text}"
+        )
+    return (rack, time)
+
+
+def _tor_fail(text: str) -> tuple[str, float, float]:
+    """argparse type: a ToR-switch failure spec ``RACK:START:DURATION``."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected RACK:START:DURATION, got {text!r}"
+        )
+    rack, start_text, duration_text = parts
+    if not rack:
+        raise argparse.ArgumentTypeError("ToR-failure rack name must not be empty")
+    try:
+        start = float(start_text)
+        duration = float(duration_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"START and DURATION must be numbers, got {text!r}"
+        ) from None
+    if not (start >= 0.0 and math.isfinite(start)):
+        raise argparse.ArgumentTypeError(
+            f"ToR-failure START must be finite and non-negative, got {start_text}"
+        )
+    if not (duration > 0.0 and math.isfinite(duration)):
+        raise argparse.ArgumentTypeError(
+            f"ToR-failure DURATION must be finite and positive, got {duration_text}"
+        )
+    return (rack, start, duration)
 
 
 def _seconds(text: str) -> float:
@@ -210,9 +261,20 @@ def _cmd_run(args) -> int:
     if args.master_downtime is not None and args.master_crash_time is None:
         parser.error("--master-downtime requires --master-crash-time")
 
+    rack_outages = tuple(args.rack_fail or ())
+    tor_failures = tuple(args.tor_fail or ())
+    if (rack_outages or tor_failures) and args.racks < 2:
+        parser.error("--rack-fail/--tor-fail require --racks >= 2")
+
     wl = workload(args.workload)
-    cluster = make_cluster(args.slaves, block_size=64 * 1024)
+    cluster = make_cluster(args.slaves, block_size=64 * 1024, racks=args.racks)
     known = [node.name for node in cluster.slaves]
+    known_racks = list(cluster.topology.racks) if cluster.topology else []
+    for flag, specs in (("--rack-fail", rack_outages), ("--tor-fail", tor_failures)):
+        for rack, *_rest in specs:
+            if rack not in known_racks:
+                parser.error(f"{flag} rack {rack!r} is not a rack "
+                             f"(have: {', '.join(known_racks)})")
     if args.crash_node:
         if args.crash_node not in known:
             parser.error(f"--crash-node {args.crash_node!r} is not a slave "
@@ -229,6 +291,8 @@ def _cmd_run(args) -> int:
         or args.corruption_rate > 0
         or args.link_loss > 0
         or partitions
+        or rack_outages
+        or tor_failures
         or args.scrub
     )
     if faulty:
@@ -248,6 +312,8 @@ def _cmd_run(args) -> int:
             corruption_rate=args.corruption_rate,
             link_loss_rate=args.link_loss,
             partitions=partitions,
+            rack_outages=rack_outages,
+            tor_failures=tor_failures,
             scrub=args.scrub,
             seed=args.seed,
         )
@@ -385,7 +451,7 @@ def _cmd_colocate(args) -> int:
 def _cmd_mix(args) -> int:
     import json
 
-    from repro.cluster import FaultPlan, JobFailedError
+    from repro.cluster import FaultPlan, JobFailedError, Topology
     from repro.cluster.scheduler import make_scheduler
     from repro.cluster.tenancy import (
         characterize_colocation,
@@ -407,6 +473,18 @@ def _cmd_mix(args) -> int:
         if part_node not in known:
             parser.error(f"--partition node {part_node!r} is not a slave "
                          f"(have: {', '.join(known)})")
+    rack_outages = tuple(args.rack_fail or ())
+    tor_failures = tuple(args.tor_fail or ())
+    if (rack_outages or tor_failures) and args.racks < 2:
+        parser.error("--rack-fail/--tor-fail require --racks >= 2")
+    known_racks = (
+        list(Topology.uniform(known, args.racks).racks) if args.racks > 1 else []
+    )
+    for flag, specs in (("--rack-fail", rack_outages), ("--tor-fail", tor_failures)):
+        for rack, *_rest in specs:
+            if rack not in known_racks:
+                parser.error(f"{flag} rack {rack!r} is not a rack "
+                             f"(have: {', '.join(known_racks)})")
 
     trace = generate_trace(
         seed=args.seed, num_jobs=args.jobs, arrival_rate_per_s=args.rate
@@ -417,13 +495,17 @@ def _cmd_mix(args) -> int:
         queues=default_queues(trace),
     )
     plan = None
-    if args.crash_node or partitions:
+    if args.crash_node or partitions or rack_outages or tor_failures:
         node_crashes = ()
         if args.crash_node:
             crash_time = args.crash_time if args.crash_time is not None else 0.5
             node_crashes = ((args.crash_node, crash_time),)
         plan = FaultPlan(
-            node_crashes=node_crashes, partitions=partitions, seed=args.seed
+            node_crashes=node_crashes,
+            partitions=partitions,
+            rack_outages=rack_outages,
+            tor_failures=tor_failures,
+            seed=args.seed,
         )
     try:
         mix = run_mix(
@@ -433,6 +515,7 @@ def _cmd_mix(args) -> int:
             map_slots=args.map_slots,
             reduce_slots=args.reduce_slots,
             plan=plan,
+            racks=args.racks,
         )
     except JobFailedError as error:
         print(f"mix: {error}", file=sys.stderr)
@@ -744,6 +827,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--link-loss", type=_link_rate, default=0.0, metavar="RATE",
                      help="per-segment network loss probability in [0, 1); "
                           "lost segments are retransmitted at TCP-like cost")
+    run.add_argument("--racks", type=_count, default=1, metavar="N",
+                     help="spread the slaves over N uniform racks "
+                          "(default 1: flat, the pre-topology model)")
+    run.add_argument("--rack-fail", type=_rack_fail, action="append",
+                     metavar="RACK:TIME",
+                     help="rack power outage: crash every node in RACK at "
+                          "TIME seconds (repeatable; needs --racks >= 2)")
+    run.add_argument("--tor-fail", type=_tor_fail, action="append",
+                     metavar="RACK:START:DURATION",
+                     help="ToR-switch failure: partition every node in RACK "
+                          "for DURATION seconds from START (repeatable; "
+                          "needs --racks >= 2)")
     run.add_argument("--partition", type=_partition, action="append",
                      metavar="NODE:START:DURATION",
                      help="partition this slave off the network for DURATION "
@@ -806,6 +901,18 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="simulated time of the --crash-node crash "
                           "(default 0.5; requires --crash-node)")
+    mix.add_argument("--racks", type=_count, default=1, metavar="N",
+                     help="spread the slaves over N uniform racks "
+                          "(default 1: flat, the pre-topology model)")
+    mix.add_argument("--rack-fail", type=_rack_fail, action="append",
+                     metavar="RACK:TIME",
+                     help="rack power outage: crash every node in RACK at "
+                          "TIME seconds (repeatable; needs --racks >= 2)")
+    mix.add_argument("--tor-fail", type=_tor_fail, action="append",
+                     metavar="RACK:START:DURATION",
+                     help="ToR-switch failure: partition every node in RACK "
+                          "for DURATION seconds from START (repeatable; "
+                          "needs --racks >= 2)")
     mix.add_argument("--partition", type=_partition, action="append",
                      metavar="NODE:START:DURATION",
                      help="partition this slave off the network "

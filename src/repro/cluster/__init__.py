@@ -7,7 +7,10 @@ paper measures it:
 
 * :mod:`repro.cluster.disk` — disk devices with bandwidth and per-operation
   accounting into the simulated ``/proc`` (Figure 5's disk writes/s);
-* :mod:`repro.cluster.network` — 1 GbE NICs with serialised transfers;
+* :mod:`repro.cluster.network` — 1 GbE NICs with serialised transfers
+  (optionally two-tier: per-rack ToR switches over an oversubscribed core);
+* :mod:`repro.cluster.topology` — the failure-domain map (nodes → racks)
+  behind rack-aware placement, rack-local scheduling and rack-level faults;
 * :mod:`repro.cluster.node` — a node bundling slots, disk, NIC;
 * :mod:`repro.cluster.hdfs` — block placement with replication, locality
   queries, datanode loss and background re-replication, plus end-to-end
@@ -47,6 +50,7 @@ paper measures it:
 
 from repro.cluster.disk import Disk
 from repro.cluster.network import Network, Nic
+from repro.cluster.topology import Topology
 from repro.cluster.node import Node
 from repro.cluster.hdfs import (
     Block,
@@ -95,6 +99,7 @@ from repro.cluster.chaos import (
     IntegrityChaosResult,
     MasterCrashResult,
     OverloadChaosResult,
+    RackChaosResult,
     chaos_plan,
     integrity_chaos_plan,
     run_chaos,
@@ -102,6 +107,7 @@ from repro.cluster.chaos import (
     run_integrity_chaos,
     run_master_crash_chaos,
     run_overload_chaos,
+    run_rack_chaos,
 )
 from repro.cluster.serve import (
     ArrivalProcess,
@@ -172,6 +178,7 @@ __all__ = [
     "Network",
     "Nic",
     "Node",
+    "Topology",
     "Hdfs",
     "HdfsFile",
     "Block",
@@ -212,6 +219,7 @@ __all__ = [
     "IntegrityChaosResult",
     "MasterCrashResult",
     "OverloadChaosResult",
+    "RackChaosResult",
     "chaos_plan",
     "integrity_chaos_plan",
     "run_chaos",
@@ -219,6 +227,7 @@ __all__ = [
     "run_integrity_chaos",
     "run_master_crash_chaos",
     "run_overload_chaos",
+    "run_rack_chaos",
     "ArrivalProcess",
     "RequestClass",
     "RequestRecord",

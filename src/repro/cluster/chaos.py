@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.cluster.attempts import RetryPolicy
+from repro.cluster.attempts import JobFailedError, RetryPolicy
 from repro.cluster.cluster import make_cluster
 from repro.cluster.faults import FaultPlan, FaultyCluster, FaultyTimeline
 
@@ -860,4 +860,178 @@ def run_workflow_chaos(
         surviving_stages=survivors,
         cone_exact=cone_exact,
         checkpoints=baseline.accounting.checkpoints,
+    )
+
+
+# -- failure domains: rack-level chaos -----------------------------------------
+
+
+def _blocks_lost_to(hdfs, failed_nodes) -> int:
+    """Blocks in *hdfs* with no replica outside *failed_nodes*.
+
+    Counts both blocks already emptied by processed ``fail_node`` calls
+    and blocks whose every remaining replica sits inside the failed
+    domain (a run that aborts on :class:`DataLossError` stops processing
+    crashes, so some doomed replicas are still on the books).
+    """
+    failed = frozenset(failed_nodes)
+    return sum(
+        1
+        for name in hdfs.files
+        for block in hdfs.files[name].blocks
+        if all(replica in failed for replica in block.replicas)
+    )
+
+
+@dataclass(frozen=True)
+class RackChaosResult:
+    """Outcome of losing one whole rack, rack-aware vs flat placement.
+
+    The headline failure-domain contract: with rack-aware placement a
+    full single-rack outage (:attr:`survived`) costs zero data and the
+    output stays bit-identical to the fault-free run, while *flat*
+    placement on the same cluster shape and seed demonstrably loses
+    blocks (:attr:`flat_demonstrably_loses`) — every replica of some
+    blocks lived inside the failed domain.
+    """
+
+    workload: str
+    seed: int
+    #: ``"power"`` (all nodes crash) or ``"tor"`` (timed rack partition).
+    mode: str
+    racks: int
+    victim_rack: str
+    outage_at_s: float
+    plan: FaultPlan
+    flat_plan: FaultPlan
+    baseline_duration_s: float
+    chaotic_duration_s: float
+    identical_output: bool
+    #: unrecoverable blocks after the rack-aware run (the contract: 0).
+    rack_blocks_lost: int
+    #: the namenode's rack-diversity gauge after the rack-aware run.
+    rack_under_diverse_blocks: int
+    #: whether the flat-placement twin even completed its jobs.
+    flat_completed: bool
+    #: unrecoverable blocks after the flat-placement twin.
+    flat_blocks_lost: int
+    accounting: dict[str, object]
+
+    @property
+    def survived(self) -> bool:
+        """Rack-aware placement rode out the rack loss with zero data loss."""
+        return self.identical_output and self.rack_blocks_lost == 0
+
+    @property
+    def flat_demonstrably_loses(self) -> bool:
+        """The flat twin lost blocks (or aborted on unreadable data)."""
+        return self.flat_blocks_lost >= 1 or not self.flat_completed
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_duration_s <= 0:
+            return 1.0
+        return self.chaotic_duration_s / self.baseline_duration_s
+
+
+def run_rack_chaos(
+    workload_name: str,
+    seed: int,
+    scale: float = 0.3,
+    num_slaves: int = 6,
+    racks: int = 2,
+    block_size: int = 8 * 1024,
+    mode: str = "power",
+    policy: RetryPolicy | None = None,
+) -> RackChaosResult:
+    """Kill one whole rack mid-run; compare rack-aware vs flat placement.
+
+    Three executions, all seeded:
+
+    1. a fault-free run on a rack-aware cluster — the output baseline,
+       and the sizing for the outage time (aimed inside the map phase);
+    2. the same rack-aware cluster under the rack outage (``mode="power"``
+       crashes every member at once; ``mode="tor"`` partitions the rack
+       for a window longer than the heartbeat timeout);
+    3. a *flat* (single-rack, topology-less) twin whose members of the
+       same victim set all crash at the same instant — flat round-robin
+       placement puts consecutive replicas on consecutive nodes, so some
+       blocks live entirely inside the victim set and are lost.
+    """
+    from repro.workloads import workload as load_workload
+
+    if mode not in ("power", "tor"):
+        raise ValueError("mode must be 'power' or 'tor'")
+    if racks < 2:
+        raise ValueError("rack chaos needs at least two racks")
+    policy = policy or RetryPolicy()
+
+    baseline_cluster = make_cluster(num_slaves, block_size=block_size, racks=racks)
+    baseline = load_workload(workload_name).run(
+        scale=scale, cluster=baseline_cluster
+    )
+    if not baseline.timelines:
+        raise ValueError("rack chaos needs a clustered workload run")
+    first = baseline.timelines[0]
+    map_window_s = first.map_phase_end_s - first.start_s
+
+    rng = random.Random(f"rack-chaos:{mode}:{seed}")
+    victim_rack = rng.choice(list(baseline_cluster.topology.racks))
+    members = baseline_cluster.topology.nodes_in(victim_rack)
+    outage_at = map_window_s * rng.uniform(0.3, 0.8)
+
+    if mode == "power":
+        plan = FaultPlan(
+            rack_outages=((victim_rack, outage_at),), seed=seed, policy=policy
+        )
+    else:
+        duration = (
+            map_window_s * rng.uniform(0.8, 1.2) + 2 * policy.heartbeat_timeout_s
+        )
+        plan = FaultPlan(
+            tor_failures=((victim_rack, outage_at, duration),),
+            seed=seed,
+            policy=policy,
+        )
+
+    chaos_cluster = FaultyCluster(
+        make_cluster(num_slaves, block_size=block_size, racks=racks), plan
+    )
+    chaotic = load_workload(workload_name).run(scale=scale, cluster=chaos_cluster)
+
+    # The flat twin: same cluster shape, no topology, and the same
+    # physical event expressed as correlated per-node crashes.
+    flat_plan = FaultPlan(
+        node_crashes=tuple((name, outage_at) for name in members),
+        seed=seed,
+        policy=policy,
+    )
+    flat_cluster = FaultyCluster(
+        make_cluster(num_slaves, block_size=block_size), flat_plan
+    )
+    flat_completed = True
+    try:
+        load_workload(workload_name).run(scale=scale, cluster=flat_cluster)
+    except JobFailedError:  # includes DataLossError
+        flat_completed = False
+
+    return RackChaosResult(
+        workload=workload_name,
+        seed=seed,
+        mode=mode,
+        racks=racks,
+        victim_rack=victim_rack,
+        outage_at_s=outage_at,
+        plan=plan,
+        flat_plan=flat_plan,
+        baseline_duration_s=baseline.duration_s,
+        chaotic_duration_s=chaotic.duration_s,
+        identical_output=repr(baseline.output) == repr(chaotic.output),
+        rack_blocks_lost=_blocks_lost_to(
+            chaos_cluster.hdfs, members if mode == "power" else ()
+        ),
+        rack_under_diverse_blocks=chaos_cluster.hdfs.rack_under_diverse_blocks,
+        flat_completed=flat_completed,
+        flat_blocks_lost=_blocks_lost_to(flat_cluster.hdfs, members),
+        accounting=aggregate_accounting(chaotic.timelines),
     )

@@ -22,6 +22,7 @@ from repro.cluster.hdfs import Hdfs
 from repro.cluster.journal import FsImage, NameNodeJournal, restore_into, snapshot
 from repro.cluster.network import Network
 from repro.cluster.node import Node
+from repro.cluster.topology import Topology
 
 #: Bytes of task logs / job-history records each task writes locally
 #: (tasktracker logging — visible in /proc disk counters even for jobs
@@ -124,6 +125,11 @@ class ClusterCheckpoint:
     #: the gray-link rng's state, so restore + re-run reproduces the
     #: same segment-drop pattern bit for bit.
     network_rng_state: tuple | None = None
+    # Two-tier fabric occupancy (trailing defaults keep checkpoints from
+    # pre-topology code restorable).
+    network_core_busy_until: float = 0.0
+    network_uplink_busy: tuple[tuple[str, float], ...] = ()
+    network_cross_rack_bytes: int = 0
 
 
 @dataclass
@@ -138,6 +144,14 @@ class JobTimeline:
     reduce_tasks: int
     disk_writes_per_second: dict[str, float]
     network_bytes: int
+    #: map placements by delay-scheduling tier.  On a flat cluster the
+    #: rack tier does not exist, so every non-local map counts off-rack.
+    maps_node_local: int = 0
+    maps_rack_local: int = 0
+    maps_off_rack: int = 0
+    #: node → rack for multi-rack runs (empty on flat clusters) — what
+    #: lets locality/colocation analyses group per-node columns by rack.
+    node_racks: dict[str, str] = field(default_factory=dict)
 
     @property
     def duration_s(self) -> float:
@@ -155,6 +169,10 @@ class JobTimeline:
             "reduce_tasks": self.reduce_tasks,
             "disk_writes_per_second": dict(self.disk_writes_per_second),
             "network_bytes": self.network_bytes,
+            "maps_node_local": self.maps_node_local,
+            "maps_rack_local": self.maps_rack_local,
+            "maps_off_rack": self.maps_off_rack,
+            "node_racks": dict(self.node_racks),
         }
 
 
@@ -171,19 +189,30 @@ class HadoopCluster:
         locality_wait_s: float = 0.02,
         journaling: bool = True,
         bytes_per_checksum: int = 512,
+        topology: Topology | None = None,
+        rack_locality_wait_s: float | None = None,
     ) -> None:
         if not slaves:
             raise ValueError("a cluster needs at least one slave")
         if locality_wait_s < 0:
             raise ValueError("locality wait must be non-negative")
+        if rack_locality_wait_s is not None and rack_locality_wait_s < 0:
+            raise ValueError("rack locality wait must be non-negative")
         self.master = master or Node("master")
         self.slaves = list(slaves)
         self.network = network or Network()
+        #: failure-domain map (``None`` = the pre-topology flat cluster).
+        #: Shared with HDFS placement, the network's rack accounting and
+        #: the schedulers' rack-local tier.
+        self.topology = topology
+        if topology is not None and self.network.topology is None:
+            self.network.topology = topology
         self.hdfs = Hdfs(
             self.slaves,
             block_size=block_size,
             replication=replication,
             bytes_per_checksum=bytes_per_checksum,
+            topology=topology,
         )
         #: NameNode edit-log journaling: on by default because it is
         #: observationally free (pure bookkeeping, no simulated time), and
@@ -197,6 +226,15 @@ class HadoopCluster:
         #: how long a map task waits for a data-local slot before running
         #: remote (Hadoop's mapred.locality.wait, scaled to task times)
         self.locality_wait_s = locality_wait_s
+        #: additional wait granted for a *rack-local* slot before falling
+        #: all the way off-rack (the Fair Scheduler's second delay level);
+        #: defaults to the node-local wait.  Only consulted on multi-rack
+        #: topologies — a flat cluster never reaches the rack tier.
+        self.rack_locality_wait_s = (
+            rack_locality_wait_s
+            if rack_locality_wait_s is not None
+            else locality_wait_s
+        )
         self.clock = 0.0
         self._slave_by_name = {node.name: node for node in self.slaves}
 
@@ -259,6 +297,11 @@ class HadoopCluster:
             network_retransmits=self.network.retransmits,
             network_retransmit_bytes=self.network.retransmit_bytes,
             network_rng_state=self.network.rng_state(),
+            network_core_busy_until=self.network.core_busy_until,
+            network_uplink_busy=tuple(
+                sorted(self.network.uplink_busy_until.items())
+            ),
+            network_cross_rack_bytes=self.network.cross_rack_bytes,
         )
 
     def restore(self, cp: ClusterCheckpoint) -> None:
@@ -278,6 +321,9 @@ class HadoopCluster:
         self.network.fabric_busy_until = cp.network_fabric_busy_until
         self.network.retransmits = cp.network_retransmits
         self.network.retransmit_bytes = cp.network_retransmit_bytes
+        self.network.core_busy_until = cp.network_core_busy_until
+        self.network.uplink_busy_until = dict(cp.network_uplink_busy)
+        self.network.cross_rack_bytes = cp.network_cross_rack_bytes
         if cp.network_rng_state is not None:
             self.network.set_rng_state(cp.network_rng_state)
         for name, node_cp in saved.items():
@@ -360,6 +406,7 @@ class HadoopCluster:
         schedulers all replay the exact same primitive sequence.
         """
         now = at
+        node.procfs.record_map_locality(self._map_locality_tier(task, node))
         if task.input_bytes:
             if task.preferred_nodes and node.name not in task.preferred_nodes:
                 # Remote read: replica holder's disk, then the network.
@@ -382,7 +429,11 @@ class HadoopCluster:
         return node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
 
     def _charge_map_task(
-        self, task: MapWork, floor: float, locality_wait: float
+        self,
+        task: MapWork,
+        floor: float,
+        locality_wait: float,
+        rack_wait: float | None = None,
     ) -> tuple[float, float, Node, int]:
         """Pick a slot (delay scheduling) and charge one map task.
 
@@ -390,7 +441,7 @@ class HadoopCluster:
         in the stock single-job path; the owning job's dispatch floor in
         the multi-job path).  Returns ``(task_start, end, node, slot)``.
         """
-        node, slot, ready = self._pick_map_slot(task, floor, locality_wait)
+        node, slot, ready = self._pick_map_slot(task, floor, locality_wait, rack_wait)
         task_start = max(ready, floor)
         now = self._charge_map_on(task, node, task_start)
         node.map_slot_free[slot] = now
@@ -414,6 +465,13 @@ class HadoopCluster:
         for node in self.slaves:
             node.procfs.sample(end)
             rates[node.name] = node.procfs.disk_writes_per_second()
+        # Final placements by delay-scheduling tier (observational: the
+        # tiers are re-derived from the already-charged assignments).
+        tiers = [
+            self._map_locality_tier(task, node)
+            for task, node in zip(work.maps, map_nodes)
+        ]
+        node_racks = self._node_racks()
         return JobTimeline(
             job_name=work.name,
             start_s=start,
@@ -423,6 +481,10 @@ class HadoopCluster:
             reduce_tasks=len(work.reduces),
             disk_writes_per_second=rates,
             network_bytes=self.network.bytes_moved - net_bytes_before,
+            maps_node_local=tiers.count("node"),
+            maps_rack_local=tiers.count("rack"),
+            maps_off_rack=tiers.count("off"),
+            node_racks=node_racks,
         )
 
     def _charge_reduce_phase(
@@ -484,13 +546,60 @@ class HadoopCluster:
                 end = now
         return end, map_phase_end, reduce_spans
 
+    # -- locality / failure domains -------------------------------------------
+
+    def _preferred_racks(self, task: MapWork) -> frozenset[str]:
+        """Racks holding a replica of *task*'s split (empty on flat clusters)."""
+        if self.topology is None or self.topology.is_flat or not task.preferred_nodes:
+            return frozenset()
+        return frozenset(
+            self.topology.rack_of(name)
+            for name in task.preferred_nodes
+            if self.topology.has_node(name)
+        )
+
+    def _node_racks(self) -> dict[str, str]:
+        """Node → rack for multi-rack clusters; empty when flat."""
+        if self.topology is None or self.topology.is_flat:
+            return {}
+        return {
+            node.name: self.topology.rack_of(node.name)
+            for node in self.slaves
+            if self.topology.has_node(node.name)
+        }
+
+    def _map_locality_tier(self, task: MapWork, node: Node) -> str:
+        """Delay-scheduling tier (``node``/``rack``/``off``) of running
+        *task* on *node*.  Tasks with no placement preference count as
+        node-local (nothing was missed); without a multi-rack topology the
+        rack tier does not exist, so every remote launch counts off-rack.
+        """
+        if not task.preferred_nodes or node.name in task.preferred_nodes:
+            return "node"
+        if (
+            self.topology is not None
+            and not self.topology.is_flat
+            and self.topology.has_node(node.name)
+            and self.topology.rack_of(node.name) in self._preferred_racks(task)
+        ):
+            return "rack"
+        return "off"
+
     # -- slot selection --------------------------------------------------------
 
     def _pick_map_slot(
-        self, task: MapWork, job_start: float, locality_wait: float
+        self,
+        task: MapWork,
+        job_start: float,
+        locality_wait: float,
+        rack_wait: float | None = None,
     ) -> tuple[Node, int, float]:
+        if rack_wait is None:
+            rack_wait = self.rack_locality_wait_s
         best_node, best_slot, best_time = None, -1, float("inf")
         local_node, local_slot, local_time = None, -1, float("inf")
+        rack_node, rack_slot, rack_time = None, -1, float("inf")
+        preferred_racks = self._preferred_racks(task)
         for node in self.slaves:
             slot = node.earliest_map_slot()
             t = max(node.map_slot_free[slot], job_start)
@@ -498,8 +607,21 @@ class HadoopCluster:
                 best_node, best_slot, best_time = node, slot, t
             if task.preferred_nodes and node.name in task.preferred_nodes and t < local_time:
                 local_node, local_slot, local_time = node, slot, t
+            if (
+                preferred_racks
+                and t < rack_time
+                and self.topology.has_node(node.name)
+                and self.topology.rack_of(node.name) in preferred_racks
+            ):
+                rack_node, rack_slot, rack_time = node, slot, t
         if local_node is not None and local_time <= best_time + locality_wait:
             return local_node, local_slot, local_time
+        # Second delay level (Fair Scheduler style): before going
+        # off-rack, wait a further rack_locality_wait_s for a slot on a
+        # rack that holds a replica.  preferred_racks is empty on flat
+        # clusters, so this tier is unreachable there.
+        if rack_node is not None and rack_time <= best_time + locality_wait + rack_wait:
+            return rack_node, rack_slot, rack_time
         assert best_node is not None
         return best_node, best_slot, best_time
 
@@ -518,18 +640,33 @@ def make_cluster(
     cpu_speed: float = 1.0,
     journaling: bool = True,
     bytes_per_checksum: int = 512,
+    racks: int = 1,
 ) -> HadoopCluster:
-    """Build a paper-shaped cluster: one master plus *num_slaves* slaves."""
+    """Build a paper-shaped cluster: one master plus *num_slaves* slaves.
+
+    ``racks`` splits the slaves into that many contiguous failure domains
+    (:meth:`Topology.uniform`).  The default single rack builds no
+    topology at all, so a one-rack cluster is bit-identical to the
+    pre-topology model.
+    """
     if num_slaves <= 0:
         raise ValueError("need at least one slave")
+    if racks < 1:
+        raise ValueError("need at least one rack")
     slaves = [
         Node(f"slave{i + 1}", map_slots=map_slots, reduce_slots=reduce_slots, cpu_speed=cpu_speed)
         for i in range(num_slaves)
     ]
+    topology = (
+        Topology.uniform([node.name for node in slaves], racks)
+        if racks > 1
+        else None
+    )
     return HadoopCluster(
         slaves,
         block_size=block_size,
         replication=replication,
         journaling=journaling,
         bytes_per_checksum=bytes_per_checksum,
+        topology=topology,
     )

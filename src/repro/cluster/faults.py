@@ -57,6 +57,7 @@ so the paper's fault-free figures are untouched.
 
 from __future__ import annotations
 
+import itertools
 import math
 import random
 from dataclasses import dataclass, field, replace
@@ -166,6 +167,19 @@ class FaultPlan:
             ``fail_slow_factor_range``.
         fail_slow_factor_range: ``(lo, hi)`` bounds for rate-drawn limp
             factors, ``1 <= lo <= hi``.
+        rack_outages: ``(rack_name, time_s)`` pairs — a rack power drop:
+            every node in the rack crashes at once (correlated
+            fail-stop).  Needs a multi-rack topology on the cluster.
+        tor_failures: ``(rack_name, start_s, duration_s)`` triples — the
+            rack's top-of-rack switch dies for the window: every member
+            becomes a timed network partition (the nodes keep running
+            behind the dark switch and rejoin when it is replaced).
+        correlated_disk_failures: ``(rack_name, count)`` pairs — a bad
+            batch of disks in one rack: ``count`` replicas on the rack's
+            nodes rot at rest, chosen by a dedicated seeded stream
+            (``rackdisk:<seed>``).  Injection is bounded like
+            ``corruption_rate``: a block's last good replica is never
+            corrupted.
         seed: seed for the rate-based injections.
         policy: the :class:`~repro.cluster.attempts.RetryPolicy` knobs.
     """
@@ -198,6 +212,9 @@ class FaultPlan:
     limping_nics: tuple[tuple[str, float], ...] = ()
     fail_slow_rate: float = 0.0
     fail_slow_factor_range: tuple[float, float] = (2.0, 4.0)
+    rack_outages: tuple[tuple[str, float], ...] = ()
+    tor_failures: tuple[tuple[str, float, float], ...] = ()
+    correlated_disk_failures: tuple[tuple[str, int], ...] = ()
     seed: int = 0
     policy: RetryPolicy = field(default_factory=RetryPolicy)
 
@@ -276,6 +293,23 @@ class FaultPlan:
             raise ValueError(
                 "fail_slow_factor_range needs 1 <= lo <= hi, both finite"
             )
+        for rack, at in self.rack_outages:
+            if not rack:
+                raise ValueError("rack outage rack names must be non-empty")
+            if not (at >= 0 and math.isfinite(at)):
+                raise ValueError("rack outage times must be finite and non-negative")
+        for rack, t_start, duration in self.tor_failures:
+            if not rack:
+                raise ValueError("ToR failure rack names must be non-empty")
+            if not (t_start >= 0 and math.isfinite(t_start)):
+                raise ValueError("ToR failure starts must be finite and non-negative")
+            if not (duration > 0 and math.isfinite(duration)):
+                raise ValueError("ToR failure durations must be finite and positive")
+        for rack, count in self.correlated_disk_failures:
+            if not rack:
+                raise ValueError("correlated disk failure rack names must be non-empty")
+            if count < 1:
+                raise ValueError("correlated disk failure counts must be >= 1")
 
     @property
     def injects_fail_slow(self) -> bool:
@@ -348,6 +382,9 @@ class FaultPlan:
             or self.link_loss_rate
             or self.lossy_links
             or self.partitions
+            or self.rack_outages
+            or self.tor_failures
+            or self.correlated_disk_failures
             or self.injects_fail_slow
         )
 
@@ -619,6 +656,21 @@ class FaultyCluster:
         self.cluster = cluster
         self.plan = plan
         self.policy = plan.policy
+        if plan.rack_outages or plan.tor_failures or plan.correlated_disk_failures:
+            topology = cluster.topology
+            if topology is None or topology.is_flat:
+                raise ValueError(
+                    "rack_outages/tor_failures/correlated_disk_failures "
+                    "need a multi-rack topology on the cluster"
+                )
+            known_racks = set(topology.racks)
+            for rack, *_rest in (
+                plan.rack_outages
+                + plan.tor_failures
+                + plan.correlated_disk_failures
+            ):
+                if rack not in known_racks:
+                    raise ValueError(f"unknown rack {rack!r} in the fault plan")
         self.blacklist = NodeBlacklist(plan.policy.node_failure_threshold)
         #: the jobtracker's persisted job-history log for the running job
         #: (what `resume` recovery replays after a master restart).
@@ -639,6 +691,7 @@ class FaultyCluster:
         self._corruption_rng = random.Random(f"corruption:{plan.seed}")
         self._gray_rng = random.Random(f"gray:{plan.seed}")
         self._corruption_sampled: set[tuple[str, int, str]] = set()
+        self._rack_disks_injected = False
         self._partition_windows: dict[str, list[tuple[float, float]]] = {}
         self._partitions_processed: set[tuple[str, float]] = set()
         self._limping_names: frozenset[str] = frozenset()
@@ -719,6 +772,7 @@ class FaultyCluster:
         self._corruption_rng = random.Random(f"corruption:{self.plan.seed}")
         self._gray_rng = random.Random(f"gray:{self.plan.seed}")
         self._corruption_sampled = set()
+        self._rack_disks_injected = False
         self._partition_windows = {}
         self._partitions_processed = set()
         self._apply_fail_slow()
@@ -736,7 +790,21 @@ class FaultyCluster:
             self._crash_at = {
                 name: self._origin + at for name, at in plan.node_crashes
             }
-            for name, p_start, duration in plan.partitions:
+            # Correlated failure domains: a rack power outage fail-stops
+            # every member at once; an earlier per-node crash time wins.
+            for rack, at in plan.rack_outages:
+                for member in cluster.topology.nodes_in(rack):
+                    t = self._origin + at
+                    if member not in self._crash_at or t < self._crash_at[member]:
+                        self._crash_at[member] = t
+            partitions = list(plan.partitions)
+            # A dead ToR switch is a timed partition of the whole rack:
+            # the nodes keep running behind the dark switch and rejoin
+            # (via the graylist) when it is replaced.
+            for rack, p_start, duration in plan.tor_failures:
+                for member in cluster.topology.nodes_in(rack):
+                    partitions.append((member, p_start, duration))
+            for name, p_start, duration in partitions:
                 window = (self._origin + p_start, self._origin + p_start + duration)
                 self._partition_windows.setdefault(name, []).append(window)
                 # The node will flap (vanish and rejoin): graylist it for
@@ -975,33 +1043,52 @@ class FaultyCluster:
         map_phase_end = max(map_end_times) if map_end_times else start
 
         # ---- node-loss recovery: detection, HDFS repair, map re-execution ----
-        for name, crash_time in sorted(self._crash_at.items(), key=lambda kv: kv[1]):
-            if name in self._crashes_processed or crash_time > map_phase_end:
+        # Crashes sharing an instant are one *event* (a rack losing
+        # power): the namenode sees every member dead before any repair
+        # starts, so re-replication never copies from a machine that
+        # died in the same event.  Singleton groups follow exactly the
+        # historical one-crash-at-a-time path.
+        crashes = sorted(self._crash_at.items(), key=lambda kv: kv[1])
+        for crash_time, group in itertools.groupby(crashes, key=lambda kv: kv[1]):
+            members = [
+                name for name, _ in group
+                if name not in self._crashes_processed
+            ]
+            if not members or crash_time > map_phase_end:
                 continue
-            self._crashes_processed.add(name)
-            stats.nodes_crashed.append(name)
             detection = crash_time + policy.heartbeat_timeout_s
-            self._re_replicate(name, detection, stats)
+            repairs: list[list] = []
+            for name in members:
+                self._crashes_processed.add(name)
+                stats.nodes_crashed.append(name)
+                under_replicated, lost = self.cluster.hdfs.fail_node(name)
+                stats.blocks_lost += len(lost)
+                repairs.append(under_replicated)
+            for under_replicated in repairs:
+                self._repair_blocks(under_replicated, detection, stats)
             if work.reduces:
-                # Completed maps whose output lived on the dead node must
+                # Completed maps whose output lived on a dead node must
                 # re-run: reducers fetch from tasktracker-local disks.
-                for m_index, (end, node) in enumerate(zip(map_end_times, map_nodes)):
-                    if node.name != name or end > crash_time:
-                        continue
-                    stats.maps_reexecuted += 1
-                    stats.wasted_seconds += end - max(
-                        a.start_s
-                        for a in map_attempts[m_index].attempts
-                        if a.state is AttemptState.SUCCEEDED
-                    )
-                    new_end, new_node = self._run_map_to_success(
-                        work.maps[m_index], m_index, map_attempts[m_index],
-                        detection, stragglers, lost_replicas, {}, rng, stats,
-                        reason="map output lost with node",
-                        master_crash=master_crash,
-                    )
-                    map_end_times[m_index] = new_end
-                    map_nodes[m_index] = new_node
+                for name in members:
+                    for m_index, (end, node) in enumerate(
+                        zip(map_end_times, map_nodes)
+                    ):
+                        if node.name != name or end > crash_time:
+                            continue
+                        stats.maps_reexecuted += 1
+                        stats.wasted_seconds += end - max(
+                            a.start_s
+                            for a in map_attempts[m_index].attempts
+                            if a.state is AttemptState.SUCCEEDED
+                        )
+                        new_end, new_node = self._run_map_to_success(
+                            work.maps[m_index], m_index, map_attempts[m_index],
+                            detection, stragglers, lost_replicas, {}, rng, stats,
+                            reason="map output lost with node",
+                            master_crash=master_crash,
+                        )
+                        map_end_times[m_index] = new_end
+                        map_nodes[m_index] = new_node
             map_phase_end = max(map_end_times) if map_end_times else start
 
         # ---- shuffle (reducers pull as maps finish), with fetch faults ----
@@ -1432,6 +1519,31 @@ class FaultyCluster:
                 continue
             if self._corrupt_if_safe(split[0], split[1], node_name):
                 stats.corrupt_replicas_injected += 1
+        if plan.correlated_disk_failures and not self._rack_disks_injected:
+            # A bad disk batch delivered to one rack: a seeded one-shot
+            # sweep rots `count` replicas on the rack's nodes.  The
+            # stream is independent of every other fault rng, and the
+            # last-good-copy bound still holds, so a checksum-verifying
+            # reader always survives the batch.
+            self._rack_disks_injected = True
+            rng = random.Random(f"rackdisk:{plan.seed}")
+            for rack, count in plan.correlated_disk_failures:
+                members = set(self.cluster.topology.nodes_in(rack))
+                candidates = [
+                    (file_name, b_index, replica)
+                    for file_name in sorted(hdfs.files)
+                    for b_index, block in enumerate(hdfs.files[file_name].blocks)
+                    for replica in block.replicas
+                    if replica in members
+                ]
+                rng.shuffle(candidates)
+                injected = 0
+                for file_name, b_index, replica in candidates:
+                    if injected >= count:
+                        break
+                    if self._corrupt_if_safe(file_name, b_index, replica):
+                        stats.corrupt_replicas_injected += 1
+                        injected += 1
         if plan.corruption_rate <= 0.0:
             return
         # Rate-based bit rot: every replica is sampled exactly once over
@@ -1913,9 +2025,13 @@ class FaultyCluster:
 
     def _re_replicate(self, node_name: str, at: float, stats: _RunStats) -> None:
         """Namenode repair after datanode loss, charged to disks and NICs."""
-        cluster = self.cluster
-        under_replicated, lost = cluster.hdfs.fail_node(node_name)
+        under_replicated, lost = self.cluster.hdfs.fail_node(node_name)
         stats.blocks_lost += len(lost)
+        self._repair_blocks(under_replicated, at, stats)
+
+    def _repair_blocks(self, under_replicated, at: float, stats: _RunStats) -> None:
+        """Re-replicate *under_replicated* blocks, charging disks and NICs."""
+        cluster = self.cluster
         for block in under_replicated:
             pair = cluster.hdfs.re_replicate_block(block)
             if pair is None:
@@ -1943,10 +2059,13 @@ class FaultyCluster:
         blacklist) when they would leave no candidate; dead nodes are
         never eligible.
         """
+        cluster = self.cluster
+        preferred_racks = cluster._preferred_racks(task)
         for soft_pass, soft_exclude in ((True, exclude), (False, set())):
             best_node, best_slot, best_time = None, -1, float("inf")
             local_node, local_slot, local_time = None, -1, float("inf")
-            for node in self.cluster.slaves:
+            rack_node, rack_slot, rack_time = None, -1, float("inf")
+            for node in cluster.slaves:
                 if node.name in soft_exclude:
                     continue
                 slot = node.earliest_map_slot()
@@ -1968,8 +2087,19 @@ class FaultyCluster:
                     and t < local_time
                 ):
                     local_node, local_slot, local_time = node, slot, t
-            if local_node is not None and local_time <= best_time + self.cluster.locality_wait_s:
+                if (
+                    preferred_racks
+                    and t < rack_time
+                    and cluster.topology.has_node(node.name)
+                    and cluster.topology.rack_of(node.name) in preferred_racks
+                ):
+                    rack_node, rack_slot, rack_time = node, slot, t
+            if local_node is not None and local_time <= best_time + cluster.locality_wait_s:
                 return local_node, local_slot, local_time
+            if rack_node is not None and rack_time <= (
+                best_time + cluster.locality_wait_s + cluster.rack_locality_wait_s
+            ):
+                return rack_node, rack_slot, rack_time
             if best_node is not None:
                 return best_node, best_slot, best_time
         raise JobFailedError("cluster", 0, "no live nodes left to schedule on")

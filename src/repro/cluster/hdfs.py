@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.cluster.attempts import DataLossError
 from repro.cluster.node import Node
+from repro.cluster.topology import Topology
 
 
 class ChecksumError(IOError):
@@ -81,6 +82,7 @@ class Hdfs:
         block_size: int = 64 * 1024 * 1024,
         replication: int = 3,
         bytes_per_checksum: int = 512,
+        topology: Topology | None = None,
     ):
         if not nodes:
             raise ValueError("HDFS needs at least one datanode")
@@ -90,11 +92,20 @@ class Hdfs:
             raise ValueError("replication must be positive")
         if bytes_per_checksum <= 0:
             raise ValueError("bytes_per_checksum must be positive")
+        if topology is not None:
+            for node in nodes:
+                if not topology.has_node(node.name):
+                    raise ValueError(
+                        f"datanode {node.name!r} is missing from the topology"
+                    )
         self.nodes = list(nodes)
         self.block_size = block_size
         self.replication = min(replication, len(self.nodes))
         #: CRC32 chunk size, Hadoop's ``io.bytes.per.checksum`` (512 B).
         self.bytes_per_checksum = bytes_per_checksum
+        #: failure-domain map; ``None`` (or a flat one-rack topology)
+        #: keeps the pre-topology round-robin placement bit-identically.
+        self.topology = topology
         self.files: dict[str, HdfsFile] = {}
         self._placement_cursor = 0
         self._dead_nodes: set[str] = set()
@@ -106,6 +117,12 @@ class Hdfs:
         #: too few datanodes were alive at placement time (the namenode's
         #: under-replicated-blocks gauge).
         self.under_replicated_blocks = 0
+        #: blocks whose replicas all landed on one rack although live
+        #: datanodes spanned several (placement degraded, e.g. every
+        #: off-rack candidate already held a replica).  The rack-diversity
+        #: analogue of the under-replication gauge, snapshotted into the
+        #: fsimage the same way.
+        self.rack_under_diverse_blocks = 0
         #: optional write-ahead journal (a NameNodeJournal attaches itself
         #: here); every namespace mutation is logged before returning.
         self.journal = None
@@ -223,6 +240,11 @@ class Hdfs:
         self._log_edit("report_bad_block", file_name, index, node_name)
         return updated
 
+    @property
+    def _rack_aware(self) -> bool:
+        """Multi-rack topology: placement must spread replicas across racks."""
+        return self.topology is not None and not self.topology.is_flat
+
     def _place(self) -> tuple[str, ...]:
         """Pick a replica set for one new block among the live datanodes.
 
@@ -231,6 +253,16 @@ class Hdfs:
         survivor and counted in :attr:`under_replicated_blocks` — rather
         than rejected; only a namespace with zero live datanodes raises
         :class:`~repro.cluster.attempts.DataLossError`.
+
+        With a multi-rack :class:`~repro.cluster.topology.Topology` the
+        placement policy is Hadoop 1.x's rack-aware default: first
+        replica rotating over live nodes (the "writer-local" slot),
+        second replica off the first's rack, third replica on the
+        *second* replica's rack but a different node — never two
+        replicas on one node.  When the policy cannot span two racks
+        (every off-rack node is dead) it degrades gracefully and counts
+        the block in :attr:`rack_under_diverse_blocks`.  A ``None`` or
+        flat topology takes the stock round-robin path bit-identically.
         """
         live = [node.name for node in self.nodes if node.name not in self._dead_nodes]
         if not live:
@@ -241,9 +273,56 @@ class Hdfs:
         degree = min(self.replication, n)
         if degree < self.replication:
             self.under_replicated_blocks += 1
-        chosen = tuple(live[(self._placement_cursor + i) % n] for i in range(degree))
+        if not self._rack_aware:
+            chosen = tuple(
+                live[(self._placement_cursor + i) % n] for i in range(degree)
+            )
+            self._placement_cursor = (self._placement_cursor + 1) % n
+            return chosen
+        chosen = self._place_rack_aware(live, degree)
         self._placement_cursor = (self._placement_cursor + 1) % n
         return chosen
+
+    def _scan_live(self, live, chosen, predicate) -> str | None:
+        """First live node after the cursor not in *chosen* passing *predicate*."""
+        n = len(live)
+        for i in range(1, n):
+            name = live[(self._placement_cursor + i) % n]
+            if name not in chosen and predicate(name):
+                return name
+        return None
+
+    def _place_rack_aware(self, live: list[str], degree: int) -> tuple[str, ...]:
+        rack_of = self.topology.rack_of
+        chosen = [live[self._placement_cursor % len(live)]]
+        if degree >= 2:
+            # Second replica off the first's rack (fall back to any
+            # distinct node when no other rack has a live datanode).
+            first_rack = rack_of(chosen[0])
+            second = self._scan_live(
+                live, chosen, lambda name: rack_of(name) != first_rack
+            )
+            if second is None:
+                second = self._scan_live(live, chosen, lambda name: True)
+            chosen.append(second)
+        if degree >= 3:
+            # Third replica on the second's rack, a different node; fall
+            # back to any remaining node when that rack has no other.
+            second_rack = rack_of(chosen[1])
+            third = self._scan_live(
+                live, chosen, lambda name: rack_of(name) == second_rack
+            )
+            if third is None:
+                third = self._scan_live(live, chosen, lambda name: True)
+            chosen.append(third)
+        for _ in range(len(chosen), degree):
+            chosen.append(self._scan_live(live, chosen, lambda name: True))
+        # Observational gauge: a multi-replica block that could not span
+        # two racks (every off-rack datanode is dead) is placed anyway
+        # but counted, mirroring the namenode's under-replication gauge.
+        if degree >= 2 and len({rack_of(name) for name in chosen}) < 2:
+            self.rack_under_diverse_blocks += 1
+        return tuple(chosen)
 
     # -- datanode loss and re-replication ------------------------------------
 
@@ -292,6 +371,11 @@ class Hdfs:
         ``(src_name, dst_name)`` so the caller can charge the copy to the
         disk/network models.  Returns ``None`` when no replica survives or
         no eligible target exists.
+
+        With a multi-rack topology the namenode restores *rack diversity*
+        first: targets on racks not yet holding a replica are preferred
+        over same-rack ones, so a block pushed onto a single rack by
+        datanode deaths regains a second rack on its first repair.
         """
         current = self.files[block.file_name].blocks[block.index]
         if not current.replicas:
@@ -303,7 +387,16 @@ class Hdfs:
         ]
         if not candidates:
             return None
-        dst = candidates[self._placement_cursor % len(candidates)]
+        if self._rack_aware:
+            rack_of = self.topology.rack_of
+            held_racks = {rack_of(name) for name in current.replicas}
+            diverse = [
+                name for name in candidates if rack_of(name) not in held_racks
+            ]
+            pool = diverse or candidates
+            dst = pool[self._placement_cursor % len(pool)]
+        else:
+            dst = candidates[self._placement_cursor % len(candidates)]
         self._placement_cursor += 1
         src = current.replicas[0]
         self.files[block.file_name].blocks[block.index] = replace(

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.hdfs import Block, Hdfs, HdfsFile
 from repro.cluster.node import Node
+from repro.cluster.topology import Topology
 
 #: Edit-log operation names (mirroring the Hadoop 1.x edit-log opcodes
 #: OP_ADD / OP_DELETE / OP_DATANODE_REMOVE / OP_SET_REPLICATION, plus the
@@ -131,6 +132,13 @@ class FsImage:
     #: CRC32 chunk size (``io.bytes.per.checksum``), part of the
     #: namespace configuration like ``block_size``.
     bytes_per_checksum: int = 512
+    #: node → rack assignments of the namespace's failure-domain map
+    #: (empty = no topology, the flat pre-topology namespace).  Carried
+    #: so replay reconstructs the *same* placement policy and reproduces
+    #: rack-aware placements bit for bit.
+    rack_assignments: tuple[tuple[str, str], ...] = ()
+    #: the rack-diversity gauge, journaled like under-replication.
+    rack_under_diverse_blocks: int = 0
 
     def file_names(self) -> tuple[str, ...]:
         return tuple(name for name, _blocks in self.files)
@@ -151,6 +159,10 @@ def snapshot(hdfs: Hdfs, txid: int = 0) -> FsImage:
         ),
         corrupt_replicas=tuple(sorted(hdfs._corrupt_replicas)),
         bytes_per_checksum=hdfs.bytes_per_checksum,
+        rack_assignments=(
+            hdfs.topology.assignments if hdfs.topology is not None else ()
+        ),
+        rack_under_diverse_blocks=hdfs.rack_under_diverse_blocks,
     )
 
 
@@ -170,6 +182,12 @@ def restore_into(hdfs: Hdfs, image: FsImage) -> Hdfs:
     hdfs.block_size = image.block_size
     hdfs.replication = image.replication
     hdfs.bytes_per_checksum = image.bytes_per_checksum
+    # The topology must be restored before any edits replay: rack-aware
+    # create_file placements reproduce only under the same policy.
+    hdfs.topology = (
+        Topology(image.rack_assignments) if image.rack_assignments else None
+    )
+    hdfs.rack_under_diverse_blocks = image.rack_under_diverse_blocks
     hdfs._placement_cursor = image.placement_cursor
     hdfs._dead_nodes = set(image.dead_nodes)
     hdfs.under_replicated_blocks = image.under_replicated_blocks

@@ -14,12 +14,23 @@ NICs and the shared fabric) plus a retransmission-timeout stall per loss
 — and the retransmits show up in the ``/proc/net`` counters.  With all
 loss rates at zero the timing math is bit-identical to the loss-free
 path.
+
+Failure domains: with a multi-rack
+:class:`~repro.cluster.topology.Topology` and a ``core_bandwidth``, the
+switch becomes *two-tier* — per-rack ToR switches (non-blocking, as
+before) feeding an oversubscribed core fabric.  Cross-rack transfers
+additionally serialise through the source and destination racks' shared
+uplinks and the core; rack-local traffic never touches them.  Without a
+``core_bandwidth`` the topology is purely observational (cross-rack
+bytes are counted, timing is untouched), and without a topology the
+model is exactly the pre-topology single switch.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro.cluster.topology import Topology
 from repro.perf.procfs import ProcFs
 
 GIGABIT_PER_S = 125e6  # 1 Gb/s in bytes/s
@@ -74,17 +85,34 @@ class Network:
     """
 
     def __init__(
-        self, latency_s: float = 0.0002, fabric_bandwidth: float | None = None
+        self,
+        latency_s: float = 0.0002,
+        fabric_bandwidth: float | None = None,
+        topology: Topology | None = None,
+        core_bandwidth: float | None = None,
     ) -> None:
         if latency_s < 0:
             raise ValueError("latency must be non-negative")
         if fabric_bandwidth is not None and fabric_bandwidth <= 0:
             raise ValueError("fabric bandwidth must be positive")
+        if core_bandwidth is not None and core_bandwidth <= 0:
+            raise ValueError("core bandwidth must be positive")
         self.latency_s = latency_s
         self.fabric_bandwidth = fabric_bandwidth
+        #: failure-domain map; cross-rack transfers are classified (and,
+        #: with a ``core_bandwidth``, charged) against it.
+        self.topology = topology
+        #: oversubscribed core capacity shared by all cross-rack traffic
+        #: (``None`` = the core never constrains, the pre-topology model).
+        self.core_bandwidth = core_bandwidth
         self.fabric_busy_until = 0.0
+        self.core_busy_until = 0.0
+        #: per-rack ToR uplink occupancy (rack name → busy-until time).
+        self.uplink_busy_until: dict[str, float] = {}
         self.transfers = 0
         self.bytes_moved = 0
+        #: goodput that crossed rack boundaries (0 without a topology).
+        self.cross_rack_bytes = 0
         # Gray-link state: a global segment-loss probability, optional
         # per-(src, dst) overrides, and the seeded rng that samples the
         # drops.  All zero/empty by default — the loss-free fast path.
@@ -124,8 +152,11 @@ class Network:
     def reset(self) -> None:
         """Fresh-fabric timeline: clear busy state, counters and the rng."""
         self.fabric_busy_until = 0.0
+        self.core_busy_until = 0.0
+        self.uplink_busy_until = {}
         self.transfers = 0
         self.bytes_moved = 0
+        self.cross_rack_bytes = 0
         self.retransmits = 0
         self.retransmit_bytes = 0
         self._rng = random.Random(self._loss_seed)
@@ -171,9 +202,31 @@ class Network:
                 remaining -= segment
         wire_bytes = num_bytes + extra_bytes
         stall = lost_segments * self.retransmit_timeout_s
+        src_rack, dst_rack = self._racks_for(src, dst)
+        cross_rack = src_rack is not None and src_rack != dst_rack
         start = max(now, src.tx_busy_until, dst.rx_busy_until)
         rate = min(src.effective_bandwidth, dst.effective_bandwidth)
-        if self.fabric_bandwidth is not None:
+        if cross_rack and self.core_bandwidth is not None:
+            # Two-tier fabric: a cross-rack transfer also serialises
+            # through both racks' ToR uplinks and the oversubscribed
+            # core they share.  Rack-local traffic never reaches here.
+            start = max(
+                start,
+                self.core_busy_until,
+                self.uplink_busy_until.get(src_rack, 0.0),
+                self.uplink_busy_until.get(dst_rack, 0.0),
+            )
+            done = (
+                start
+                + self.latency_s
+                + wire_bytes / min(rate, self.core_bandwidth)
+                + stall
+            )
+            occupied = start + wire_bytes / self.core_bandwidth
+            self.core_busy_until = occupied
+            self.uplink_busy_until[src_rack] = occupied
+            self.uplink_busy_until[dst_rack] = occupied
+        elif self.fabric_bandwidth is not None:
             # Shared fabric: the transfer also occupies the switch core.
             start = max(start, self.fabric_busy_until)
             done = start + self.latency_s + wire_bytes / min(rate, self.fabric_bandwidth) + stall
@@ -184,6 +237,12 @@ class Network:
         dst.rx_busy_until = done
         src.procfs.record_net(tx_bytes=wire_bytes)
         dst.procfs.record_net(rx_bytes=wire_bytes)
+        if cross_rack:
+            # Observational even without a core_bandwidth: counting
+            # cross-rack traffic never moves the timing math.
+            self.cross_rack_bytes += num_bytes
+            src.procfs.record_cross_rack(wire_bytes)
+            dst.procfs.record_cross_rack(wire_bytes)
         if lost_segments:
             src.procfs.record_net_retransmit(lost_segments, extra_bytes)
             self.retransmits += lost_segments
@@ -191,3 +250,15 @@ class Network:
         self.transfers += 1
         self.bytes_moved += num_bytes
         return done
+
+    def _racks_for(self, src: Nic, dst: Nic) -> tuple[str | None, str | None]:
+        """Rack names of both endpoints, or ``(None, None)`` when the
+        topology is absent, flat, or does not know an endpoint (e.g. the
+        master) — all cases where rack accounting must stay inert."""
+        if self.topology is None or self.topology.is_flat:
+            return None, None
+        src_name = src.procfs.node_name
+        dst_name = dst.procfs.node_name
+        if not (self.topology.has_node(src_name) and self.topology.has_node(dst_name)):
+            return None, None
+        return self.topology.rack_of(src_name), self.topology.rack_of(dst_name)

@@ -283,6 +283,11 @@ class Scheduler(ABC):
         """Delay-scheduling knob: how long a map waits for a local slot."""
         return cluster.locality_wait_s
 
+    def rack_locality_wait_s(self, cluster: HadoopCluster) -> float:
+        """Second delay level: extra wait for a rack-local slot before
+        going off-rack (only reached on multi-rack topologies)."""
+        return cluster.rack_locality_wait_s
+
     def tasks_to_preempt(
         self, now: float, state: SchedulerState
     ) -> list[RunningTask]:
@@ -334,6 +339,7 @@ class FairScheduler(Scheduler):
         preemption: bool = True,
         min_share_timeout_s: float = 1.0,
         fair_share_timeout_s: float = 4.0,
+        rack_delay_s: float | None = None,
     ) -> None:
         self.pools = {}
         for cfg in pools:
@@ -342,9 +348,14 @@ class FairScheduler(Scheduler):
             self.pools[cfg.name] = cfg
         if delay_s is not None and not (delay_s >= 0 and math.isfinite(delay_s)):
             raise ValueError("delay_s must be finite and non-negative")
+        if rack_delay_s is not None and not (
+            rack_delay_s >= 0 and math.isfinite(rack_delay_s)
+        ):
+            raise ValueError("rack_delay_s must be finite and non-negative")
         if min_share_timeout_s <= 0 or fair_share_timeout_s <= 0:
             raise ValueError("preemption timeouts must be positive")
         self.delay_s = delay_s
+        self.rack_delay_s = rack_delay_s
         self.preemption = preemption
         self.min_share_timeout_s = min_share_timeout_s
         self.fair_share_timeout_s = fair_share_timeout_s
@@ -360,6 +371,11 @@ class FairScheduler(Scheduler):
 
     def locality_wait_s(self, cluster):
         return cluster.locality_wait_s if self.delay_s is None else self.delay_s
+
+    def rack_locality_wait_s(self, cluster):
+        if self.rack_delay_s is not None:
+            return self.rack_delay_s
+        return cluster.rack_locality_wait_s
 
     def fair_share(self, pool: str, state: SchedulerState) -> float:
         """Weighted share of map slots among pools that have demand."""
@@ -729,15 +745,39 @@ class _MixFaults:
             limping_nics=plan.limping_nics,
             fail_slow_rate=plan.fail_slow_rate,
             fail_slow_factor_range=plan.fail_slow_factor_range,
+            rack_outages=plan.rack_outages,
+            tor_failures=plan.tor_failures,
             seed=plan.seed,
             policy=plan.policy,
         )
         if plan != supported:
             raise ValueError(
-                "MultiJobCluster supports node_crashes, partitions and "
-                "fail-slow limping only; run other fault classes through "
-                "FaultyCluster"
+                "MultiJobCluster supports node_crashes, partitions, rack "
+                "outages, ToR failures and fail-slow limping only; run "
+                "other fault classes through FaultyCluster"
             )
+        # Correlated rack faults expand to their per-node equivalents:
+        # a rack power outage crashes every member at once; a ToR death
+        # partitions every member for the failure window.
+        node_crashes = list(plan.node_crashes)
+        partitions = list(plan.partitions)
+        if plan.rack_outages or plan.tor_failures:
+            topology = cluster.topology
+            if topology is None or topology.is_flat:
+                raise ValueError(
+                    "rack_outages/tor_failures need a multi-rack topology"
+                )
+            known_racks = set(topology.racks)
+            for rack, at in plan.rack_outages:
+                if rack not in known_racks:
+                    raise ValueError(f"unknown outage rack {rack!r}")
+                for member in topology.nodes_in(rack):
+                    node_crashes.append((member, at))
+            for rack, start, duration in plan.tor_failures:
+                if rack not in known_racks:
+                    raise ValueError(f"unknown ToR-failure rack {rack!r}")
+                for member in topology.nodes_in(rack):
+                    partitions.append((member, start, duration))
         names = {node.name for node in cluster.slaves}
         # Fail-slow hardware: resolve the limp factors (validating node
         # names) and push them onto the shared cluster's device models.
@@ -760,16 +800,16 @@ class _MixFaults:
                 if any(factor != 1.0 for factor in per_resource.values())
             )
         self.speculation = plan.speculative_execution and bool(self.slow_nodes)
-        for name, _at in plan.node_crashes:
+        for name, _at in node_crashes:
             if name not in names:
                 raise ValueError(f"unknown crash node {name!r}")
         self.crash_at: dict[str, float] = {}
-        for name, at in plan.node_crashes:
+        for name, at in node_crashes:
             t = origin + at
             if name not in self.crash_at or t < self.crash_at[name]:
                 self.crash_at[name] = t
         self.windows: dict[str, list[tuple[float, float]]] = {}
-        for name, start, duration in plan.partitions:
+        for name, start, duration in partitions:
             if name not in names:
                 raise ValueError(f"unknown partition node {name!r}")
             if start < 0 or duration <= 0:
@@ -1230,13 +1270,16 @@ class MultiJobCluster:
         m_index = job.pending.popleft()
         task = job.work.maps[m_index]
         wait = self.scheduler.locality_wait_s(cluster)
+        rack_wait = self.scheduler.rack_locality_wait_s(cluster)
         net_before = cluster.network.bytes_moved
         writes_before = self._writes_snapshot()
         if self._faults is None:
-            task_start, end, node, slot = cluster._charge_map_task(task, floor, wait)
+            task_start, end, node, slot = cluster._charge_map_task(
+                task, floor, wait, rack_wait
+            )
         else:
             task_start, end, node, slot = self._charge_map_faulty(
-                job, task, m_index, floor, wait
+                job, task, m_index, floor, wait, rack_wait
             )
         job.net_bytes += cluster.network.bytes_moved - net_before
         self._add_write_deltas(job, writes_before)
@@ -1341,6 +1384,10 @@ class MultiJobCluster:
                 rates[node.name] = job.disk_writes.get(node.name, 0) / duration
             else:
                 rates[node.name] = 0.0
+        tiers = [
+            cluster._map_locality_tier(task, node)
+            for task, node in zip(work.maps, map_nodes)
+        ]
         job.timeline = JobTimeline(
             job_name=work.name,
             start_s=job.started_s,
@@ -1350,6 +1397,10 @@ class MultiJobCluster:
             reduce_tasks=len(work.reduces),
             disk_writes_per_second=rates,
             network_bytes=job.net_bytes,
+            maps_node_local=tiers.count("node"),
+            maps_rack_local=tiers.count("rack"),
+            maps_off_rack=tiers.count("off"),
+            node_racks=cluster._node_racks(),
         )
         for r_index, (node, exec_start, exec_end) in enumerate(spans):
             self._intervals.append(
@@ -1375,13 +1426,22 @@ class MultiJobCluster:
     # -- fault-injected charging -----------------------------------------------
 
     def _pick_live_map_slot(
-        self, task: MapWork, at: float, locality_wait: float
+        self,
+        task: MapWork,
+        at: float,
+        locality_wait: float,
+        rack_wait: float | None = None,
     ) -> tuple[Node, int, float]:
         """Stock delay-scheduling pick, over nodes reachable at dispatch."""
+        cluster = self.cluster
+        if rack_wait is None:
+            rack_wait = cluster.rack_locality_wait_s
         faults = self._faults
         best_node, best_slot, best_time = None, -1, float("inf")
         local_node, local_slot, local_time = None, -1, float("inf")
-        for node in self.cluster.slaves:
+        rack_node, rack_slot, rack_time = None, -1, float("inf")
+        preferred_racks = cluster._preferred_racks(task)
+        for node in cluster.slaves:
             slot = node.earliest_map_slot()
             t = max(node.map_slot_free[slot], at)
             window = faults.partition_at(node.name, t)
@@ -1393,10 +1453,19 @@ class MultiJobCluster:
                 best_node, best_slot, best_time = node, slot, t
             if task.preferred_nodes and node.name in task.preferred_nodes and t < local_time:
                 local_node, local_slot, local_time = node, slot, t
+            if (
+                preferred_racks
+                and t < rack_time
+                and cluster.topology.has_node(node.name)
+                and cluster.topology.rack_of(node.name) in preferred_racks
+            ):
+                rack_node, rack_slot, rack_time = node, slot, t
         if best_node is None:
             raise JobFailedError("no live node left to run map tasks")
         if local_node is not None and local_time <= best_time + locality_wait:
             return local_node, local_slot, local_time
+        if rack_node is not None and rack_time <= best_time + locality_wait + rack_wait:
+            return rack_node, rack_slot, rack_time
         return best_node, best_slot, best_time
 
     def _charge_map_faulty(
@@ -1406,6 +1475,7 @@ class MultiJobCluster:
         m_index: int,
         floor: float,
         locality_wait: float,
+        rack_wait: float | None = None,
     ) -> tuple[float, float, Node, int]:
         cluster, faults, acct = self.cluster, self._faults, self._acct
         policy: RetryPolicy = faults.policy
@@ -1413,7 +1483,9 @@ class MultiJobCluster:
         t = floor
         for _ in range(_MAX_MIX_ATTEMPTS):
             attempt = job.attempts[task_id] = job.attempts.get(task_id, -1) + 1
-            node, slot, ready = self._pick_live_map_slot(task, t, locality_wait)
+            node, slot, ready = self._pick_live_map_slot(
+                task, t, locality_wait, rack_wait
+            )
             task_start = max(ready, t)
             self.fence.grant(task_id, attempt)
             end = cluster._charge_map_on(task, node, task_start)

@@ -216,6 +216,11 @@ class TenantJobReport:
     first_launch_s: float
     finished_s: float
     ideal_s: float
+    #: map launches by delay-scheduling tier, summed over the stage
+    #: chain (all node-local on a flat cluster).
+    maps_node_local: int = 0
+    maps_rack_local: int = 0
+    maps_off_rack: int = 0
 
     @property
     def wait_s(self) -> float:
@@ -242,6 +247,9 @@ class TenantJobReport:
             "wait_s": self.wait_s,
             "turnaround_s": self.turnaround_s,
             "slowdown": self.slowdown,
+            "maps_node_local": self.maps_node_local,
+            "maps_rack_local": self.maps_rack_local,
+            "maps_off_rack": self.maps_off_rack,
         }
 
 
@@ -336,12 +344,16 @@ def run_mix(
     block_size: int = 256 * 1024,
     plan: FaultPlan | None = None,
     engine: str = "events",
+    racks: int = 1,
 ) -> MixResult:
     """Play *trace* through a shared cluster under *scheduler*.
 
     The shared cluster is paper-shaped but with fewer slots per slave by
     default (8 map / 4 reduce), so a trace of modest scale actually
-    contends for slots the way a loaded production cluster does.
+    contends for slots the way a loaded production cluster does.  With
+    ``racks > 1`` the shared cluster (and each solo shadow) gets a
+    uniform multi-rack topology, enabling rack-aware placement,
+    three-level delay scheduling and rack-level fault plans.
     """
     from repro.workloads.base import workload
 
@@ -350,6 +362,7 @@ def run_mix(
         map_slots=map_slots,
         reduce_slots=reduce_slots,
         block_size=block_size,
+        racks=racks,
     )
     multi = MultiJobCluster(shared, scheduler, plan=plan)
     ideals: dict[int, float] = {}
@@ -367,6 +380,7 @@ def run_mix(
                 map_slots=map_slots,
                 reduce_slots=reduce_slots,
                 block_size=block_size,
+                racks=racks,
             )
             run = workload(tjob.workload).run(scale=tjob.scale, cluster=shadow)
             solo[key] = (
@@ -389,6 +403,7 @@ def run_mix(
     reports = []
     for tjob in trace.jobs:
         stage_reports = [outcome.report(job_id) for job_id in chains[tjob.index]]
+        timelines = [r.timeline for r in stage_reports if r.timeline is not None]
         reports.append(
             TenantJobReport(
                 trace_job=tjob,
@@ -396,6 +411,9 @@ def run_mix(
                 first_launch_s=min(r.first_launch_s for r in stage_reports),
                 finished_s=max(r.finished_s for r in stage_reports),
                 ideal_s=ideals[tjob.index],
+                maps_node_local=sum(t.maps_node_local for t in timelines),
+                maps_rack_local=sum(t.maps_rack_local for t in timelines),
+                maps_off_rack=sum(t.maps_off_rack for t in timelines),
             )
         )
     return MixResult(

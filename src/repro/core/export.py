@@ -86,6 +86,9 @@ TIMELINE_COLUMNS = [
     "map_tasks",
     "reduce_tasks",
     "network_bytes",
+    "maps_node_local",
+    "maps_rack_local",
+    "maps_off_rack",
 ]
 
 
@@ -141,6 +144,9 @@ MIX_COLUMNS = [
     "wait_s",
     "turnaround_s",
     "slowdown",
+    "maps_node_local",
+    "maps_rack_local",
+    "maps_off_rack",
 ]
 
 

@@ -88,6 +88,14 @@ class ProcFs:
         self.stage_retries = 0
         self.lineage_recomputes = 0
         self.stages_cancelled = 0
+        # Topology/locality counters (the jobtracker's delay-scheduling
+        # view of this tasktracker): map tasks launched here by locality
+        # tier, and wire bytes this node moved across a rack boundary.
+        # Pure observation — recording never touches the simulated clock.
+        self.maps_node_local = 0
+        self.maps_rack_local = 0
+        self.maps_off_rack = 0
+        self.bytes_cross_rack = 0
         self.samples: list[DiskSample] = []
 
     # -- recording (called by the cluster model) ---------------------------
@@ -179,6 +187,22 @@ class ProcFs:
     def record_stage_cancelled(self) -> None:
         self.stages_cancelled += 1
 
+    def record_map_locality(self, tier: str) -> None:
+        """Count one map launch by its delay-scheduling tier."""
+        if tier == "node":
+            self.maps_node_local += 1
+        elif tier == "rack":
+            self.maps_rack_local += 1
+        elif tier == "off":
+            self.maps_off_rack += 1
+        else:
+            raise ValueError(f"locality tier must be node/rack/off, got {tier!r}")
+
+    def record_cross_rack(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("cross-rack size must be non-negative")
+        self.bytes_cross_rack += num_bytes
+
     # -- sampling -----------------------------------------------------------
 
     def sample(self, time_s: float) -> DiskSample:
@@ -260,6 +284,15 @@ class ProcFs:
             f"{self.node_name}: journal_edits {self.journal_edits} "
             f"journal_checkpoints {self.journal_checkpoints} "
             f"master_restarts {self.master_restarts}"
+        )
+
+    def render_topology(self) -> str:
+        """A jobtracker-status line of the locality/failure-domain counters."""
+        return (
+            f"{self.node_name}: maps_node_local {self.maps_node_local} "
+            f"maps_rack_local {self.maps_rack_local} "
+            f"maps_off_rack {self.maps_off_rack} "
+            f"bytes_cross_rack {self.bytes_cross_rack}"
         )
 
     def render_workflow(self) -> str:

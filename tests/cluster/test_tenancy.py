@@ -212,7 +212,7 @@ class TestChaosMix:
         assert accounting.zombies_fenced > 0
 
     def test_unsupported_fault_classes_are_rejected(self):
-        with pytest.raises(ValueError, match="node_crashes, partitions and"):
+        with pytest.raises(ValueError, match="node_crashes, partitions, rack"):
             run_mix(
                 pinned_trace(),
                 FifoScheduler(),
