@@ -25,6 +25,16 @@ Sub-commands mirror how the paper's artefacts are used:
                             graceful degradation (``--rate``, ``--pattern``,
                             ``--deadline``, ``--shed-rate``, ``--limp``,
                             ``--unprotected``, ``--compare``)
+* ``record``             — run a mix and serialize it as a WfCommons-style
+                            instance JSON (``--trace``, ``--output``)
+* ``fit-recipe``         — fit a workload recipe (mix, sizes, arrivals,
+                            repetitiveness) from an instance or trace JSON
+* ``gen-trace``          — regenerate a synthetic trace of any length from a
+                            fitted recipe (``--jobs``, ``--seed``); replay it
+                            with ``mix --trace FILE``
+* ``rep-bench``          — Redbench-style repetition benchmark: per-bucket
+                            materialization-cache payoff
+                            (``--buckets``, ``--no-result-cache``)
 """
 
 from __future__ import annotations
@@ -454,6 +464,7 @@ def _cmd_mix(args) -> int:
     from repro.cluster import FaultPlan, JobFailedError, Topology
     from repro.cluster.scheduler import make_scheduler
     from repro.cluster.tenancy import (
+        WorkloadTrace,
         characterize_colocation,
         default_pools,
         default_queues,
@@ -486,9 +497,19 @@ def _cmd_mix(args) -> int:
                 parser.error(f"{flag} rack {rack!r} is not a rack "
                              f"(have: {', '.join(known_racks)})")
 
-    trace = generate_trace(
-        seed=args.seed, num_jobs=args.jobs, arrival_rate_per_s=args.rate
-    )
+    if args.trace:
+        text = _read_file(args.trace, "mix")
+        if text is None:
+            return 2
+        try:
+            trace = WorkloadTrace.from_json(text)
+        except ValueError as error:
+            print(f"mix: {args.trace}: {error}", file=sys.stderr)
+            return 2
+    else:
+        trace = generate_trace(
+            seed=args.seed, num_jobs=args.jobs, arrival_rate_per_s=args.rate
+        )
     scheduler = make_scheduler(
         args.scheduler,
         pools=default_pools(trace),
@@ -567,6 +588,164 @@ def _cmd_mix(args) -> int:
             for name in colocation.workloads:
                 print(f"  {name:<18s}solo IPC {colocation.solo_ipc[name]:.2f}  "
                       f"shared-LLC slowdown {colocation.slowdowns[name]:.2f}x")
+    return 0
+
+
+def _read_file(path: str, command: str) -> str | None:
+    """Read a CLI input file, reporting failure in the command's voice."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return fh.read()
+    except OSError as error:
+        print(f"{command}: cannot read {path}: {error}", file=sys.stderr)
+        return None
+
+
+def _emit(text: str, output: str | None, what: str) -> None:
+    """Print *text*, or write it to *output* and say what landed where."""
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {what} to {output}")
+    else:
+        print(text)
+
+
+def _cmd_record(args) -> int:
+    from repro.cluster.scheduler import make_scheduler
+    from repro.cluster.tenancy import (
+        WorkloadTrace,
+        default_pools,
+        default_queues,
+        generate_trace,
+        run_mix,
+    )
+    from repro.recipes import record_instance
+
+    if args.trace:
+        text = _read_file(args.trace, "record")
+        if text is None:
+            return 2
+        try:
+            trace = WorkloadTrace.from_json(text)
+        except ValueError as error:
+            print(f"record: {args.trace}: {error}", file=sys.stderr)
+            return 2
+    else:
+        trace = generate_trace(
+            seed=args.seed, num_jobs=args.jobs, arrival_rate_per_s=args.rate
+        )
+    scheduler = make_scheduler(
+        args.scheduler, pools=default_pools(trace), queues=default_queues(trace)
+    )
+    mix = run_mix(
+        trace,
+        scheduler,
+        num_slaves=args.slaves,
+        map_slots=args.map_slots,
+        reduce_slots=args.reduce_slots,
+    )
+    instance = record_instance(mix, name=args.name)
+    _emit(instance.to_json(), args.output,
+          f"instance ({len(instance.jobs)} jobs)")
+    return 0
+
+
+def _load_instance(path: str, command: str):
+    """An Instance from a file holding either an instance or a bare trace."""
+    import json
+
+    from repro.cluster.tenancy import WorkloadTrace
+    from repro.recipes import Instance, instance_from_trace
+
+    text = _read_file(path, command)
+    if text is None:
+        return None
+    try:
+        data = json.loads(text)
+        if isinstance(data, dict) and "schema_version" in data:
+            return Instance.from_dict(data)
+        return instance_from_trace(WorkloadTrace.from_dict(data))
+    except (ValueError, TypeError, KeyError) as error:
+        print(f"{command}: {path}: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_fit_recipe(args) -> int:
+    from repro.recipes import fit_recipe
+
+    instance = _load_instance(args.instance, "fit-recipe")
+    if instance is None:
+        return 2
+    recipe = fit_recipe(instance, name=args.name)
+    _emit(recipe.to_json(), args.output,
+          f"recipe ({len(recipe.users)} users, "
+          f"repetition {recipe.repetition_rate:.2f})")
+    return 0
+
+
+def _cmd_gen_trace(args) -> int:
+    from repro.recipes import Recipe, generate_from_recipe
+
+    text = _read_file(args.recipe, "gen-trace")
+    if text is None:
+        return 2
+    try:
+        recipe = Recipe.from_json(text)
+    except (ValueError, TypeError, KeyError) as error:
+        print(f"gen-trace: {args.recipe}: {error}", file=sys.stderr)
+        return 2
+    trace = generate_from_recipe(recipe, num_jobs=args.jobs, seed=args.seed)
+    _emit(trace.to_json(), args.output,
+          f"trace ({len(trace.jobs)} jobs)")
+    return 0
+
+
+def _bucket_rates(text: str) -> tuple[float, ...]:
+    """argparse type: comma-separated ascending repeat rates in [0, 1]."""
+    try:
+        rates = tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated rates, got {text!r}"
+        ) from None
+    if not rates or any(not 0.0 <= r <= 1.0 for r in rates):
+        raise argparse.ArgumentTypeError(
+            f"rates must be in [0, 1], got {text!r}"
+        )
+    if list(rates) != sorted(rates):
+        raise argparse.ArgumentTypeError(
+            f"rates must be ascending, got {text!r}"
+        )
+    return rates
+
+
+def _cmd_rep_bench(args) -> int:
+    import json
+
+    from repro.recipes import run_repetition_benchmark
+
+    report = run_repetition_benchmark(
+        buckets=args.buckets,
+        queries_per_bucket=args.queries,
+        seed=args.seed,
+        scale=args.scale,
+        num_slaves=args.slaves,
+        use_cache=not args.no_result_cache,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        state = ("on" if report.cache_enabled
+                 else "off (--no-result-cache / REPRO_RESULT_CACHE=0)")
+        print(f"materialization cache {state}, seed {report.seed}")
+        for line in report.summary_lines():
+            print(line)
+    if not report.contract_holds():
+        print("rep-bench: contract violated: hit rate must grow "
+              "monotonically with repetitiveness and the most-repetitive "
+              "bucket must show a latency win", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -888,6 +1067,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="number of trace jobs to generate")
     mix.add_argument("--rate", type=_seconds, default=2.0, metavar="PER_SECOND",
                      help="Poisson arrival rate (simulated jobs per second)")
+    mix.add_argument("--trace", metavar="FILE",
+                     help="replay a trace JSON (e.g. from gen-trace or "
+                          "WorkloadTrace.to_json) instead of generating one; "
+                          "--jobs/--rate/--seed are ignored")
     mix.add_argument("--seed", type=int, default=0,
                      help="trace + fault seed (mixes are reproducible)")
     mix.add_argument("--slaves", type=int, default=4)
@@ -924,6 +1107,79 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace length per workload for --colocate")
     mix.add_argument("--format", choices=("table", "json"), default="table")
     mix.set_defaults(fn=_cmd_mix, parser=mix)
+
+    rec = sub.add_parser(
+        "record",
+        help="run a multi-tenant mix and serialize it as a WfCommons-style "
+             "instance JSON",
+    )
+    rec.add_argument("--trace", metavar="FILE",
+                     help="play this trace JSON instead of generating one")
+    rec.add_argument("--jobs", type=int, default=8,
+                     help="number of jobs in the generated trace")
+    rec.add_argument("--rate", type=_positive_rate, default=2.0,
+                     metavar="PER_SECOND", help="mean Poisson arrival rate")
+    rec.add_argument("--seed", type=int, default=0,
+                     help="trace seed (traces are reproducible)")
+    rec.add_argument("--scheduler", choices=("fifo", "fair", "capacity"),
+                     default="fair")
+    rec.add_argument("--slaves", type=int, default=4)
+    rec.add_argument("--map-slots", type=int, default=8)
+    rec.add_argument("--reduce-slots", type=int, default=4)
+    rec.add_argument("--name", default="recorded-mix",
+                     help="instance name stored in the JSON")
+    rec.add_argument("--output", metavar="FILE",
+                     help="write the instance JSON here (default: stdout)")
+    rec.set_defaults(fn=_cmd_record, parser=rec)
+
+    fit = sub.add_parser(
+        "fit-recipe",
+        help="fit a workload recipe (mix, sizes, arrivals, repetitiveness) "
+             "from an instance or trace JSON",
+    )
+    fit.add_argument("instance", help="instance JSON (from record) or "
+                                      "trace JSON (from gen-trace)")
+    fit.add_argument("--name", default=None,
+                     help="recipe name (default: derived from the instance)")
+    fit.add_argument("--output", metavar="FILE",
+                     help="write the recipe JSON here (default: stdout)")
+    fit.set_defaults(fn=_cmd_fit_recipe, parser=fit)
+
+    gen = sub.add_parser(
+        "gen-trace",
+        help="regenerate a synthetic workload trace of any length from a "
+             "fitted recipe",
+    )
+    gen.add_argument("recipe", help="recipe JSON (from fit-recipe)")
+    gen.add_argument("--jobs", type=_count, default=50,
+                     help="number of synthetic submissions to generate")
+    gen.add_argument("--seed", type=int, default=0,
+                     help="generation seed (generation is deterministic)")
+    gen.add_argument("--output", metavar="FILE",
+                     help="write the trace JSON here (default: stdout)")
+    gen.set_defaults(fn=_cmd_gen_trace, parser=gen)
+
+    rep = sub.add_parser(
+        "rep-bench",
+        help="Redbench-style repetition benchmark: materialization-cache "
+             "payoff per repetitiveness bucket",
+    )
+    rep.add_argument("--buckets", type=_bucket_rates,
+                     default=(0.0, 0.25, 0.5, 0.75, 0.95),
+                     metavar="R1,R2,...",
+                     help="ascending target repeat rates, one bucket each")
+    rep.add_argument("--queries", type=_count, default=24,
+                     help="queries per bucket")
+    rep.add_argument("--seed", type=int, default=0,
+                     help="stream seed (streams are reproducible)")
+    rep.add_argument("--scale", type=float, default=1.0,
+                     help="warehouse table scale")
+    rep.add_argument("--slaves", type=int, default=2)
+    rep.add_argument("--no-result-cache", action="store_true",
+                     help="run with the materialization cache disabled "
+                          "(the escape hatch; also REPRO_RESULT_CACHE=0)")
+    rep.add_argument("--format", choices=("table", "json"), default="table")
+    rep.set_defaults(fn=_cmd_rep_bench, parser=rep)
 
     serve = sub.add_parser(
         "serve", help="open-loop service traffic through a degrading frontend"

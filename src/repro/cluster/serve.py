@@ -113,29 +113,52 @@ def request_classes_from_trace(
     Each distinct ``(workload, scale)`` in the trace becomes one class:
     its service demand is the workload's solo (uncontended) duration on
     a fresh cluster of the given shape, its weight the number of trace
-    jobs of that kind.  Shadow runs are memoized per distinct key, the
-    same dedup :func:`~repro.cluster.tenancy.run_mix` applies.
+    jobs of that kind.  Shadow runs are memoized across calls, keyed on
+    the **full** ``(workload, scale, engine config)`` tuple — recipe-
+    generated traces repeat the same templates across many calls and
+    cluster shapes, and a key that ignored the cluster shape would hand
+    one shape's solo duration to another.
     """
-    from repro.cluster.cluster import make_cluster
-    from repro.workloads.base import workload
-
+    classes = []
     counts: dict[tuple[str, float], int] = {}
     for tjob in trace.jobs:
         key = (tjob.workload, tjob.scale)
         counts[key] = counts.get(key, 0) + 1
-    classes = []
     for (name, scale), weight in sorted(counts.items()):
+        demand_s = _solo_demand_s(
+            name, scale, num_slaves, map_slots, reduce_slots, block_size
+        )
+        classes.append(RequestClass(f"{name}@{scale:g}", demand_s, float(weight)))
+    return tuple(classes)
+
+
+#: cross-call shadow-run memo: full (workload, scale, engine-config) key →
+#: solo duration.  The engine config MUST be part of the key (regression
+#: test: tests/cluster/test_serve.py::TestRequestClassMemo).
+_SOLO_DEMANDS: dict[tuple[str, float, int, int, int, int], float] = {}
+
+
+def _solo_demand_s(
+    name: str,
+    scale: float,
+    num_slaves: int,
+    map_slots: int,
+    reduce_slots: int,
+    block_size: int,
+) -> float:
+    from repro.cluster.cluster import make_cluster
+    from repro.workloads.base import workload
+
+    key = (name, scale, num_slaves, map_slots, reduce_slots, block_size)
+    if key not in _SOLO_DEMANDS:
         shadow = make_cluster(
             num_slaves=num_slaves,
             map_slots=map_slots,
             reduce_slots=reduce_slots,
             block_size=block_size,
         )
-        run = workload(name).run(scale=scale, cluster=shadow)
-        classes.append(
-            RequestClass(f"{name}@{scale:g}", run.duration_s, float(weight))
-        )
-    return tuple(classes)
+        _SOLO_DEMANDS[key] = workload(name).run(scale=scale, cluster=shadow).duration_s
+    return _SOLO_DEMANDS[key]
 
 
 @dataclass(frozen=True)

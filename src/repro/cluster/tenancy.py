@@ -28,6 +28,7 @@ on one node under a shared LLC via :mod:`repro.uarch.multicore`.
 
 from __future__ import annotations
 
+import json
 import math
 import random
 from dataclasses import dataclass, field
@@ -118,6 +119,40 @@ class TraceJob:
             "size_class": self.size_class,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceJob":
+        """Rebuild a job from :meth:`to_dict` output, with validation."""
+        if not isinstance(data, dict):
+            raise ValueError(f"trace job must be an object, got {type(data).__name__}")
+        missing = [f for f in _TRACE_JOB_FIELDS if f not in data]
+        if missing:
+            raise ValueError(f"trace job missing field(s): {', '.join(missing)}")
+        unknown = sorted(set(data) - set(_TRACE_JOB_FIELDS))
+        if unknown:
+            raise ValueError(f"trace job has unknown field(s): {', '.join(unknown)}")
+        if not isinstance(data["index"], int) or isinstance(data["index"], bool):
+            raise ValueError("trace job index must be an integer")
+        for name in ("workload", "user", "pool", "size_class"):
+            if not isinstance(data[name], str) or not data[name]:
+                raise ValueError(f"trace job {name} must be a non-empty string")
+        for name in ("scale", "arrival_s"):
+            if isinstance(data[name], bool) or not isinstance(data[name], (int, float)):
+                raise ValueError(f"trace job {name} must be a number")
+        return cls(
+            index=data["index"],
+            workload=data["workload"],
+            scale=float(data["scale"]),
+            arrival_s=float(data["arrival_s"]),
+            user=data["user"],
+            pool=data["pool"],
+            size_class=data["size_class"],
+        )
+
+
+_TRACE_JOB_FIELDS = (
+    "index", "workload", "scale", "arrival_s", "user", "pool", "size_class",
+)
+
 
 @dataclass(frozen=True)
 class WorkloadTrace:
@@ -146,6 +181,36 @@ class WorkloadTrace:
             "arrival_rate_per_s": self.arrival_rate_per_s,
             "jobs": [job.to_dict() for job in self.jobs],
         }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise the trace so it can be replayed via ``mix --trace``."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadTrace":
+        if not isinstance(data, dict):
+            raise ValueError(f"trace must be an object, got {type(data).__name__}")
+        for name in ("seed", "arrival_rate_per_s", "jobs"):
+            if name not in data:
+                raise ValueError(f"trace missing field {name!r}")
+        if not isinstance(data["seed"], int) or isinstance(data["seed"], bool):
+            raise ValueError("trace seed must be an integer")
+        rate = data["arrival_rate_per_s"]
+        if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+            raise ValueError("trace arrival_rate_per_s must be a number")
+        if not isinstance(data["jobs"], list):
+            raise ValueError("trace jobs must be a list")
+        jobs = tuple(TraceJob.from_dict(job) for job in data["jobs"])
+        return cls(jobs=jobs, seed=data["seed"], arrival_rate_per_s=float(rate))
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        """Exact inverse of :meth:`to_json` (validated; raises ValueError)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace is not valid JSON: {error}") from None
+        return cls.from_dict(data)
 
 
 def generate_trace(

@@ -212,3 +212,83 @@ def workflow_to_csv(result) -> str:
 def workflow_to_json(result, indent: int | None = 2) -> str:
     """The whole workflow run — stages, accounting, outputs — as JSON."""
     return json.dumps(result.to_dict(), indent=indent)
+
+
+#: column order of the per-job instance export (the flat CSV view of a
+#: WfCommons-style recorded instance; the JSON form is the instance's own
+#: validated document, via ``Instance.to_json``)
+INSTANCE_COLUMNS = [
+    "index",
+    "workload",
+    "scale",
+    "user",
+    "pool",
+    "size_class",
+    "submit_s",
+    "start_s",
+    "finish_s",
+    "ideal_s",
+]
+
+
+def instance_to_rows(instance) -> list[dict]:
+    """One flat dict per job of a :class:`~repro.recipes.Instance`."""
+    rows = []
+    for job in instance.jobs:
+        d = job.to_dict()
+        rows.append({column: d[column] for column in INSTANCE_COLUMNS})
+    return rows
+
+
+def instance_to_csv(instance) -> str:
+    """The per-job view of a recorded instance as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=INSTANCE_COLUMNS, lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in instance_to_rows(instance):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+#: column order of the per-bucket repetition-benchmark export
+REPBENCH_COLUMNS = [
+    "bucket",
+    "target_rate",
+    "queries",
+    "hits",
+    "misses",
+    "hit_rate",
+    "saved_s",
+    "executed_s",
+    "mean_effective_s",
+    "mean_cold_s",
+]
+
+
+def repbench_to_rows(report) -> list[dict]:
+    """One dict per bucket of a
+    :class:`~repro.recipes.RepetitionBenchReport`."""
+    rows = []
+    for bucket in report.buckets:
+        d = bucket.to_dict()
+        rows.append({column: d[column] for column in REPBENCH_COLUMNS})
+    return rows
+
+
+def repbench_to_csv(report) -> str:
+    """The per-bucket cache-payoff curve as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=REPBENCH_COLUMNS, lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in repbench_to_rows(report):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def repbench_to_json(report, indent: int | None = 2) -> str:
+    """The whole repetition benchmark — buckets + settings — as JSON."""
+    return json.dumps(report.to_dict(), indent=indent)

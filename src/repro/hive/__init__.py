@@ -21,16 +21,36 @@ end:
 
 from repro.hive.schema import Column, Table
 from repro.hive.parser import parse_query, Query
-from repro.hive.planner import plan_query, QueryPlan
-from repro.hive.engine import HiveSession, QueryExecution
+from repro.hive.planner import (
+    canonical_query,
+    plan_fingerprint,
+    plan_query,
+    query_digest,
+    template_digest,
+    QueryPlan,
+)
+from repro.hive.engine import (
+    CacheStats,
+    HiveSession,
+    MaterializationCache,
+    QueryExecution,
+    result_cache_enabled,
+)
 
 __all__ = [
     "Column",
     "Table",
     "parse_query",
     "Query",
+    "canonical_query",
+    "plan_fingerprint",
     "plan_query",
+    "query_digest",
+    "template_digest",
     "QueryPlan",
+    "CacheStats",
     "HiveSession",
+    "MaterializationCache",
     "QueryExecution",
+    "result_cache_enabled",
 ]

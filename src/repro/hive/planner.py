@@ -18,15 +18,18 @@ Hive-bench exercises.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.hive.parser import (
+    Aggregate,
     And,
     ColumnRef,
     Or,
     Predicate,
     Query,
+    parse_query,
     condition_predicates,
 )
 from repro.hive.schema import Table
@@ -63,6 +66,119 @@ class QueryPlan:
         for i, stage in enumerate(self.stages):
             lines.append(f"  stage {i + 1}: {stage.name} — {stage.description}")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# canonicalization and fingerprints
+# ---------------------------------------------------------------------------
+#
+# The materialization cache (repro.hive.engine) and the workload-recipe
+# recorder (repro.recipes.instances) both need a *stable identity* for a
+# query.  Two granularities:
+#
+# * the **template digest** masks every literal — two statements that
+#   differ only in parameter values (and whitespace, alias spelling,
+#   AND/OR operand order) share a template, the unit Redbench clusters
+#   users on;
+# * the **query digest** keeps the literals — the semantic identity a
+#   result cache must key on, since different parameters mean different
+#   rows.
+
+
+def _canonical_condition(condition, alias_map: dict, mask: bool) -> str:
+    if isinstance(condition, Predicate):
+        ref = _canonical_ref(condition.column, alias_map)
+        if mask:
+            return f"({ref} {condition.op} ?)"
+        if condition.op == "in":
+            values = ",".join(sorted(repr(v) for v in condition.value))
+            return f"({ref} in ({values}))"
+        return f"({ref} {condition.op} {condition.value!r})"
+    connective = " and " if isinstance(condition, And) else " or "
+    parts = sorted(
+        _canonical_condition(child, alias_map, mask) for child in condition.children
+    )
+    return "(" + connective.join(parts) + ")"
+
+
+def _canonical_ref(ref: ColumnRef, alias_map: dict) -> str:
+    table = alias_map.get(ref.table, ref.table)
+    return f"{table}.{ref.column}" if table else ref.column
+
+
+def canonical_query(query: Query, mask_literals: bool = False) -> str:
+    """A whitespace/alias/operand-order independent rendering of *query*.
+
+    With ``mask_literals`` every predicate literal and the LIMIT count
+    collapse to ``?`` — the Redbench notion of a query *template*.
+    """
+    alias_map = {}
+    if query.table_alias:
+        alias_map[query.table_alias] = query.table
+    if query.join is not None and query.join.alias:
+        alias_map[query.join.alias] = query.join.table
+    items = []
+    for item in query.items:
+        expr = item.expr
+        if isinstance(expr, Aggregate):
+            arg = _canonical_ref(expr.arg, alias_map) if expr.arg else "*"
+            rendered = f"{expr.func}({arg})"
+        else:
+            rendered = _canonical_ref(expr, alias_map)
+        if item.output_name() != rendered:
+            rendered += f" as {item.output_name()}"
+        items.append(rendered)
+    parts = [f"select {', '.join(items) if items else '*'}", f"from {query.table}"]
+    if query.join is not None:
+        join_keys = sorted(
+            (
+                _canonical_ref(query.join.left, alias_map),
+                _canonical_ref(query.join.right, alias_map),
+            )
+        )
+        parts.append(f"join {query.join.table} on {join_keys[0]} = {join_keys[1]}")
+    if query.where is not None:
+        parts.append(f"where {_canonical_condition(query.where, alias_map, mask_literals)}")
+    if query.group_by:
+        parts.append(
+            "group by " + ", ".join(_canonical_ref(r, alias_map) for r in query.group_by)
+        )
+    if query.order_by is not None:
+        direction = "desc" if query.order_by.descending else "asc"
+        parts.append(f"order by {query.order_by.column} {direction}")
+    if query.limit is not None:
+        parts.append("limit ?" if mask_literals else f"limit {query.limit}")
+    return " ".join(parts)
+
+
+def template_digest(sql_or_query: str | Query) -> str:
+    """Literal-masked template identity: same SQL modulo literals,
+    whitespace, alias spelling and AND/OR operand order → same digest."""
+    query = sql_or_query if isinstance(sql_or_query, Query) else parse_query(sql_or_query)
+    canonical = canonical_query(query, mask_literals=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def query_digest(sql_or_query: str | Query) -> str:
+    """Semantic identity with literals kept (the result-cache half-key)."""
+    query = sql_or_query if isinstance(sql_or_query, Query) else parse_query(sql_or_query)
+    canonical = canonical_query(query, mask_literals=False)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def plan_fingerprint(query: Query, tables: dict[str, Table]) -> str:
+    """Cache key for one planned query: the literal-keeping query digest
+    folded with the identity (uid) and mutation version of every input
+    table, so any table change — or a drop-and-recreate under the same
+    name — yields a fresh key."""
+    digest = hashlib.sha256(canonical_query(query, mask_literals=False).encode())
+    names = [query.table] + ([query.join.table] if query.join is not None else [])
+    for name in sorted(set(names)):
+        table = tables.get(name)
+        if table is None:
+            raise HivePlanError(f"unknown table {name!r}")
+        digest.update(f"|{name}:{table.uid}:{table.version}".encode())
+    return digest.hexdigest()
 
 
 # ---------------------------------------------------------------------------

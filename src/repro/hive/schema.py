@@ -1,7 +1,15 @@
-"""Warehouse schema objects: typed columns and row tables."""
+"""Warehouse schema objects: typed columns and row tables.
+
+Tables carry two pieces of identity the result-materialization cache
+keys on: a process-wide unique ``uid`` (so a dropped-and-recreated table
+of the same name can never serve a stale cached result) and a mutation
+``version`` that bumps on every insert (so a cache entry is only valid
+for the exact table contents it was computed against).
+"""
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 #: Supported column types and their Python representations.
@@ -32,8 +40,17 @@ class Column:
         return TYPES[self.type](value)
 
 
+#: process-wide table identity counter (see :class:`Table`).
+_TABLE_UIDS = itertools.count()
+
+
 class Table:
-    """An in-warehouse table: schema + rows (tuples in column order)."""
+    """An in-warehouse table: schema + rows (tuples in column order).
+
+    ``uid`` is unique per Table object for the process lifetime;
+    ``version`` counts mutations (one bump per inserted row).  Together
+    they version the table's contents for the result cache.
+    """
 
     def __init__(self, name: str, columns: list[Column], rows: list[tuple] | None = None):
         if not name.isidentifier():
@@ -47,6 +64,8 @@ class Table:
         self.columns = list(columns)
         self._index = {c.name: i for i, c in enumerate(columns)}
         self.rows: list[tuple] = []
+        self.uid = next(_TABLE_UIDS)
+        self.version = 0
         if rows:
             for row in rows:
                 self.insert(row)
@@ -69,6 +88,7 @@ class Table:
                 f"row width {len(row)} != table {self.name!r} width {len(self.columns)}"
             )
         self.rows.append(tuple(col.coerce(v) for col, v in zip(self.columns, row)))
+        self.version += 1
 
     def extend(self, rows) -> None:
         for row in rows:

@@ -88,6 +88,11 @@ class ProcFs:
         self.stage_retries = 0
         self.lineage_recomputes = 0
         self.stages_cancelled = 0
+        # Warehouse counters (the HiveServer's view, kept on the master):
+        # recurring statements served from the query/result
+        # materialization cache vs compiled and executed cold.
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
         # Topology/locality counters (the jobtracker's delay-scheduling
         # view of this tasktracker): map tasks launched here by locality
         # tier, and wire bytes this node moved across a rack boundary.
@@ -186,6 +191,12 @@ class ProcFs:
 
     def record_stage_cancelled(self) -> None:
         self.stages_cancelled += 1
+
+    def record_result_cache_hit(self) -> None:
+        self.result_cache_hits += 1
+
+    def record_result_cache_miss(self) -> None:
+        self.result_cache_misses += 1
 
     def record_map_locality(self, tier: str) -> None:
         """Count one map launch by its delay-scheduling tier."""
@@ -293,6 +304,13 @@ class ProcFs:
             f"maps_rack_local {self.maps_rack_local} "
             f"maps_off_rack {self.maps_off_rack} "
             f"bytes_cross_rack {self.bytes_cross_rack}"
+        )
+
+    def render_warehouse(self) -> str:
+        """A HiveServer-status line of the materialization-cache counters."""
+        return (
+            f"{self.node_name}: result_cache_hits {self.result_cache_hits} "
+            f"result_cache_misses {self.result_cache_misses}"
         )
 
     def render_workflow(self) -> str:

@@ -1,0 +1,64 @@
+"""Workload recipes: record → fit → regenerate (WfCommons/Redbench style).
+
+The paper characterizes *production* data-analysis traffic; this package
+closes the loop from one observed execution back to arbitrarily much
+statistically matching synthetic load:
+
+* :mod:`repro.recipes.instances` — serialize a ``run_mix`` execution (or
+  a bare trace) into a validated, round-tripping JSON *instance*;
+* :mod:`repro.recipes.fit` — fit per-user/per-pool *recipes* from an
+  instance: workload mix, job-size ranges, inter-arrival rate, and
+  Redbench-style repetitiveness (exact vs parameter-varied repeats);
+* :mod:`repro.recipes.generate` — regenerate synthetic
+  :class:`~repro.cluster.tenancy.WorkloadTrace` s of any length from a
+  recipe, feeding straight back into ``run_mix``/``serve``;
+* :mod:`repro.recipes.repbench` — measure the Hive materialization
+  cache's payoff per repetitiveness bucket (Redbench's headline: cache
+  wins grow with repetition).
+"""
+
+from repro.recipes.instances import (
+    INSTANCE_SCHEMA_VERSION,
+    Instance,
+    InstanceJob,
+    InstanceSchemaError,
+    hive_plan_fingerprints,
+    instance_from_trace,
+    record_instance,
+)
+from repro.recipes.fit import (
+    Recipe,
+    ScaleStats,
+    TemplateStats,
+    UserRecipe,
+    classify_repeats,
+    fit_recipe,
+    repetition_bucket,
+)
+from repro.recipes.generate import generate_from_recipe
+from repro.recipes.repbench import (
+    BucketReport,
+    RepetitionBenchReport,
+    run_repetition_benchmark,
+)
+
+__all__ = [
+    "INSTANCE_SCHEMA_VERSION",
+    "Instance",
+    "InstanceJob",
+    "InstanceSchemaError",
+    "hive_plan_fingerprints",
+    "instance_from_trace",
+    "record_instance",
+    "Recipe",
+    "ScaleStats",
+    "TemplateStats",
+    "UserRecipe",
+    "classify_repeats",
+    "fit_recipe",
+    "repetition_bucket",
+    "generate_from_recipe",
+    "BucketReport",
+    "RepetitionBenchReport",
+    "run_repetition_benchmark",
+]

@@ -1,0 +1,346 @@
+"""Fit workload *recipes* from recorded instances.
+
+A recipe is the statistical summary Redbench/WfCommons-style synthesis
+needs: per user — job-template mix, job-size (scale) ranges, and the
+*repetitiveness* split (how often the user resubmits an exact earlier
+job vs the same template with different parameters); globally — the
+Poisson arrival rate and each user's share of submissions.
+
+Repeat classification follows Redbench's reading of the Snowset/Redset
+production traces: walking one user's submissions in submit order,
+
+* **exact repeat** — the (workload, scale) pair was submitted before by
+  the same user (same template, same parameters);
+* **varied repeat** — the workload template was submitted before by the
+  same user, but never at this scale (parameter-varied recurrence);
+* **fresh** — first time this user submits the template.
+
+Users are then binned into repetitiveness *buckets* (deciles of
+``repetition_rate``), mirroring how Redbench clusters Redset users by
+their fraction of repeated queries.
+
+Length-stability caveat: the *exact* repeat rate is the round-trip-
+stable metric (``fit(generate(recipe))`` reproduces it within
+statistical tolerance, because fresh scale draws essentially never
+collide).  The *varied* rate is descriptive: over this repo's small
+fixed workload vocabulary, "template seen before" saturates as a trace
+grows, so varied rates of traces with very different lengths are not
+comparable — real warehouses (Redset) sidestep this with far larger
+query-template vocabularies.
+
+Fitting is deterministic: same instance → identical recipe, and the
+JSON form round-trips exactly (``Recipe.from_json(r.to_json()) == r``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.cluster.tenancy import WorkloadTrace
+from repro.recipes.instances import Instance, InstanceJob, instance_from_trace
+
+__all__ = [
+    "ScaleStats",
+    "TemplateStats",
+    "UserRecipe",
+    "Recipe",
+    "fit_recipe",
+    "repetition_bucket",
+    "classify_repeats",
+]
+
+
+def repetition_bucket(rate: float) -> str:
+    """Decile label for a repetition rate, e.g. ``"70-80%"``.
+
+    ``rate == 1.0`` lands in the top bucket (``"90-100%"``), matching
+    Redbench's ten user clusters ordered by query repetitiveness.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"repetition rate must be in [0, 1], got {rate}")
+    decile = min(int(rate * 10), 9)
+    return f"{decile * 10}-{decile * 10 + 10}%"
+
+
+def classify_repeats(jobs: list[InstanceJob]) -> list[str]:
+    """Label one user's submit-ordered jobs ``exact``/``varied``/``fresh``."""
+    seen_exact: set[tuple[str, float]] = set()
+    seen_templates: set[str] = set()
+    labels = []
+    for job in jobs:
+        if job.exact_key in seen_exact:
+            labels.append("exact")
+        elif job.template_key in seen_templates:
+            labels.append("varied")
+        else:
+            labels.append("fresh")
+        seen_exact.add(job.exact_key)
+        seen_templates.add(job.template_key)
+    return labels
+
+
+@dataclass(frozen=True)
+class ScaleStats:
+    """Observed job-size (scale) range for one user's template."""
+
+    low: float
+    high: float
+    mean: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.mean <= self.high:
+            raise ValueError(
+                f"scale stats must satisfy 0 < low <= mean <= high, "
+                f"got ({self.low}, {self.mean}, {self.high})"
+            )
+
+    def to_dict(self) -> dict:
+        return {"low": self.low, "high": self.high, "mean": self.mean}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScaleStats":
+        return cls(low=data["low"], high=data["high"], mean=data["mean"])
+
+
+@dataclass(frozen=True)
+class TemplateStats:
+    """One job template (workload) in one user's mix."""
+
+    workload: str
+    weight: float
+    pool: str
+    size_class: str
+    scales: ScaleStats
+    plan_fingerprints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0 < self.weight <= 1:
+            raise ValueError(f"template weight must be in (0, 1], got {self.weight}")
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "weight": self.weight,
+            "pool": self.pool,
+            "size_class": self.size_class,
+            "scales": self.scales.to_dict(),
+            "plan_fingerprints": list(self.plan_fingerprints),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TemplateStats":
+        return cls(
+            workload=data["workload"],
+            weight=data["weight"],
+            pool=data["pool"],
+            size_class=data["size_class"],
+            scales=ScaleStats.from_dict(data["scales"]),
+            plan_fingerprints=tuple(data.get("plan_fingerprints", ())),
+        )
+
+
+@dataclass(frozen=True)
+class UserRecipe:
+    """One user's fitted behaviour: mix, sizes, repetitiveness."""
+
+    user: str
+    weight: float
+    num_jobs: int
+    exact_repeat_rate: float
+    varied_repeat_rate: float
+    templates: tuple[TemplateStats, ...]
+
+    def __post_init__(self) -> None:
+        if not 0 < self.weight <= 1:
+            raise ValueError(f"user weight must be in (0, 1], got {self.weight}")
+        if self.exact_repeat_rate < 0 or self.varied_repeat_rate < 0:
+            raise ValueError("repeat rates must be non-negative")
+        if self.exact_repeat_rate + self.varied_repeat_rate > 1 + 1e-9:
+            raise ValueError("repeat rates must sum to at most 1")
+        if not self.templates:
+            raise ValueError("a user recipe needs at least one template")
+
+    @property
+    def repetition_rate(self) -> float:
+        return self.exact_repeat_rate + self.varied_repeat_rate
+
+    @property
+    def bucket(self) -> str:
+        return repetition_bucket(min(self.repetition_rate, 1.0))
+
+    def to_dict(self) -> dict:
+        return {
+            "user": self.user,
+            "weight": self.weight,
+            "num_jobs": self.num_jobs,
+            "exact_repeat_rate": self.exact_repeat_rate,
+            "varied_repeat_rate": self.varied_repeat_rate,
+            "templates": [t.to_dict() for t in self.templates],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UserRecipe":
+        return cls(
+            user=data["user"],
+            weight=data["weight"],
+            num_jobs=data["num_jobs"],
+            exact_repeat_rate=data["exact_repeat_rate"],
+            varied_repeat_rate=data["varied_repeat_rate"],
+            templates=tuple(
+                TemplateStats.from_dict(t) for t in data["templates"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A fitted workload recipe: everything generation needs."""
+
+    name: str
+    source_seed: int
+    source_jobs: int
+    arrival_rate_per_s: float
+    users: tuple[UserRecipe, ...]
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("recipe arrival rate must be positive")
+        if not self.users:
+            raise ValueError("a recipe needs at least one user")
+
+    @property
+    def repetition_rate(self) -> float:
+        """Submission-weighted overall repetition rate."""
+        return sum(u.weight * u.repetition_rate for u in self.users)
+
+    def user(self, name: str) -> UserRecipe:
+        for u in self.users:
+            if u.user == name:
+                return u
+        raise KeyError(name)
+
+    def workload_mix(self) -> dict[str, float]:
+        """Overall workload proportions implied by the fitted mix."""
+        mix: dict[str, float] = {}
+        for u in self.users:
+            for t in u.templates:
+                mix[t.workload] = mix.get(t.workload, 0.0) + u.weight * t.weight
+        return dict(sorted(mix.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "source_seed": self.source_seed,
+            "source_jobs": self.source_jobs,
+            "arrival_rate_per_s": self.arrival_rate_per_s,
+            "users": [u.to_dict() for u in self.users],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Recipe":
+        return cls(
+            name=data["name"],
+            source_seed=data["source_seed"],
+            source_jobs=data["source_jobs"],
+            arrival_rate_per_s=data["arrival_rate_per_s"],
+            users=tuple(UserRecipe.from_dict(u) for u in data["users"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Recipe":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"recipe is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+
+def _fit_scales(scales: list[float]) -> ScaleStats:
+    """Scale range for one template from its sorted observations.
+
+    A zero-width range (one observation, or every submission at the same
+    scale) gets a ±10 % smoothing prior: a single sample carries no range
+    evidence, and a degenerate range would force every regenerated
+    "fresh" draw of the template onto the same scale — turning it into an
+    exact repeat and breaking the repetition-rate round-trip.
+    """
+    low, high = scales[0], scales[-1]
+    # clamp: float summation can push the mean a ulp outside [low, high]
+    mean = min(max(sum(scales) / len(scales), low), high)
+    if low == high:
+        low, high = 0.9 * mean, 1.1 * mean
+    return ScaleStats(low=low, high=high, mean=mean)
+
+
+def _fit_user(user: str, jobs: list[InstanceJob], total_jobs: int) -> UserRecipe:
+    labels = classify_repeats(jobs)
+    n = len(jobs)
+    by_workload: dict[str, list[InstanceJob]] = {}
+    for job in jobs:
+        by_workload.setdefault(job.workload, []).append(job)
+    templates = []
+    for workload in sorted(by_workload):
+        group = by_workload[workload]
+        scales = sorted(job.scale for job in group)
+        # pool/size_class: majority vote, ties broken lexicographically
+        # so fitting stays deterministic.
+        pools: dict[str, int] = {}
+        classes: dict[str, int] = {}
+        for job in group:
+            pools[job.pool] = pools.get(job.pool, 0) + 1
+            classes[job.size_class] = classes.get(job.size_class, 0) + 1
+        templates.append(
+            TemplateStats(
+                workload=workload,
+                weight=len(group) / n,
+                pool=min(pools, key=lambda p: (-pools[p], p)),
+                size_class=min(classes, key=lambda c: (-classes[c], c)),
+                scales=_fit_scales(scales),
+                plan_fingerprints=group[0].plan_fingerprints,
+            )
+        )
+    return UserRecipe(
+        user=user,
+        weight=n / total_jobs,
+        num_jobs=n,
+        exact_repeat_rate=labels.count("exact") / n,
+        varied_repeat_rate=labels.count("varied") / n,
+        templates=tuple(templates),
+    )
+
+
+def fit_recipe(source: Instance | WorkloadTrace, name: str | None = None) -> Recipe:
+    """Fit a :class:`Recipe` from an instance (or directly from a trace,
+    which is first lifted into a submit-only instance).
+
+    Deterministic: no randomness anywhere; same source → equal recipe.
+    """
+    if isinstance(source, WorkloadTrace):
+        source = instance_from_trace(source)
+    by_user: dict[str, list[InstanceJob]] = {}
+    for job in source.jobs:  # already submit-ordered (schema invariant)
+        by_user.setdefault(job.user, []).append(job)
+    total = len(source.jobs)
+    users = tuple(
+        _fit_user(user, by_user[user], total) for user in sorted(by_user)
+    )
+    # Poisson MLE over the observed window: the trace clock starts at 0,
+    # so n arrivals by time span_s estimate rate = n / span_s.  A
+    # single-job (or zero-span) instance has no interarrival evidence —
+    # fall back to the recorded rate, or 1 job/s when that is 0 too
+    # (hand-built traces record no nominal rate).
+    span = source.span_s
+    rate = total / span if span > 0 else source.arrival_rate_per_s
+    if rate <= 0:
+        rate = 1.0
+    return Recipe(
+        name=name or f"{source.name}-recipe",
+        source_seed=source.seed,
+        source_jobs=total,
+        arrival_rate_per_s=rate,
+        users=users,
+    )

@@ -1,0 +1,102 @@
+"""Regenerate synthetic workload traces from a fitted recipe.
+
+The WfCommons loop closed: record an execution
+(:mod:`repro.recipes.instances`), fit a recipe
+(:mod:`repro.recipes.fit`), then call :func:`generate_from_recipe` for
+an arbitrarily long synthetic :class:`~repro.cluster.tenancy.WorkloadTrace`
+that statistically matches the source — same workload-mix proportions,
+same Poisson arrival rate, same per-user repetitiveness — and feeds
+straight into ``run_mix`` / ``serve``.
+
+Generation replays each user's fitted behaviour as a small Markov
+process over their own history, mirroring how Redbench regenerates a
+user's query stream from their repetitiveness cluster:
+
+* with probability ``exact_repeat_rate`` resubmit a previous
+  (workload, scale) submission verbatim — an exact-template repeat;
+* else with probability ``varied_repeat_rate`` reuse a previously
+  submitted template with a freshly drawn scale — a parameter-varied
+  repeat;
+* otherwise draw a fresh template from the user's fitted mix.
+
+Until the user has history, every draw is fresh (exactly like the
+source trace's first submissions, which fitting also labels fresh).
+
+Deterministic per ``(recipe, num_jobs, seed)``: the RNG is seeded from
+the recipe name and the caller's seed, nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.tenancy import TraceJob, WorkloadTrace
+from repro.recipes.fit import Recipe, TemplateStats, UserRecipe
+
+__all__ = ["generate_from_recipe"]
+
+
+def _draw_scale(rng: random.Random, stats: TemplateStats) -> float:
+    """A fresh scale for one template: uniform over the fitted range.
+
+    Rounded so exact-repeat equality is a float comparison that survives
+    the JSON round-trip of traces and instances — but finely enough
+    (6 decimals) that two independent fresh draws almost never collide
+    into an accidental exact repeat.
+    """
+    return round(rng.uniform(stats.scales.low, stats.scales.high), 6)
+
+
+def _draw_job(
+    rng: random.Random,
+    recipe_user: UserRecipe,
+    history: list[tuple[str, float, str, str]],
+) -> tuple[str, float, str, str]:
+    """One (workload, scale, pool, size_class) draw for one user."""
+    templates = {t.workload: t for t in recipe_user.templates}
+    roll = rng.random()
+    if history and roll < recipe_user.exact_repeat_rate:
+        return rng.choice(history)
+    if history and roll < recipe_user.exact_repeat_rate + recipe_user.varied_repeat_rate:
+        workload = rng.choice(history)[0]
+        stats = templates[workload]
+        return (workload, _draw_scale(rng, stats), stats.pool, stats.size_class)
+    stats = rng.choices(
+        recipe_user.templates,
+        weights=[t.weight for t in recipe_user.templates],
+    )[0]
+    return (stats.workload, _draw_scale(rng, stats), stats.pool, stats.size_class)
+
+
+def generate_from_recipe(
+    recipe: Recipe, num_jobs: int, seed: int = 0
+) -> WorkloadTrace:
+    """A synthetic trace of *num_jobs* submissions matching *recipe*."""
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    rng = random.Random(f"recipe:{recipe.name}:{seed}")
+    user_weights = [u.weight for u in recipe.users]
+    histories: dict[str, list[tuple[str, float, str, str]]] = {
+        u.user: [] for u in recipe.users
+    }
+    clock = 0.0
+    jobs = []
+    for index in range(num_jobs):
+        clock += rng.expovariate(recipe.arrival_rate_per_s)
+        recipe_user = rng.choices(recipe.users, weights=user_weights)[0]
+        workload, scale, pool, size_class = _draw_job(
+            rng, recipe_user, histories[recipe_user.user]
+        )
+        histories[recipe_user.user].append((workload, scale, pool, size_class))
+        jobs.append(
+            TraceJob(
+                index=index,
+                workload=workload,
+                scale=scale,
+                arrival_s=round(clock, 6),
+                user=recipe_user.user,
+                pool=pool,
+                size_class=size_class,
+            )
+        )
+    return WorkloadTrace(tuple(jobs), seed, recipe.arrival_rate_per_s)

@@ -1,0 +1,377 @@
+"""WfCommons-style execution instances: record what we actually ran.
+
+An *instance* is the serialized record of one workload-mix execution —
+per job: workload, scale, user, pool, submit/start/finish times, and for
+Hive jobs the plan-template fingerprints of the statements the job runs.
+WfCommons (SNIPPETS.md) fits "recipes" from exactly this kind of record
+and regenerates synthetic-yet-realistic executions from them; the
+analogue here is :func:`repro.recipes.fit.fit_recipe` →
+:func:`repro.recipes.generate.generate_from_recipe`.
+
+Two producers:
+
+* :func:`record_instance` — full fidelity, from a
+  :class:`~repro.cluster.tenancy.MixResult` (a trace actually played
+  through ``run_mix``): start/finish/ideal times come from the shared-
+  cluster schedule;
+* :func:`instance_from_trace` — submit-only, from a bare
+  :class:`~repro.cluster.tenancy.WorkloadTrace`: cheap enough to record
+  arbitrarily long traces without simulating them.
+
+The JSON form is validated on load and round-trips exactly:
+``Instance.from_json(instance.to_json()) == instance``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.tenancy import MixResult, TraceJob, WorkloadTrace
+
+__all__ = [
+    "INSTANCE_SCHEMA_VERSION",
+    "InstanceSchemaError",
+    "InstanceJob",
+    "Instance",
+    "record_instance",
+    "instance_from_trace",
+    "hive_plan_fingerprints",
+]
+
+#: bump when the on-disk instance format changes incompatibly
+INSTANCE_SCHEMA_VERSION = "1.0"
+
+
+class InstanceSchemaError(ValueError):
+    """Raised when an instance document fails schema validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InstanceSchemaError(message)
+
+
+def _is_number(value) -> bool:
+    return not isinstance(value, bool) and isinstance(value, (int, float))
+
+
+@dataclass(frozen=True)
+class InstanceJob:
+    """One recorded job submission (and, when executed, its schedule)."""
+
+    index: int
+    workload: str
+    scale: float
+    user: str
+    pool: str
+    size_class: str
+    submit_s: float
+    #: schedule facts; None in a submit-only instance
+    start_s: float | None = None
+    finish_s: float | None = None
+    ideal_s: float | None = None
+    job_ids: tuple[str, ...] = ()
+    #: literal-masked template digests of the statements a Hive job runs
+    plan_fingerprints: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(self.index >= 0, "job index must be non-negative")
+        _require(bool(self.workload), "job workload must be non-empty")
+        _require(
+            self.scale > 0 and math.isfinite(self.scale),
+            "job scale must be positive and finite",
+        )
+        _require(
+            self.submit_s >= 0 and math.isfinite(self.submit_s),
+            "job submit_s must be finite and non-negative",
+        )
+        executed = (self.start_s, self.finish_s)
+        _require(
+            all(v is None for v in executed) or all(v is not None for v in executed),
+            "start_s and finish_s must be recorded together",
+        )
+        if self.start_s is not None:
+            _require(
+                self.start_s >= self.submit_s,
+                "job cannot start before it was submitted",
+            )
+            _require(
+                self.finish_s >= self.start_s,
+                "job cannot finish before it started",
+            )
+
+    @property
+    def exact_key(self) -> tuple[str, float]:
+        """Identity of an *exact-template* repeat (Redbench's strictest bin)."""
+        return (self.workload, self.scale)
+
+    @property
+    def template_key(self) -> str:
+        """Identity of a *parameter-varied* repeat: same job template,
+        any parameters (for Hive jobs the statement templates travel in
+        :attr:`plan_fingerprints`, but they are a function of the
+        workload here, so the workload name is the template)."""
+        return self.workload
+
+    def to_dict(self) -> dict:
+        data = {
+            "index": self.index,
+            "workload": self.workload,
+            "scale": self.scale,
+            "user": self.user,
+            "pool": self.pool,
+            "size_class": self.size_class,
+            "submit_s": self.submit_s,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "ideal_s": self.ideal_s,
+            "job_ids": list(self.job_ids),
+            "plan_fingerprints": list(self.plan_fingerprints),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InstanceJob":
+        _require(isinstance(data, dict), "instance job must be an object")
+        missing = [name for name in _JOB_FIELDS if name not in data]
+        _require(not missing, f"instance job missing field(s): {', '.join(missing)}")
+        unknown = sorted(set(data) - set(_JOB_FIELDS))
+        _require(not unknown, f"instance job has unknown field(s): {', '.join(unknown)}")
+        _require(
+            isinstance(data["index"], int) and not isinstance(data["index"], bool),
+            "instance job index must be an integer",
+        )
+        for name in ("workload", "user", "pool", "size_class"):
+            _require(
+                isinstance(data[name], str) and bool(data[name]),
+                f"instance job {name} must be a non-empty string",
+            )
+        for name in ("scale", "submit_s"):
+            _require(_is_number(data[name]), f"instance job {name} must be a number")
+        for name in ("start_s", "finish_s", "ideal_s"):
+            _require(
+                data[name] is None or _is_number(data[name]),
+                f"instance job {name} must be a number or null",
+            )
+        for name in ("job_ids", "plan_fingerprints"):
+            _require(
+                isinstance(data[name], list)
+                and all(isinstance(v, str) for v in data[name]),
+                f"instance job {name} must be a list of strings",
+            )
+        return cls(
+            index=data["index"],
+            workload=data["workload"],
+            scale=float(data["scale"]),
+            user=data["user"],
+            pool=data["pool"],
+            size_class=data["size_class"],
+            submit_s=float(data["submit_s"]),
+            start_s=None if data["start_s"] is None else float(data["start_s"]),
+            finish_s=None if data["finish_s"] is None else float(data["finish_s"]),
+            ideal_s=None if data["ideal_s"] is None else float(data["ideal_s"]),
+            job_ids=tuple(data["job_ids"]),
+            plan_fingerprints=tuple(data["plan_fingerprints"]),
+        )
+
+
+_JOB_FIELDS = (
+    "index", "workload", "scale", "user", "pool", "size_class", "submit_s",
+    "start_s", "finish_s", "ideal_s", "job_ids", "plan_fingerprints",
+)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One recorded execution, WfCommons-style: header + job list."""
+
+    name: str
+    seed: int
+    arrival_rate_per_s: float
+    jobs: tuple[InstanceJob, ...]
+    scheduler: str | None = None
+    cluster: dict | None = None
+    schema_version: str = INSTANCE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "instance name must be non-empty")
+        _require(bool(self.jobs), "an instance needs at least one job")
+        # 0 marks a hand-built trace (matching WorkloadTrace); fitting
+        # then estimates the rate from the observed submit span instead.
+        _require(
+            self.arrival_rate_per_s >= 0 and math.isfinite(self.arrival_rate_per_s),
+            "instance arrival_rate_per_s must be non-negative and finite",
+        )
+        submits = [job.submit_s for job in self.jobs]
+        _require(
+            submits == sorted(submits), "instance jobs must be sorted by submit_s"
+        )
+        _require(
+            self.schema_version == INSTANCE_SCHEMA_VERSION,
+            f"unsupported instance schema {self.schema_version!r} "
+            f"(expected {INSTANCE_SCHEMA_VERSION!r})",
+        )
+
+    def users(self) -> list[str]:
+        return sorted({job.user for job in self.jobs})
+
+    def pools(self) -> list[str]:
+        return sorted({job.pool for job in self.jobs})
+
+    @property
+    def span_s(self) -> float:
+        """Submit-window length (first submission is relative to t=0)."""
+        return self.jobs[-1].submit_s
+
+    def to_trace(self) -> WorkloadTrace:
+        """The replayable :class:`WorkloadTrace` of this instance."""
+        jobs = tuple(
+            TraceJob(
+                index=i,
+                workload=job.workload,
+                scale=job.scale,
+                arrival_s=job.submit_s,
+                user=job.user,
+                pool=job.pool,
+                size_class=job.size_class,
+            )
+            for i, job in enumerate(self.jobs)
+        )
+        return WorkloadTrace(jobs, self.seed, self.arrival_rate_per_s)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "seed": self.seed,
+            "arrival_rate_per_s": self.arrival_rate_per_s,
+            "scheduler": self.scheduler,
+            "cluster": self.cluster,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Instance":
+        _require(isinstance(data, dict), "instance must be an object")
+        for name in ("schema_version", "name", "seed", "arrival_rate_per_s", "jobs"):
+            _require(name in data, f"instance missing field {name!r}")
+        _require(
+            isinstance(data["name"], str), "instance name must be a string"
+        )
+        _require(
+            isinstance(data["seed"], int) and not isinstance(data["seed"], bool),
+            "instance seed must be an integer",
+        )
+        _require(
+            _is_number(data["arrival_rate_per_s"]),
+            "instance arrival_rate_per_s must be a number",
+        )
+        scheduler = data.get("scheduler")
+        _require(
+            scheduler is None or isinstance(scheduler, str),
+            "instance scheduler must be a string or null",
+        )
+        cluster = data.get("cluster")
+        _require(
+            cluster is None or isinstance(cluster, dict),
+            "instance cluster must be an object or null",
+        )
+        _require(isinstance(data["jobs"], list), "instance jobs must be a list")
+        return cls(
+            name=data["name"],
+            seed=data["seed"],
+            arrival_rate_per_s=float(data["arrival_rate_per_s"]),
+            jobs=tuple(InstanceJob.from_dict(job) for job in data["jobs"]),
+            scheduler=scheduler,
+            cluster=cluster,
+            schema_version=data["schema_version"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Instance":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise InstanceSchemaError(f"instance is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+
+def hive_plan_fingerprints(workload_name: str) -> tuple[str, ...]:
+    """Template digests of the statements a Hive job runs (empty for
+    non-Hive workloads).
+
+    Hive-bench executes a fixed statement suite, so the fingerprints are
+    a pure function of the workload — computed once per process.
+    """
+    if workload_name != "Hive-bench":
+        return ()
+    global _HIVE_FINGERPRINTS
+    if _HIVE_FINGERPRINTS is None:
+        from repro.hive.planner import template_digest
+        from repro.workloads.hive_bench import BENCH_QUERIES
+
+        _HIVE_FINGERPRINTS = tuple(template_digest(sql) for sql in BENCH_QUERIES)
+    return _HIVE_FINGERPRINTS
+
+
+_HIVE_FINGERPRINTS: tuple[str, ...] | None = None
+
+
+def record_instance(mix: MixResult, name: str = "recorded-mix") -> Instance:
+    """Serialize a played mix — submit/start/finish per job, Hive plan
+    fingerprints included — into a validated :class:`Instance`."""
+    jobs = []
+    for report in mix.reports:
+        tjob = report.trace_job
+        jobs.append(
+            InstanceJob(
+                index=tjob.index,
+                workload=tjob.workload,
+                scale=tjob.scale,
+                user=tjob.user,
+                pool=tjob.pool,
+                size_class=tjob.size_class,
+                submit_s=tjob.arrival_s,
+                start_s=report.first_launch_s,
+                finish_s=report.finished_s,
+                ideal_s=report.ideal_s,
+                job_ids=report.job_ids,
+                plan_fingerprints=hive_plan_fingerprints(tjob.workload),
+            )
+        )
+    return Instance(
+        name=name,
+        seed=mix.trace.seed,
+        arrival_rate_per_s=mix.trace.arrival_rate_per_s,
+        jobs=tuple(jobs),
+        scheduler=mix.scheduler,
+    )
+
+
+def instance_from_trace(trace: WorkloadTrace, name: str = "trace") -> Instance:
+    """A submit-only instance: the trace's submissions without running
+    them (start/finish/ideal are null)."""
+    jobs = tuple(
+        InstanceJob(
+            index=tjob.index,
+            workload=tjob.workload,
+            scale=tjob.scale,
+            user=tjob.user,
+            pool=tjob.pool,
+            size_class=tjob.size_class,
+            submit_s=tjob.arrival_s,
+            plan_fingerprints=hive_plan_fingerprints(tjob.workload),
+        )
+        for tjob in trace.jobs
+    )
+    return Instance(
+        name=name,
+        seed=trace.seed,
+        arrival_rate_per_s=trace.arrival_rate_per_s,
+        jobs=jobs,
+    )

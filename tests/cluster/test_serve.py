@@ -257,6 +257,67 @@ class TestOverloadChaos:
 # -- the serve CLI -------------------------------------------------------------
 
 
+class TestRequestClassMemo:
+    """The shadow-run memo must key on the FULL (workload, scale,
+    engine-config) tuple — a key that ignored the cluster shape handed
+    one shape's solo duration to another."""
+
+    def trace(self) -> WorkloadTrace:
+        return WorkloadTrace(
+            (TraceJob(0, "Grep", 0.05, 0.0, "ada", "interactive", "small"),),
+            seed=0,
+            arrival_rate_per_s=0.0,
+        )
+
+    def test_memo_hit_skips_the_shadow_run(self, monkeypatch):
+        import repro.cluster.serve as serve_mod
+
+        sentinel = 123.456
+        key = ("Grep", 0.05, 2, 4, 2, 64 * 1024)
+        monkeypatch.setattr(serve_mod, "_SOLO_DEMANDS", {key: sentinel})
+        classes = request_classes_from_trace(
+            self.trace(), num_slaves=2, map_slots=4, reduce_slots=2,
+            block_size=64 * 1024,
+        )
+        assert classes[0].demand_s == sentinel
+
+    def test_key_includes_the_engine_config(self, monkeypatch):
+        import repro.cluster.serve as serve_mod
+
+        monkeypatch.setattr(serve_mod, "_SOLO_DEMANDS", {})
+        elephant = WorkloadTrace(
+            (TraceJob(0, "Sort", 0.3, 0.0, "bo", "batch", "large"),),
+            seed=0,
+            arrival_rate_per_s=0.0,
+        )
+        small = request_classes_from_trace(
+            elephant, num_slaves=1, map_slots=1, reduce_slots=1,
+            block_size=64 * 1024,
+        )
+        big = request_classes_from_trace(
+            elephant, num_slaves=4, map_slots=8, reduce_slots=4,
+            block_size=64 * 1024,
+        )
+        # two distinct memo entries, one per cluster shape...
+        assert len(serve_mod._SOLO_DEMANDS) == 2
+        # ...and the starved cluster really is slower, so sharing one
+        # entry across shapes would have been wrong, not just untidy.
+        assert small[0].demand_s > big[0].demand_s
+
+    def test_scale_still_separates_entries(self, monkeypatch):
+        import repro.cluster.serve as serve_mod
+
+        monkeypatch.setattr(serve_mod, "_SOLO_DEMANDS", {})
+        jobs = (
+            TraceJob(0, "Grep", 0.05, 0.0, "ada", "interactive", "small"),
+            TraceJob(1, "Grep", 0.2, 0.1, "ada", "interactive", "small"),
+        )
+        trace = WorkloadTrace(jobs, seed=0, arrival_rate_per_s=0.0)
+        classes = request_classes_from_trace(trace, block_size=64 * 1024)
+        assert len(serve_mod._SOLO_DEMANDS) == 2
+        assert classes[0].demand_s != classes[1].demand_s
+
+
 class TestServeCli:
     @pytest.mark.parametrize(
         "argv",

@@ -85,6 +85,41 @@ class TestGenerateTrace:
         assert len(payload["jobs"]) == 5
         assert payload["seed"] == 2
 
+    def test_trace_json_round_trips_exactly(self):
+        for trace in (generate_trace(seed=2, num_jobs=8), pinned_trace()):
+            back = WorkloadTrace.from_json(trace.to_json())
+            assert back.to_dict() == trace.to_dict()
+            assert back.seed == trace.seed
+            assert back.arrival_rate_per_s == trace.arrival_rate_per_s
+
+    def test_trace_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            WorkloadTrace.from_json("{nope")
+
+    def test_trace_from_dict_validates_jobs(self):
+        data = json.loads(pinned_trace().to_json())
+        data["jobs"][0]["workload"] = "NotAWorkload"
+        with pytest.raises(ValueError):
+            WorkloadTrace.from_dict(data)
+        data = json.loads(pinned_trace().to_json())
+        data["jobs"][0]["extra"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            WorkloadTrace.from_dict(data)
+        data = json.loads(pinned_trace().to_json())
+        del data["jobs"][0]["scale"]
+        with pytest.raises(ValueError, match="missing"):
+            WorkloadTrace.from_dict(data)
+        data = json.loads(pinned_trace().to_json())
+        data["jobs"][0]["scale"] = True  # bool is not a number
+        with pytest.raises(ValueError):
+            WorkloadTrace.from_dict(data)
+
+    def test_trace_from_dict_rejects_unsorted_arrivals(self):
+        data = json.loads(pinned_trace().to_json())
+        data["jobs"][0]["arrival_s"] = 99.0
+        with pytest.raises(ValueError):
+            WorkloadTrace.from_dict(data)
+
     def test_default_pools_and_queues_cover_the_trace(self):
         trace = generate_trace(seed=0, num_jobs=30)
         assert {p.name for p in default_pools(trace)} == set(trace.pools())

@@ -1,0 +1,149 @@
+"""Plan fingerprint stability (property-based).
+
+The Redbench template identity: the same SQL modulo literals and
+whitespace must canonicalize to the same *template* digest, while the
+literal-keeping *query* digest separates different parameters, and the
+full cache key (:func:`plan_fingerprint`) additionally tracks every
+input table's identity and version.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hive import (
+    HiveSession,
+    canonical_query,
+    parse_query,
+    plan_fingerprint,
+    query_digest,
+    template_digest,
+)
+
+literals = st.integers(min_value=0, max_value=10_000)
+spaces = st.text(alphabet=" ", min_size=1, max_size=4)
+
+
+def spaced(sql: str, ws: str) -> str:
+    return sql.replace(" ", ws)
+
+
+def make_session() -> HiveSession:
+    s = HiveSession()
+    s.create_table(
+        "rankings",
+        [("pageURL", "string"), ("pageRank", "int"), ("avgDuration", "int")],
+    )
+    s.create_table(
+        "uservisits",
+        [
+            ("sourceIP", "string"),
+            ("destURL", "string"),
+            ("adRevenue", "double"),
+            ("searchWord", "string"),
+        ],
+    )
+    return s
+
+
+class TestTemplateDigest:
+    @given(a=literals, b=literals)
+    @settings(max_examples=40, deadline=None)
+    def test_literal_independence(self, a, b):
+        """Same statement template, any literals → same template digest."""
+        sql_a = f"SELECT pageURL, pageRank FROM rankings WHERE pageRank > {a}"
+        sql_b = f"SELECT pageURL, pageRank FROM rankings WHERE pageRank > {b}"
+        assert template_digest(sql_a) == template_digest(sql_b)
+
+    @given(value=literals, ws=spaces)
+    @settings(max_examples=40, deadline=None)
+    def test_whitespace_independence(self, value, ws):
+        sql = f"SELECT pageURL, pageRank FROM rankings WHERE pageRank > {value}"
+        assert template_digest(sql) == template_digest(spaced(sql, ws))
+
+    @given(a=literals, b=literals)
+    @settings(max_examples=40, deadline=None)
+    def test_query_digest_separates_literals(self, a, b):
+        sql_a = f"SELECT pageURL, pageRank FROM rankings WHERE pageRank > {a}"
+        sql_b = f"SELECT pageURL, pageRank FROM rankings WHERE pageRank > {b}"
+        if a == b:
+            assert query_digest(sql_a) == query_digest(sql_b)
+        else:
+            assert query_digest(sql_a) != query_digest(sql_b)
+
+    def test_different_templates_have_different_digests(self):
+        assert template_digest(
+            "SELECT pageURL FROM rankings WHERE pageRank > 1"
+        ) != template_digest(
+            "SELECT pageURL FROM rankings WHERE avgDuration > 1"
+        )
+
+    def test_join_template_is_literal_independent(self):
+        a = template_digest(
+            "SELECT uv.sourceIP, SUM(uv.adRevenue) AS t FROM rankings r "
+            "JOIN uservisits uv ON r.pageURL = uv.destURL "
+            "WHERE r.pageRank > 50 GROUP BY uv.sourceIP ORDER BY t DESC LIMIT 10"
+        )
+        b = template_digest(
+            "SELECT uv.sourceIP, SUM(uv.adRevenue) AS t FROM rankings r "
+            "JOIN uservisits uv ON r.pageURL = uv.destURL "
+            "WHERE r.pageRank > 99 GROUP BY uv.sourceIP ORDER BY t DESC LIMIT 99"
+        )
+        assert a == b
+
+    def test_canonical_form_masks_literals_on_request(self):
+        sql = "SELECT pageURL FROM rankings WHERE pageRank > 123 LIMIT 7"
+        masked = canonical_query(parse_query(sql), mask_literals=True)
+        kept = canonical_query(parse_query(sql))
+        assert "123" not in masked and "7" not in masked
+        assert "123" in kept and "7" in kept
+
+
+class TestPlanFingerprint:
+    SQL = "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100"
+
+    def test_stable_for_identical_state(self):
+        session = make_session()
+        query = parse_query(self.SQL)
+        assert plan_fingerprint(query, session.tables) == plan_fingerprint(
+            query, session.tables
+        )
+
+    def test_version_bump_changes_the_key(self):
+        session = make_session()
+        query = parse_query(self.SQL)
+        before = plan_fingerprint(query, session.tables)
+        session.load_rows("rankings", [("url", 1, 1)])
+        assert plan_fingerprint(query, session.tables) != before
+
+    def test_fresh_table_object_changes_the_key(self):
+        # drop-and-recreate yields a new uid: same name, same (zero)
+        # version, different key — the staleness guard.
+        a = plan_fingerprint(parse_query(self.SQL), make_session().tables)
+        b = plan_fingerprint(parse_query(self.SQL), make_session().tables)
+        assert a != b
+
+    def test_untouched_tables_do_not_leak_into_the_key(self):
+        session = make_session()
+        query = parse_query(self.SQL)
+        before = plan_fingerprint(query, session.tables)
+        session.load_rows("uservisits", [("ip", "url", 0.5, "w")])
+        assert plan_fingerprint(query, session.tables) == before
+
+    def test_join_keys_track_both_tables(self):
+        session = make_session()
+        sql = (
+            "SELECT uv.sourceIP, SUM(uv.adRevenue) AS t FROM rankings r "
+            "JOIN uservisits uv ON r.pageURL = uv.destURL GROUP BY uv.sourceIP"
+        )
+        query = parse_query(sql)
+        before = plan_fingerprint(query, session.tables)
+        session.load_rows("uservisits", [("ip", "url", 0.5, "w")])
+        assert plan_fingerprint(query, session.tables) != before
+
+    def test_unknown_table_is_an_error(self):
+        from repro.hive.planner import HivePlanError
+
+        with pytest.raises(HivePlanError):
+            plan_fingerprint(
+                parse_query("SELECT a FROM nowhere"), make_session().tables
+            )

@@ -1,0 +1,121 @@
+"""CLI: the record → fit-recipe → gen-trace → mix --trace pipeline."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+FAST = ["--slaves", "2", "--map-slots", "4", "--reduce-slots", "2"]
+
+
+class TestPipeline:
+    def test_record_fit_generate_replay(self, tmp_path, capsys):
+        inst = tmp_path / "inst.json"
+        recipe = tmp_path / "recipe.json"
+        trace = tmp_path / "trace.json"
+
+        assert main(["record", "--jobs", "6", *FAST,
+                     "--output", str(inst)]) == 0
+        data = json.loads(inst.read_text())
+        assert data["schema_version"] == "1.0"
+        assert len(data["jobs"]) == 6
+        assert all(job["finish_s"] is not None for job in data["jobs"])
+
+        assert main(["fit-recipe", str(inst), "--output", str(recipe)]) == 0
+        assert json.loads(recipe.read_text())["users"]
+
+        assert main(["gen-trace", str(recipe), "--jobs", "10",
+                     "--output", str(trace)]) == 0
+        assert len(json.loads(trace.read_text())["jobs"]) == 10
+
+        capsys.readouterr()
+        assert main(["mix", "--trace", str(trace), *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "10 jobs" in out
+
+    def test_record_stdout_is_the_instance_json(self, capsys):
+        assert main(["record", "--jobs", "4", *FAST]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["jobs"]) == 4
+
+    def test_fit_recipe_accepts_a_bare_trace(self, tmp_path, capsys):
+        inst = tmp_path / "inst.json"
+        recipe = tmp_path / "recipe.json"
+        trace = tmp_path / "trace.json"
+        assert main(["record", "--jobs", "5", *FAST,
+                     "--output", str(inst)]) == 0
+        assert main(["fit-recipe", str(inst), "--output", str(recipe)]) == 0
+        assert main(["gen-trace", str(recipe), "--jobs", "8",
+                     "--output", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["fit-recipe", str(trace)]) == 0
+        refit = json.loads(capsys.readouterr().out)
+        assert refit["source_jobs"] == 8
+
+    def test_record_can_replay_a_trace_file(self, tmp_path, capsys):
+        recipe = tmp_path / "recipe.json"
+        trace = tmp_path / "trace.json"
+        inst = tmp_path / "inst.json"
+        assert main(["record", "--jobs", "4", *FAST,
+                     "--output", str(inst)]) == 0
+        assert main(["fit-recipe", str(inst), "--output", str(recipe)]) == 0
+        assert main(["gen-trace", str(recipe), "--jobs", "6",
+                     "--output", str(trace)]) == 0
+        assert main(["record", "--trace", str(trace), *FAST,
+                     "--output", str(inst)]) == 0
+        assert len(json.loads(inst.read_text())["jobs"]) == 6
+
+
+class TestRepBenchCli:
+    def test_contract_passes_and_prints_buckets(self, capsys):
+        assert main(["rep-bench", "--queries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "materialization cache on" in out
+        assert "95%" in out
+
+    def test_no_result_cache_flag(self, capsys):
+        assert main(["rep-bench", "--queries", "4",
+                     "--no-result-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache off" in out
+
+    def test_json_format(self, capsys):
+        assert main(["rep-bench", "--queries", "4",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["buckets"]) == 5
+
+
+class TestBadInput:
+    def test_missing_files_fail_cleanly(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["fit-recipe", missing]) == 2
+        assert main(["gen-trace", missing]) == 2
+        assert main(["mix", "--trace", missing]) == 2
+        assert main(["record", "--trace", missing]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+
+    def test_invalid_json_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["fit-recipe", str(bad)]) == 2
+        assert main(["gen-trace", str(bad)]) == 2
+        assert main(["mix", "--trace", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["rep-bench", "--buckets", "0.9,0.1"],      # not ascending
+            ["rep-bench", "--buckets", "0.1,1.5"],      # out of range
+            ["rep-bench", "--buckets", "abc"],          # not numbers
+            ["rep-bench", "--queries", "0"],            # not a count
+            ["gen-trace", "x", "--jobs", "0"],          # not a count
+        ],
+    )
+    def test_bad_flags_are_rejected(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2

@@ -1,0 +1,177 @@
+"""Instance recording: schema validation and exact JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.cluster.scheduler import FairScheduler
+from repro.cluster.tenancy import (
+    TraceJob,
+    WorkloadTrace,
+    default_pools,
+    generate_trace,
+    run_mix,
+)
+from repro.recipes import (
+    INSTANCE_SCHEMA_VERSION,
+    Instance,
+    InstanceJob,
+    InstanceSchemaError,
+    hive_plan_fingerprints,
+    instance_from_trace,
+    record_instance,
+)
+
+SMALL = dict(num_slaves=2, map_slots=4, reduce_slots=2, block_size=64 * 1024)
+
+
+def small_mix(seed: int = 3, num_jobs: int = 6):
+    trace = generate_trace(seed=seed, num_jobs=num_jobs, arrival_rate_per_s=2.0)
+    return run_mix(trace, FairScheduler(pools=default_pools(trace)), **SMALL)
+
+
+def hand_trace() -> WorkloadTrace:
+    return WorkloadTrace(
+        (
+            TraceJob(0, "Hive-bench", 0.05, 0.0, "ada", "interactive", "small"),
+            TraceJob(1, "Grep", 0.05, 0.2, "bo", "interactive", "small"),
+            TraceJob(2, "Hive-bench", 0.05, 0.4, "ada", "interactive", "small"),
+        ),
+        seed=0,
+        arrival_rate_per_s=0.0,
+    )
+
+
+class TestRecordInstance:
+    def test_records_every_trace_job_with_schedule(self):
+        mix = small_mix()
+        instance = record_instance(mix, name="t")
+        assert len(instance.jobs) == len(mix.trace.jobs)
+        assert instance.scheduler == mix.scheduler
+        assert instance.seed == mix.trace.seed
+        for job, report in zip(instance.jobs, mix.reports):
+            assert job.workload == report.trace_job.workload
+            assert job.submit_s == report.trace_job.arrival_s
+            assert job.start_s == report.first_launch_s
+            assert job.finish_s == report.finished_s
+            assert job.ideal_s == report.ideal_s
+            assert job.job_ids == report.job_ids
+
+    def test_hive_jobs_carry_plan_fingerprints(self):
+        instance = record_instance(small_mix(), name="t")
+        for job in instance.jobs:
+            if job.workload == "Hive-bench":
+                assert len(job.plan_fingerprints) == 4
+            else:
+                assert job.plan_fingerprints == ()
+
+    def test_fingerprints_are_a_pure_function_of_the_workload(self):
+        assert hive_plan_fingerprints("Hive-bench") == hive_plan_fingerprints(
+            "Hive-bench"
+        )
+        assert hive_plan_fingerprints("Grep") == ()
+
+    def test_submit_only_instance_from_trace(self):
+        trace = hand_trace()
+        instance = instance_from_trace(trace, name="bare")
+        assert len(instance.jobs) == 3
+        assert all(job.start_s is None for job in instance.jobs)
+        assert all(job.finish_s is None for job in instance.jobs)
+        assert instance.jobs[0].plan_fingerprints  # Hive job
+
+    def test_to_trace_replays_the_submissions(self):
+        trace = hand_trace()
+        back = instance_from_trace(trace).to_trace()
+        assert back.to_dict() == trace.to_dict()
+
+
+class TestRoundTrip:
+    def test_recorded_instance_round_trips_exactly(self):
+        instance = record_instance(small_mix(), name="rt")
+        assert Instance.from_json(instance.to_json()) == instance
+
+    def test_submit_only_instance_round_trips_exactly(self):
+        instance = instance_from_trace(hand_trace(), name="rt")
+        assert Instance.from_json(instance.to_json()) == instance
+
+    def test_json_is_deterministic(self):
+        a = record_instance(small_mix(), name="rt").to_json()
+        b = record_instance(small_mix(), name="rt").to_json()
+        assert a == b
+
+    def test_users_and_pools_are_sorted_views(self):
+        instance = instance_from_trace(hand_trace())
+        assert instance.users() == ["ada", "bo"]
+        assert instance.pools() == ["interactive"]
+
+
+class TestValidation:
+    def base(self) -> dict:
+        return json.loads(instance_from_trace(hand_trace(), name="v").to_json())
+
+    def test_not_json_is_a_schema_error(self):
+        with pytest.raises(InstanceSchemaError, match="not valid JSON"):
+            Instance.from_json("{nope")
+
+    def test_wrong_schema_version_is_rejected(self):
+        data = self.base()
+        data["schema_version"] = "0.0"
+        with pytest.raises(InstanceSchemaError, match="unsupported"):
+            Instance.from_dict(data)
+        assert INSTANCE_SCHEMA_VERSION == "1.0"
+
+    def test_missing_job_field_is_rejected(self):
+        data = self.base()
+        del data["jobs"][0]["scale"]
+        with pytest.raises(InstanceSchemaError, match="missing field"):
+            Instance.from_dict(data)
+
+    def test_unknown_job_field_is_rejected(self):
+        data = self.base()
+        data["jobs"][0]["surprise"] = 1
+        with pytest.raises(InstanceSchemaError, match="unknown field"):
+            Instance.from_dict(data)
+
+    def test_bool_is_not_a_number(self):
+        data = self.base()
+        data["jobs"][0]["scale"] = True
+        with pytest.raises(InstanceSchemaError, match="must be a number"):
+            Instance.from_dict(data)
+
+    def test_unsorted_submits_are_rejected(self):
+        data = self.base()
+        data["jobs"][0]["submit_s"] = 9.0
+        with pytest.raises(InstanceSchemaError, match="sorted"):
+            Instance.from_dict(data)
+
+    def test_start_before_submit_is_rejected(self):
+        with pytest.raises(InstanceSchemaError, match="start before"):
+            InstanceJob(
+                index=0, workload="Grep", scale=0.05, user="u", pool="p",
+                size_class="small", submit_s=1.0, start_s=0.5, finish_s=2.0,
+            )
+
+    def test_finish_before_start_is_rejected(self):
+        with pytest.raises(InstanceSchemaError, match="finish before"):
+            InstanceJob(
+                index=0, workload="Grep", scale=0.05, user="u", pool="p",
+                size_class="small", submit_s=0.0, start_s=1.0, finish_s=0.5,
+            )
+
+    def test_start_without_finish_is_rejected(self):
+        with pytest.raises(InstanceSchemaError, match="together"):
+            InstanceJob(
+                index=0, workload="Grep", scale=0.05, user="u", pool="p",
+                size_class="small", submit_s=0.0, start_s=1.0,
+            )
+
+    def test_empty_instance_is_rejected(self):
+        with pytest.raises(InstanceSchemaError, match="at least one job"):
+            Instance(name="e", seed=0, arrival_rate_per_s=1.0, jobs=())
+
+    def test_nonpositive_scale_is_rejected(self):
+        with pytest.raises(InstanceSchemaError, match="scale"):
+            InstanceJob(
+                index=0, workload="Grep", scale=0.0, user="u", pool="p",
+                size_class="small", submit_s=0.0,
+            )

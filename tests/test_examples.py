@@ -62,6 +62,13 @@ class TestExamples:
         assert "Jain fairness index" in out
         assert "outputs identical across schedulers: True" in out
 
+    def test_recipes(self, capsys):
+        load_example("recipes").main()
+        out = capsys.readouterr().out
+        assert "recorded 8 jobs (3 Hive" in out
+        assert "regenerated 80 jobs" in out
+        assert "hit rate monotone in repetitiveness: True" in out
+
     @pytest.mark.slow
     def test_scaling_study(self, capsys):
         load_example("scaling_study").main()
