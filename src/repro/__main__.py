@@ -19,8 +19,13 @@ Sub-commands mirror how the paper's artefacts are used:
 * ``mix``                — a multi-tenant day of traffic: seeded heavy-tailed
                             trace through the FIFO/Fair/Capacity scheduler
                             (``--scheduler``, ``--jobs``, ``--rate``,
+                            ``--engine``, ``--no-mix-cache``,
                             ``--crash-node``, ``--partition``, ``--racks``,
                             ``--rack-fail``, ``--tor-fail``, ``--colocate``)
+* ``bench-cluster``      — time the reference vs fast cluster engines on a
+                            pinned mix matrix plus a day-long scale trace;
+                            writes ``BENCH_cluster.json`` and fails unless
+                            every row is bit-identical
 * ``serve``              — open-loop service traffic through a frontend with
                             graceful degradation (``--rate``, ``--pattern``,
                             ``--deadline``, ``--shed-rate``, ``--limp``,
@@ -416,6 +421,46 @@ def _cmd_bench_sim(args) -> int:
     return 0 if totals["bit_identical"] else 1
 
 
+def _cmd_bench_cluster(args) -> int:
+    from repro.perf.clusterbench import (
+        pinned_matrix,
+        run_cluster_bench,
+        write_cluster_report,
+    )
+
+    matrix = pinned_matrix(
+        scale_jobs=args.scale_jobs, scale_nodes=args.scale_nodes
+    )
+    report = run_cluster_bench(matrix=matrix, cache_root=args.cache_root)
+    path = write_cluster_report(report, args.output)
+    totals = report.totals()
+    header = (f"{'mix':<20s}{'jobs':>7s}{'nodes':>6s}{'ref s':>9s}"
+              f"{'fast s':>9s}{'warm s':>9s}{'engine x':>9s}{'jobs/s':>9s}")
+    print(header)
+    print("-" * len(header))
+    for row in report.rows:
+        ref = (f"{row.reference_seconds:>9.3f}"
+               if row.reference_seconds is not None else f"{'-':>9s}")
+        speedup = (f"{row.engine_speedup:>9.2f}"
+                   if row.engine_speedup is not None else f"{'-':>9s}")
+        print(f"{row.name:<20s}{row.jobs:>7d}{row.nodes:>6d}{ref}"
+              f"{row.fast_seconds:>9.3f}{row.warm_seconds:>9.4f}{speedup}"
+              f"{row.jobs_per_sec_fast:>9.0f}")
+    print("-" * len(header))
+    print(f"engine speedup (cold): {totals['engine_speedup_cold']:.2f}x   "
+          f"fast path speedup (warm cache): "
+          f"{totals['fastpath_speedup_warm']:.1f}x   "
+          f"bit-identical: {totals['bit_identical']}")
+    if "scale_jobs" in totals:
+        print(f"scale row: {totals['scale_jobs']} jobs / "
+              f"{totals['scale_nodes']} nodes in "
+              f"{totals['scale_fast_seconds']:.2f}s cold "
+              f"({totals['scale_jobs_per_sec']} jobs/s), "
+              f"{totals['scale_warm_seconds']:.3f}s warm")
+    print(f"wrote {path}")
+    return 0 if totals["bit_identical"] else 1
+
+
 def _cmd_speedup(_args) -> int:
     from repro.analysis.speedup import speedup_study
 
@@ -471,6 +516,7 @@ def _cmd_mix(args) -> int:
         generate_trace,
         run_mix,
     )
+    from repro.core.simcache import MixCache
 
     parser = args.parser
     if args.crash_time is not None and not args.crash_node:
@@ -528,6 +574,7 @@ def _cmd_mix(args) -> int:
             tor_failures=tor_failures,
             seed=args.seed,
         )
+    mix_cache = None if args.no_mix_cache else MixCache()
     try:
         mix = run_mix(
             trace,
@@ -537,6 +584,8 @@ def _cmd_mix(args) -> int:
             reduce_slots=args.reduce_slots,
             plan=plan,
             racks=args.racks,
+            engine=args.engine,
+            mix_cache=mix_cache,
         )
     except JobFailedError as error:
         print(f"mix: {error}", file=sys.stderr)
@@ -1048,6 +1097,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report path (default: BENCH_uarch.json)")
     bench.set_defaults(fn=_cmd_bench_sim)
 
+    cbench = sub.add_parser(
+        "bench-cluster",
+        help="time reference vs fast cluster engine, write BENCH_cluster.json",
+    )
+    cbench.add_argument("--scale-jobs", type=_count,
+                        default=100_000, metavar="N",
+                        help="jobs in the day-long scale row (default 100000)")
+    cbench.add_argument("--scale-nodes", type=_count, default=1000, metavar="N",
+                        help="simulated nodes in the scale row (default 1000)")
+    cbench.add_argument("--cache-root", default=None, metavar="DIR",
+                        help="mix-cache directory for the warm runs "
+                             "(default: a throwaway temp dir)")
+    cbench.add_argument("--output", default="BENCH_cluster.json",
+                        help="report path (default: BENCH_cluster.json)")
+    cbench.set_defaults(fn=_cmd_bench_cluster, parser=cbench)
+
     sub.add_parser("speedup", help="the Figure 2 scaling study").set_defaults(
         fn=_cmd_speedup
     )
@@ -1100,6 +1165,12 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="NODE:START:DURATION",
                      help="partition this slave off the network "
                           "(repeatable; e.g. slave1:0.1:1.0)")
+    mix.add_argument("--engine", choices=("fast", "reference"), default="fast",
+                     help="cluster dispatch engine (bit-identical by "
+                          "contract; fast is the indexed default)")
+    mix.add_argument("--no-mix-cache", action="store_true",
+                     help="bypass the persistent .repro-cache mix cache "
+                          "(the escape hatch; also REPRO_MIX_CACHE=0)")
     mix.add_argument("--colocate", action="store_true",
                      help="characterize the busiest co-located instant "
                           "under a shared LLC")

@@ -237,6 +237,8 @@ class HadoopCluster:
         )
         self.clock = 0.0
         self._slave_by_name = {node.name: node for node in self.slaves}
+        self._slave_index = {node.name: i for i, node in enumerate(self.slaves)}
+        self._node_racks_cache: dict[str, str] | None = None
 
     # -- helpers ------------------------------------------------------------
 
@@ -398,13 +400,19 @@ class HadoopCluster:
                 "checkpoint before running a job"
             )
 
-    def _charge_map_on(self, task: MapWork, node: Node, at: float) -> float:
+    def _charge_map_on(
+        self, task: MapWork, node: Node, at: float, probe=None
+    ) -> float:
         """Charge one map task's read/CPU/spill on *node* from time *at*.
 
         Returns the task's end time.  Pure charging — no slot bookkeeping —
         so the stock executor, the multi-job dispatcher and the fault
-        schedulers all replay the exact same primitive sequence.
+        schedulers all replay the exact same primitive sequence.  *probe*,
+        when given, is told which node is about to take disk writes so
+        per-job write accounting can avoid full-cluster snapshots.
         """
+        if probe is not None:
+            probe.note(node)
         now = at
         node.procfs.record_map_locality(self._map_locality_tier(task, node))
         if task.input_bytes:
@@ -434,6 +442,7 @@ class HadoopCluster:
         floor: float,
         locality_wait: float,
         rack_wait: float | None = None,
+        probe=None,
     ) -> tuple[float, float, Node, int]:
         """Pick a slot (delay scheduling) and charge one map task.
 
@@ -443,7 +452,7 @@ class HadoopCluster:
         """
         node, slot, ready = self._pick_map_slot(task, floor, locality_wait, rack_wait)
         task_start = max(ready, floor)
-        now = self._charge_map_on(task, node, task_start)
+        now = self._charge_map_on(task, node, task_start, probe=probe)
         node.map_slot_free[slot] = now
         return task_start, now, node, slot
 
@@ -494,6 +503,7 @@ class HadoopCluster:
         map_end_times: list[float],
         map_nodes: list[Node],
         map_outputs: list[int],
+        probe=None,
     ) -> tuple[float, float, list[tuple[Node, float, float]]]:
         """Shuffle + reduce + output replication (pure charging).
 
@@ -532,13 +542,19 @@ class HadoopCluster:
         ):
             exec_start = max(shuffle_done, map_phase_end, node.reduce_slot_free[slot])
             now = exec_start + node.cpu_time(task.cpu_seconds)
+            if probe is not None:
+                probe.note(node)
             now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
             if task.output_bytes:
                 # HDFS replication: pipeline copies to other slaves.
                 copies = min(self.hdfs.replication - 1, len(self.slaves) - 1)
                 for c in range(copies):
-                    dst = self.slaves[(self.slaves.index(node) + 1 + c) % len(self.slaves)]
+                    dst = self.slaves[
+                        (self._slave_index[node.name] + 1 + c) % len(self.slaves)
+                    ]
                     sent = self.network.transfer(now, node.nic, dst.nic, task.output_bytes)
+                    if probe is not None:
+                        probe.note(dst)
                     now = max(now, dst.disk.write(sent, task.output_bytes))
             node.reduce_slot_free[slot] = now
             reduce_spans.append((node, exec_start, now))
@@ -559,14 +575,21 @@ class HadoopCluster:
         )
 
     def _node_racks(self) -> dict[str, str]:
-        """Node → rack for multi-rack clusters; empty when flat."""
+        """Node → rack for multi-rack clusters; empty when flat.
+
+        Memoized: the topology is fixed at construction, and per-job
+        timeline assembly asks for this map once per finished job.  A
+        fresh dict is returned each call so callers may mutate theirs.
+        """
         if self.topology is None or self.topology.is_flat:
             return {}
-        return {
-            node.name: self.topology.rack_of(node.name)
-            for node in self.slaves
-            if self.topology.has_node(node.name)
-        }
+        if self._node_racks_cache is None:
+            self._node_racks_cache = {
+                node.name: self.topology.rack_of(node.name)
+                for node in self.slaves
+                if self.topology.has_node(node.name)
+            }
+        return dict(self._node_racks_cache)
 
     def _map_locality_tier(self, task: MapWork, node: Node) -> str:
         """Delay-scheduling tier (``node``/``rack``/``off``) of running

@@ -179,6 +179,10 @@ class ScheduledJob:
     finished_s: float | None = None
     net_bytes: int = 0
     disk_writes: dict = field(default_factory=dict, repr=False)
+    #: running ``max(map_ends.values())`` maintained incrementally, so
+    #: the dispatch loop never recomputes the max inside a sort key;
+    #: ``None`` until the first map attempt commits an end time
+    last_map_end_s: float | None = None
     preempted: int = 0
     timeline: JobTimeline | None = None
     #: "pending" until the mix resolves the job: "completed", "failed"
@@ -297,6 +301,15 @@ class Scheduler(ABC):
     def next_wake_s(self) -> float | None:
         """Earliest future starvation deadline worth re-checking at."""
         return None
+
+    def describe(self) -> dict:
+        """Canonical config fingerprint (for content-addressed caching).
+
+        Two scheduler instances that describe identically must make
+        identical dispatch decisions on identical state; subclasses
+        extend this with every knob that influences a decision.
+        """
+        return {"name": self.name}
 
     @abstractmethod
     def pick_job(
@@ -476,6 +489,20 @@ class FairScheduler(Scheduler):
         deadlines += [t + self.fair_share_timeout_s for t in self._fair_ok_at.values()]
         return min(deadlines, default=None)
 
+    def describe(self):
+        return {
+            "name": self.name,
+            "pools": [
+                [cfg.name, cfg.weight, cfg.min_share]
+                for cfg in sorted(self.pools.values(), key=lambda c: c.name)
+            ],
+            "delay_s": self.delay_s,
+            "rack_delay_s": self.rack_delay_s,
+            "preemption": self.preemption,
+            "min_share_timeout_s": self.min_share_timeout_s,
+            "fair_share_timeout_s": self.fair_share_timeout_s,
+        }
+
 
 class CapacityScheduler(Scheduler):
     """Yahoo's capacity scheduler: queues with capacities and user limits.
@@ -519,6 +546,15 @@ class CapacityScheduler(Scheduler):
         # every queue is user-limited: fall back to global FIFO rather
         # than deadlocking the cluster
         return min(runnable, key=ScheduledJob.submit_key)
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "queues": [
+                [cfg.name, cfg.capacity, cfg.user_limit]
+                for cfg in sorted(self.queues.values(), key=lambda c: c.name)
+            ],
+        }
 
 
 def make_scheduler(
@@ -851,6 +887,34 @@ class _MixFaults:
 _MAX_MIX_ATTEMPTS = 64
 
 
+class _WriteProbe:
+    """Per-job disk-write accounting via a full before-snapshot.
+
+    The reference behavior: snapshot every slave's ``writes_completed``
+    before a charge window, diff every slave after.  ``note`` is a
+    no-op here because the snapshot already covers all nodes; the fast
+    path (``perf/clusterpath.py``) substitutes a lazy probe that only
+    tracks the nodes the charge functions announce through ``note``,
+    avoiding two O(nodes) sweeps per task on big clusters.
+    """
+
+    __slots__ = ("_slaves", "_before")
+
+    def __init__(self, slaves: list[Node]) -> None:
+        self._slaves = slaves
+        self._before = {n.name: n.procfs.writes_completed for n in slaves}
+
+    def note(self, node: Node) -> None:
+        pass
+
+    def settle(self, job: "ScheduledJob") -> None:
+        for node in self._slaves:
+            delta = node.procfs.writes_completed - self._before[node.name]
+            if delta:
+                job.disk_writes[node.name] = (
+                    job.disk_writes.get(node.name, 0) + delta
+                )
+
 
 class MultiJobCluster:
     """Run many jobs concurrently on one cluster under a scheduler.
@@ -877,10 +941,23 @@ class MultiJobCluster:
         cluster: HadoopCluster,
         scheduler: Scheduler | None = None,
         plan: FaultPlan | None = None,
+        observability: str = "full",
     ) -> None:
+        if observability not in ("full", "lean"):
+            raise ValueError(
+                f"unknown observability {observability!r} (want full or lean)"
+            )
         self.cluster = cluster
         self.scheduler = scheduler or FifoScheduler()
         self.plan = plan
+        #: ``"full"`` keeps the reference observability surface: per-job
+        #: all-slave /proc sampling at start and finish, and (under
+        #: ``engine="events"``) the control-plane event log.  ``"lean"``
+        #: samples each slave once at the mix origin and once at the mix
+        #: end, restricts per-job write rates to nodes the job touched,
+        #: and suppresses the event bus — the regime for data-center
+        #: scale runs where per-job × per-node sampling is quadratic.
+        self.observability = observability
         self.jobs: list[ScheduledJob] = []
         self.fence = CommitFence()
         self._ids: set[str] = set()
@@ -983,7 +1060,9 @@ class MultiJobCluster:
         publishes nothing.  Both engines execute the identical per-round
         logic in the identical order, so their simulation effects —
         timelines, /proc counters, clock — are bit-identical (pinned by
-        ``tests/cluster/test_eventbus.py``).
+        ``tests/cluster/test_eventbus.py``).  Under
+        ``observability="lean"`` the bus is suppressed for either engine
+        (the outcome's ``events`` tuple is empty).
 
         When a job aborts permanently (a task exhausted its attempts, or
         no live node remained), the mix does not deadlock: the job is
@@ -1015,8 +1094,14 @@ class MultiJobCluster:
         self._preemption_wasted = 0.0
         self._obs_t = origin
         self._origin = origin
+        lean = self.observability == "lean"
+        if lean:
+            # One sample stream for the whole mix (start + end), instead
+            # of a pair of all-slave sweeps per job.
+            for node in cluster.slaves:
+                node.procfs.sample(origin)
 
-        if engine == "events":
+        if engine == "events" and not lean:
             bus = self.bus = EventBus()
             for job in self.jobs:
                 bus.publish(
@@ -1051,6 +1136,13 @@ class MultiJobCluster:
             raise self._failures[0]
         if self._acct is not None:
             self._acct.stragglers_detected = tuple(sorted(self._detected_slow))
+        end_s = max(
+            (job.finished_s for job in self.jobs if job.finished_s is not None),
+            default=origin,
+        )
+        if lean:
+            for node in cluster.slaves:
+                node.procfs.sample(end_s)
         reports = [
             JobReport(
                 job_id=job.job_id,
@@ -1069,14 +1161,7 @@ class MultiJobCluster:
         return MixOutcome(
             scheduler=self.scheduler.name,
             reports=reports,
-            end_s=max(
-                (
-                    job.finished_s
-                    for job in self.jobs
-                    if job.finished_s is not None
-                ),
-                default=origin,
-            ),
+            end_s=end_s,
             preemptions=self._preemptions,
             preemption_wasted_s=self._preemption_wasted,
             task_intervals=list(self._intervals),
@@ -1115,7 +1200,9 @@ class MultiJobCluster:
                 and not job.pending
                 and len(job.map_ends) == len(job.work.maps)
             ),
-            key=lambda job: (max(job.map_ends.values()), job.seq),
+            # last_map_end_s is the incrementally-maintained
+            # max(map_ends.values()) — never recomputed in a sort key
+            key=lambda job: (job.last_map_end_s, job.seq),
         )
 
     def _run_round(self) -> bool:
@@ -1168,7 +1255,7 @@ class MultiJobCluster:
         # must not queue its whole reduce phase's I/O ahead of map
         # tasks that start earlier).
         caught_up = [
-            job for job in self._finishable() if max(job.map_ends.values()) <= now
+            job for job in self._finishable() if job.last_map_end_s <= now
         ]
         if caught_up:
             for job in caught_up:
@@ -1250,42 +1337,55 @@ class MultiJobCluster:
                 best = t
         return best if best is not None else self.cluster.clock
 
-    def _writes_snapshot(self) -> dict[str, int]:
-        return {
-            node.name: node.procfs.writes_completed for node in self.cluster.slaves
-        }
+    def _write_probe(self) -> _WriteProbe:
+        """Build the per-charge-window disk-write probe (overridable)."""
+        return _WriteProbe(self.cluster.slaves)
 
-    def _add_write_deltas(self, job: ScheduledJob, before: dict[str, int]) -> None:
-        for node in self.cluster.slaves:
-            delta = node.procfs.writes_completed - before[node.name]
-            if delta:
-                job.disk_writes[node.name] = job.disk_writes.get(node.name, 0) + delta
+    def _set_map_slot(self, node: Node, slot: int, at: float) -> None:
+        """Write a map slot's next-free time (fast path hooks indexing)."""
+        node.map_slot_free[slot] = at
+
+    def _charge_map_clean(
+        self,
+        task: MapWork,
+        floor: float,
+        wait: float,
+        rack_wait: float,
+        probe: _WriteProbe,
+    ) -> tuple[float, float, Node, int]:
+        """Slot pick + charge for the no-fault path (fast path overrides)."""
+        return self.cluster._charge_map_task(
+            task, floor, wait, rack_wait, probe=probe
+        )
 
     def _dispatch_map(self, job: ScheduledJob, floor: float) -> None:
         cluster = self.cluster
         if job.started_s is None:
             job.started_s = floor
-            for node in cluster.slaves:
-                node.procfs.sample(floor)
+            if self.observability == "full":
+                for node in cluster.slaves:
+                    node.procfs.sample(floor)
         m_index = job.pending.popleft()
         task = job.work.maps[m_index]
         wait = self.scheduler.locality_wait_s(cluster)
         rack_wait = self.scheduler.rack_locality_wait_s(cluster)
         net_before = cluster.network.bytes_moved
-        writes_before = self._writes_snapshot()
+        probe = self._write_probe()
         if self._faults is None:
-            task_start, end, node, slot = cluster._charge_map_task(
-                task, floor, wait, rack_wait
+            task_start, end, node, slot = self._charge_map_clean(
+                task, floor, wait, rack_wait, probe
             )
         else:
             task_start, end, node, slot = self._charge_map_faulty(
-                job, task, m_index, floor, wait, rack_wait
+                job, task, m_index, floor, wait, rack_wait, probe=probe
             )
         job.net_bytes += cluster.network.bytes_moved - net_before
-        self._add_write_deltas(job, writes_before)
+        probe.settle(job)
         job.map_starts[m_index] = task_start
         job.map_ends[m_index] = end
         job.map_nodes[m_index] = node
+        if job.last_map_end_s is None or end > job.last_map_end_s:
+            job.last_map_end_s = end
         if job.first_launch_s is None or task_start < job.first_launch_s:
             job.first_launch_s = task_start
         self._running.append(RunningTask(job, m_index, node, slot, task_start, end))
@@ -1331,13 +1431,17 @@ class MultiJobCluster:
         for rt in victims:
             if not state.slot_safe(rt):
                 raise RuntimeError("scheduler proposed an unsafe preemption victim")
-            rt.node.map_slot_free[rt.slot] = now
+            self._set_map_slot(rt.node, rt.slot, now)
             rt.node.procfs.record_task_preemption()
             job = rt.job
             job.pending.appendleft(rt.m_index)
             job.map_starts.pop(rt.m_index, None)
             job.map_ends.pop(rt.m_index, None)
             job.map_nodes.pop(rt.m_index, None)
+            # preemption can remove the latest end: recompute (rare path)
+            job.last_map_end_s = (
+                max(job.map_ends.values()) if job.map_ends else None
+            )
             job.preempted += 1
             self._preemptions += 1
             self._preemption_wasted += now - rt.start_s
@@ -1356,34 +1460,41 @@ class MultiJobCluster:
         work = job.work
         count = len(work.maps)
         net_before = cluster.network.bytes_moved
-        writes_before = self._writes_snapshot()
+        probe = self._write_probe()
         if self._faults is not None:
-            self._reexecute_lost_maps(job)
+            self._reexecute_lost_maps(job, probe)
         map_end_times = [job.map_ends[i] for i in range(count)]
         map_nodes = [job.map_nodes[i] for i in range(count)]
         map_outputs = [task.output_bytes for task in work.maps]
         if self._faults is None:
             end, map_phase_end, spans = cluster._charge_reduce_phase(
-                work, job.started_s, map_end_times, map_nodes, map_outputs
+                work, job.started_s, map_end_times, map_nodes, map_outputs,
+                probe=probe,
             )
         else:
             end, map_phase_end, spans = self._charge_reduce_phase_faulty(
-                job, job.started_s, map_end_times, map_nodes, map_outputs
+                job, job.started_s, map_end_times, map_nodes, map_outputs,
+                probe=probe,
             )
         job.net_bytes += cluster.network.bytes_moved - net_before
-        self._add_write_deltas(job, writes_before)
+        probe.settle(job)
         job.map_phase_end_s = map_phase_end
         job.finished_s = end
         if end > cluster.clock:
             cluster.clock = end
         rates: dict[str, float] = {}
         duration = end - job.started_s
-        for node in cluster.slaves:
-            node.procfs.sample(end)
-            if duration > 0:
-                rates[node.name] = job.disk_writes.get(node.name, 0) / duration
-            else:
-                rates[node.name] = 0.0
+        if self.observability == "full":
+            for node in cluster.slaves:
+                node.procfs.sample(end)
+                if duration > 0:
+                    rates[node.name] = job.disk_writes.get(node.name, 0) / duration
+                else:
+                    rates[node.name] = 0.0
+        else:
+            # lean: rate entries only for nodes this job actually wrote
+            for name, writes in job.disk_writes.items():
+                rates[name] = writes / duration if duration > 0 else 0.0
         tiers = [
             cluster._map_locality_tier(task, node)
             for task, node in zip(work.maps, map_nodes)
@@ -1476,6 +1587,7 @@ class MultiJobCluster:
         floor: float,
         locality_wait: float,
         rack_wait: float | None = None,
+        probe: _WriteProbe | None = None,
     ) -> tuple[float, float, Node, int]:
         cluster, faults, acct = self.cluster, self._faults, self._acct
         policy: RetryPolicy = faults.policy
@@ -1488,13 +1600,13 @@ class MultiJobCluster:
             )
             task_start = max(ready, t)
             self.fence.grant(task_id, attempt)
-            end = cluster._charge_map_on(task, node, task_start)
+            end = cluster._charge_map_on(task, node, task_start, probe=probe)
             crash = faults.crash_time(node.name)
             if crash is not None and task_start < crash < end:
                 # fail-stop mid-attempt: the tracker stops heartbeating;
                 # the jobtracker notices after the expiry interval and
                 # reschedules the attempt elsewhere.
-                node.map_slot_free[slot] = crash
+                self._set_map_slot(node, slot, crash)
                 node.procfs.record_task_kill()
                 acct.killed_attempts += 1
                 acct.wasted_task_seconds += crash - task_start
@@ -1502,14 +1614,14 @@ class MultiJobCluster:
                 t = max(t, crash + policy.heartbeat_timeout_s)
                 continue
             window = faults.partition_spanning(node.name, task_start, end)
-            node.map_slot_free[slot] = end
+            self._set_map_slot(node, slot, end)
             if window is not None:
                 win_start, win_end = window
                 if win_end - win_start <= policy.heartbeat_timeout_s:
                     # blip: a missed heartbeat or two; the completion
                     # report lands when the link heals.
                     end = max(end, win_end)
-                    node.map_slot_free[slot] = end
+                    self._set_map_slot(node, slot, end)
                     self.fence.try_commit(task_id, attempt)
                     return task_start, end, node, slot
                 # long partition: tracker declared lost, attempt
@@ -1525,7 +1637,8 @@ class MultiJobCluster:
                 continue
             if faults.speculation and node.name in faults.slow_nodes:
                 raced = self._speculate_map_mix(
-                    job, task, task_id, attempt, node, slot, task_start, end
+                    job, task, task_id, attempt, node, slot, task_start, end,
+                    probe=probe,
                 )
                 if raced is not None:
                     task_start, end, node, slot, attempt = raced
@@ -1543,6 +1656,7 @@ class MultiJobCluster:
         slot: int,
         task_start: float,
         end: float,
+        probe: _WriteProbe | None = None,
     ) -> tuple[float, float, Node, int, int] | None:
         """Speculative backup race for a map on a diagnosed limping host.
 
@@ -1575,8 +1689,10 @@ class MultiJobCluster:
         backup_slot = backup_node.earliest_map_slot()
         backup_start = max(backup_node.map_slot_free[backup_slot], task_start)
         backup_attempt = job.attempts[task_id] = attempt + 1
-        backup_end = cluster._charge_map_on(task, backup_node, backup_start)
-        backup_node.map_slot_free[backup_slot] = backup_end
+        backup_end = cluster._charge_map_on(
+            task, backup_node, backup_start, probe=probe
+        )
+        self._set_map_slot(backup_node, backup_slot, backup_end)
         backup_node.procfs.record_speculative()
         crash = faults.crash_time(backup_node.name)
         backup_lost = (
@@ -1606,7 +1722,9 @@ class MultiJobCluster:
         backup_node.procfs.record_speculative_win()
         return backup_start, backup_end, backup_node, backup_slot, backup_attempt
 
-    def _reexecute_lost_maps(self, job: ScheduledJob) -> None:
+    def _reexecute_lost_maps(
+        self, job: ScheduledJob, probe: _WriteProbe | None = None
+    ) -> None:
         """Re-run completed maps whose outputs died with their node.
 
         A map output lives on its tasktracker's local disk until the
@@ -1640,11 +1758,14 @@ class MultiJobCluster:
                     job.map_ends[m_index], crash + faults.policy.heartbeat_timeout_s
                 )
                 task_start, end, node, slot = self._charge_map_faulty(
-                    job, job.work.maps[m_index], m_index, retry_floor, wait
+                    job, job.work.maps[m_index], m_index, retry_floor, wait,
+                    probe=probe,
                 )
                 job.map_starts[m_index] = task_start
                 job.map_ends[m_index] = end
                 job.map_nodes[m_index] = node
+                if job.last_map_end_s is None or end > job.last_map_end_s:
+                    job.last_map_end_s = end
                 self._intervals.append(
                     TaskInterval("map", job.job_id, node.name, task_start, end)
                 )
@@ -1693,6 +1814,7 @@ class MultiJobCluster:
         map_end_times: list[float],
         map_nodes: list[Node],
         map_outputs: list[int],
+        probe: _WriteProbe | None = None,
     ) -> tuple[float, float, list[tuple[Node, float, float]]]:
         cluster, faults, acct = self.cluster, self._faults, self._acct
         policy = faults.policy
@@ -1735,6 +1857,8 @@ class MultiJobCluster:
                 if window is not None:
                     exec_start = window[1]
                 now = exec_start + node.cpu_time(task.cpu_seconds)
+                if probe is not None:
+                    probe.note(node)
                 now = node.disk.write(now, task.output_bytes + TASK_LOG_BYTES)
                 crash = faults.crash_time(node.name)
                 if crash is not None and exec_start < crash < now:
@@ -1787,6 +1911,7 @@ class MultiJobCluster:
                     raced = self._speculate_reduce_mix(
                         job, task, task_id, attempt, shuffle_done,
                         map_phase_end, node, slot, exec_start, now,
+                        probe=probe,
                     )
                     if raced is not None:
                         node, slot, exec_start, now, attempt = raced
@@ -1797,7 +1922,7 @@ class MultiJobCluster:
                         if n is not node and not faults.dead_at(n.name, now)
                     ]
                     copies = min(cluster.hdfs.replication - 1, len(targets))
-                    offset = cluster.slaves.index(node)
+                    offset = cluster._slave_index[node.name]
                     ordered = [
                         cluster.slaves[(offset + 1 + c) % len(cluster.slaves)]
                         for c in range(len(cluster.slaves) - 1)
@@ -1807,6 +1932,8 @@ class MultiJobCluster:
                         sent = cluster.network.transfer(
                             now, node.nic, dst.nic, task.output_bytes
                         )
+                        if probe is not None:
+                            probe.note(dst)
                         now = max(now, dst.disk.write(sent, task.output_bytes))
                 node.reduce_slot_free[slot] = now
                 self.fence.try_commit(task_id, attempt)
@@ -1832,6 +1959,7 @@ class MultiJobCluster:
         slot: int,
         exec_start: float,
         now: float,
+        probe: _WriteProbe | None = None,
     ) -> tuple[Node, int, float, float, int] | None:
         """Speculative backup race for a reduce on a diagnosed limping host.
 
@@ -1864,6 +1992,8 @@ class MultiJobCluster:
         )
         backup_attempt = job.attempts[task_id] = attempt + 1
         backup_end = backup_start + backup_node.cpu_time(task.cpu_seconds)
+        if probe is not None:
+            probe.note(backup_node)
         backup_end = backup_node.disk.write(
             backup_end, task.output_bytes + TASK_LOG_BYTES
         )

@@ -410,6 +410,8 @@ def run_mix(
     plan: FaultPlan | None = None,
     engine: str = "events",
     racks: int = 1,
+    mix_cache=None,
+    observability: str = "full",
 ) -> MixResult:
     """Play *trace* through a shared cluster under *scheduler*.
 
@@ -419,9 +421,35 @@ def run_mix(
     ``racks > 1`` the shared cluster (and each solo shadow) gets a
     uniform multi-rack topology, enabling rack-aware placement,
     three-level delay scheduling and rack-level fault plans.
+
+    ``engine`` selects the dispatch engine and run mode:
+
+    * ``"fast"`` — the indexed fast path
+      (:class:`~repro.perf.clusterpath.FastMultiJobCluster`), event-bus
+      run.  Bit-identical to ``"reference"`` by contract.
+    * ``"reference"`` — the straight-line reference loop, event-bus run.
+    * ``"events"`` — alias of ``"reference"`` (the historical default).
+    * ``"legacy"`` — the reference loop without an event bus.
+
+    ``mix_cache`` (a :class:`~repro.core.simcache.MixCache`) memoises
+    the whole :class:`MixOutcome` on disk, content-addressed by trace,
+    scheduler config, fault plan, topology and cluster code digest; on a
+    warm hit the mix is not simulated at all.
     """
     from repro.workloads.base import workload
 
+    engines = {
+        "fast": "events",
+        "reference": "events",
+        "events": "events",
+        "legacy": "legacy",
+    }
+    if engine not in engines:
+        raise ValueError(
+            f"unknown engine {engine!r} "
+            "(want fast, reference, events or legacy)"
+        )
+    run_engine = engines[engine]
     shared = make_cluster(
         num_slaves=num_slaves,
         map_slots=map_slots,
@@ -429,7 +457,16 @@ def run_mix(
         block_size=block_size,
         racks=racks,
     )
-    multi = MultiJobCluster(shared, scheduler, plan=plan)
+    if engine == "fast":
+        from repro.perf.clusterpath import FastMultiJobCluster
+
+        multi = FastMultiJobCluster(
+            shared, scheduler, plan=plan, observability=observability
+        )
+    else:
+        multi = MultiJobCluster(
+            shared, scheduler, plan=plan, observability=observability
+        )
     ideals: dict[int, float] = {}
     outputs: dict[int, object] = {}
     chains: dict[int, tuple[str, ...]] = {}
@@ -464,7 +501,10 @@ def run_mix(
             id_prefix=f"t{tjob.index:03d}",
         )
         chains[tjob.index] = tuple(job.job_id for job in chain)
-    outcome = multi.run(engine=engine)
+    if mix_cache is not None:
+        outcome = mix_cache.run(multi, engine=run_engine)
+    else:
+        outcome = multi.run(engine=run_engine)
     reports = []
     for tjob in trace.jobs:
         stage_reports = [outcome.report(job_id) for job_id in chains[tjob.index]]

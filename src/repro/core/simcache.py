@@ -27,6 +27,18 @@ interrupted runs can never publish a torn file.
 Escape hatches: ``REPRO_SIM_CACHE=0`` (or ``--no-sim-cache`` on the CLI and
 pytest runs) disables the cache; ``REPRO_CACHE_DIR`` relocates it;
 :func:`clear` invalidates it explicitly.
+
+The cluster layer gets the same treatment one level up: a **mix-level
+cache** under ``.repro-cache/mix/`` memoises whole
+:class:`~repro.cluster.scheduler.MixOutcome` objects, content-addressed
+by the submitted trace, the scheduler's :meth:`describe` fingerprint,
+the fault plan, the cluster geometry/topology/device state, the
+observability mode, the run engine, and a digest of every cluster-layer
+source module (:func:`cluster_code_version`).  The fast/reference
+*dispatch* engine is again excluded from the key — the two are
+bit-identical by contract (``repro.perf.clusterpath``) — while anything
+that changes the outcome's bytes is included.  ``REPRO_MIX_CACHE=0``
+(or ``--no-mix-cache``) disables it independently of the uarch cache.
 """
 
 from __future__ import annotations
@@ -222,6 +234,410 @@ class SimCache:
         if key is not None:
             store_result(key, result, self.root)
         return result
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# -- mix-level cache (cluster layer) ----------------------------------------
+
+#: Modules whose source bytes define a mix's outcome.  Any edit to one of
+#: these produces a new cluster code version and a cold mix cache.
+_CLUSTER_VERSIONED_MODULES = (
+    "repro.cluster.attempts",
+    "repro.cluster.cluster",
+    "repro.cluster.disk",
+    "repro.cluster.eventbus",
+    "repro.cluster.faults",
+    "repro.cluster.hdfs",
+    "repro.cluster.journal",
+    "repro.cluster.network",
+    "repro.cluster.node",
+    "repro.cluster.scheduler",
+    "repro.cluster.tenancy",
+    "repro.cluster.topology",
+    "repro.perf.clusterpath",
+    "repro.perf.procfs",
+)
+
+_cluster_code_version: str | None = None
+
+
+def cluster_code_version() -> str:
+    """Digest of the cluster-layer source files (cached per process)."""
+    global _cluster_code_version
+    if _cluster_code_version is None:
+        digest = hashlib.sha256()
+        import importlib
+
+        for module_name in _CLUSTER_VERSIONED_MODULES:
+            module = importlib.import_module(module_name)
+            path = getattr(module, "__file__", None)
+            digest.update(module_name.encode())
+            if path and os.path.exists(path):
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _cluster_code_version = digest.hexdigest()[:16]
+    return _cluster_code_version
+
+
+def mix_cache_enabled(default: bool = True) -> bool:
+    """Honour the ``REPRO_MIX_CACHE`` escape hatch (0/false/off disable)."""
+    value = os.environ.get("REPRO_MIX_CACHE")
+    if value is None:
+        return default
+    return value.strip().lower() not in {"0", "false", "off", "no", ""}
+
+
+def _cluster_fingerprint(cluster) -> dict:
+    """Everything about the cluster that can change a mix's outcome.
+
+    Device *state* (slot frees, busy-until times, the clock) is included
+    alongside geometry, so a warm hit is legal even for clusters that
+    are not pristine — reuse with different prior wear simply misses.
+    """
+    network = cluster.network
+    return {
+        "block_size": cluster.hdfs.block_size,
+        "replication": cluster.hdfs.replication,
+        "bytes_per_checksum": cluster.hdfs.bytes_per_checksum,
+        "locality_wait_s": cluster.locality_wait_s,
+        "rack_locality_wait_s": cluster.rack_locality_wait_s,
+        "journaling": cluster.journal is not None,
+        "clock": cluster.clock,
+        "topology": (
+            [list(pair) for pair in cluster.topology.assignments]
+            if cluster.topology is not None
+            else None
+        ),
+        "network": [
+            network.latency_s,
+            network.fabric_bandwidth,
+            network.core_bandwidth,
+            network.fabric_busy_until,
+            network.core_busy_until,
+            sorted(network.uplink_busy_until.items()),
+        ],
+        "slaves": [
+            [
+                node.name,
+                node.map_slots,
+                node.reduce_slots,
+                node.cpu_speed,
+                node.slow_factor,
+                node.disk.read_bw,
+                node.disk.write_bw,
+                node.disk.seek_s,
+                node.nic.bandwidth,
+                list(node.map_slot_free),
+                list(node.reduce_slot_free),
+                node.disk.busy_until,
+                node.disk._pending_write_bytes,
+                node.nic.tx_busy_until,
+                node.nic.rx_busy_until,
+            ]
+            for node in cluster.slaves
+        ],
+    }
+
+
+def _submissions_fingerprint(jobs) -> list:
+    """The submitted trace: job identity, arrival, dependency edges and
+    every task's resource demands, in submission (seq) order."""
+    subs = []
+    for job in jobs:
+        work = job.work
+        subs.append(
+            [
+                job.job_id,
+                work.name,
+                job.user,
+                job.pool,
+                job.arrival_s,
+                job.depends_on.job_id if job.depends_on is not None else None,
+                [
+                    [
+                        m.input_bytes,
+                        m.cpu_seconds,
+                        m.output_bytes,
+                        list(m.preferred_nodes),
+                        list(m.split) if m.split is not None else None,
+                    ]
+                    for m in work.maps
+                ],
+                [
+                    [r.shuffle_bytes, r.cpu_seconds, r.output_bytes]
+                    for r in work.reduces
+                ],
+            ]
+        )
+    return subs
+
+
+def mix_cache_key(multi, run_engine: str = "events") -> str:
+    """Stable content hash for one mix execution's inputs.
+
+    *multi* is a fully-submitted :class:`MultiJobCluster` (either
+    dispatch engine — the fast path is bit-identical by contract, so the
+    engine class is deliberately not part of the key).  The run engine
+    ("events" vs "legacy") **is** keyed: it decides whether the outcome
+    carries an event log.  So is the observability mode, which decides
+    which per-node rates a timeline reports.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code": cluster_code_version(),
+        "run_engine": run_engine,
+        "observability": multi.observability,
+        "scheduler": multi.scheduler.describe(),
+        "plan": dataclasses.asdict(multi.plan) if multi.plan is not None else None,
+        "cluster": _cluster_fingerprint(multi.cluster),
+        "jobs": _submissions_fingerprint(multi.jobs),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _timeline_to_payload(timeline) -> list | None:
+    if timeline is None:
+        return None
+    return [
+        timeline.job_name,
+        timeline.start_s,
+        timeline.map_phase_end_s,
+        timeline.end_s,
+        timeline.map_tasks,
+        timeline.reduce_tasks,
+        sorted(timeline.disk_writes_per_second.items()),
+        timeline.network_bytes,
+        timeline.maps_node_local,
+        timeline.maps_rack_local,
+        timeline.maps_off_rack,
+        sorted(timeline.node_racks.items()),
+    ]
+
+
+def _timeline_from_payload(data):
+    if data is None:
+        return None
+    from repro.cluster.cluster import JobTimeline
+
+    return JobTimeline(
+        job_name=data[0],
+        start_s=data[1],
+        map_phase_end_s=data[2],
+        end_s=data[3],
+        map_tasks=data[4],
+        reduce_tasks=data[5],
+        disk_writes_per_second={name: rate for name, rate in data[6]},
+        network_bytes=data[7],
+        maps_node_local=data[8],
+        maps_rack_local=data[9],
+        maps_off_rack=data[10],
+        node_racks={name: rack for name, rack in data[11]},
+    )
+
+
+def mix_outcome_payload(outcome) -> dict:
+    """Compact list-based serialization — ``dataclasses.asdict`` walks
+    every nested field generically and is far too slow at 100k reports.
+
+    Also the canonical *comparison form* for bit-identity checks: every
+    outcome field is represented, dicts are key-normalized, and
+    :class:`Event` rows carry all fields (the dataclass's own ``__eq__``
+    compares only ``(priority, seq)``)."""
+    return {
+        "scheduler": outcome.scheduler,
+        "end_s": outcome.end_s,
+        "preemptions": outcome.preemptions,
+        "preemption_wasted_s": outcome.preemption_wasted_s,
+        "fenced_attempts": outcome.fenced_attempts,
+        "failed_jobs": list(outcome.failed_jobs),
+        "cancelled_jobs": list(outcome.cancelled_jobs),
+        "reports": [
+            [
+                r.job_id,
+                r.name,
+                r.user,
+                r.pool,
+                r.arrival_s,
+                r.first_launch_s,
+                r.finished_s,
+                r.preempted,
+                _timeline_to_payload(r.timeline),
+                r.status,
+            ]
+            for r in outcome.reports
+        ],
+        "task_intervals": [
+            [iv.kind, iv.job_id, iv.node, iv.start_s, iv.end_s]
+            for iv in outcome.task_intervals
+        ],
+        "fault_accounting": (
+            dataclasses.asdict(outcome.fault_accounting)
+            if outcome.fault_accounting is not None
+            else None
+        ),
+        "events": [
+            [e.priority, e.seq, e.type, e.time_s, e.payload]
+            for e in outcome.events
+        ],
+    }
+
+
+def _mix_outcome_from_payload(data):
+    from repro.cluster.eventbus import Event
+    from repro.cluster.scheduler import (
+        JobReport,
+        MixFaultAccounting,
+        MixOutcome,
+        TaskInterval,
+    )
+
+    accounting = data["fault_accounting"]
+    if accounting is not None:
+        accounting = MixFaultAccounting(
+            nodes_crashed=tuple(accounting["nodes_crashed"]),
+            partition_windows=accounting["partition_windows"],
+            limping_nodes=tuple(accounting["limping_nodes"]),
+            killed_attempts=accounting["killed_attempts"],
+            zombies_fenced=accounting["zombies_fenced"],
+            maps_reexecuted=accounting["maps_reexecuted"],
+            reduces_reexecuted=accounting["reduces_reexecuted"],
+            wasted_task_seconds=accounting["wasted_task_seconds"],
+            speculative_attempts=accounting["speculative_attempts"],
+            speculative_wins=accounting["speculative_wins"],
+            speculative_losers_fenced=accounting["speculative_losers_fenced"],
+            stragglers_detected=tuple(accounting["stragglers_detected"]),
+        )
+    return MixOutcome(
+        scheduler=data["scheduler"],
+        reports=[
+            JobReport(
+                job_id=r[0],
+                name=r[1],
+                user=r[2],
+                pool=r[3],
+                arrival_s=r[4],
+                first_launch_s=r[5],
+                finished_s=r[6],
+                preempted=r[7],
+                timeline=_timeline_from_payload(r[8]),
+                status=r[9],
+            )
+            for r in data["reports"]
+        ],
+        end_s=data["end_s"],
+        preemptions=data["preemptions"],
+        preemption_wasted_s=data["preemption_wasted_s"],
+        task_intervals=[
+            TaskInterval(
+                kind=iv[0], job_id=iv[1], node=iv[2], start_s=iv[3], end_s=iv[4]
+            )
+            for iv in data["task_intervals"]
+        ],
+        fault_accounting=accounting,
+        fenced_attempts=data["fenced_attempts"],
+        failed_jobs=tuple(data["failed_jobs"]),
+        cancelled_jobs=tuple(data["cancelled_jobs"]),
+        events=tuple(
+            Event(
+                priority=e[0], seq=e[1], type=e[2], time_s=e[3], payload=e[4]
+            )
+            for e in data["events"]
+        ),
+    )
+
+
+def _mix_entry_path(root: Path, key: str) -> Path:
+    return root / "mix" / key[:2] / f"{key}.json"
+
+
+def load_mix(key: str, root: str | os.PathLike | None = None):
+    """Fetch a cached mix outcome by key, or None on miss/corruption."""
+    path = _mix_entry_path(cache_dir(root), key)
+    try:
+        # One bulk binary read beats json.load's incremental text
+        # decoding; scale-row entries run to tens of megabytes.
+        payload = json.loads(path.read_bytes())
+    except (OSError, ValueError):
+        return None
+    data = payload.get("outcome")
+    if not isinstance(data, dict):
+        return None
+    try:
+        return _mix_outcome_from_payload(data)
+    except (KeyError, IndexError, TypeError):
+        # Shape mismatch from an entry written before a schema bump.
+        return None
+
+
+def store_mix(key: str, outcome, root: str | os.PathLike | None = None) -> None:
+    """Persist *outcome* under *key* atomically (tmp file + rename)."""
+    path = _mix_entry_path(cache_dir(root), key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code": cluster_code_version(),
+        "outcome": mix_outcome_payload(outcome),
+    }
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def clear_mix(root: str | os.PathLike | None = None) -> int:
+    """Delete every cached mix outcome; return the count."""
+    mix_root = cache_dir(root) / "mix"
+    if not mix_root.exists():
+        return 0
+    count = sum(1 for _ in mix_root.rglob("*.json"))
+    shutil.rmtree(mix_root)
+    return count
+
+
+class MixCache:
+    """One mix-cache handle with hit/miss accounting.
+
+    ``run`` is the memoised twin of :meth:`MultiJobCluster.run`: on a
+    hit the stored outcome is returned without dispatching a single
+    task; on a miss the mix runs and the outcome is persisted.  Both
+    paths return bit-identical values (``tests/core/test_simcache.py``
+    round-trips every field).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        self.root = cache_dir(root)
+        self.enabled = mix_cache_enabled() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+
+    def run(self, multi, engine: str = "events"):
+        key = None
+        if self.enabled:
+            key = mix_cache_key(multi, run_engine=engine)
+            cached = load_mix(key, self.root)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        outcome = multi.run(engine=engine)
+        if key is not None:
+            store_mix(key, outcome, self.root)
+        return outcome
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

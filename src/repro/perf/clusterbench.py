@@ -1,0 +1,423 @@
+"""Benchmark harness for the cluster dispatch engines (``bench-cluster``).
+
+Times a pinned matrix of scheduler mixes three ways —
+
+* **reference**: the straight-line ``MultiJobCluster._run_round`` loop
+  (cold),
+* **fast**: the indexed engine in ``perf/clusterpath.py`` (cold), and
+* **warm**: the fast path through a freshly-populated
+  :class:`~repro.core.simcache.MixCache` (a cache hit),
+
+verifies bit-identical :class:`MixOutcome` payloads across all three,
+and writes the measurements to ``BENCH_cluster.json`` (next to
+``BENCH_uarch.json``) so the cluster layer's perf trajectory is tracked
+across PRs.  On top of the matrix it runs the headline **scale row** — a
+day-long 100k-job trace on a simulated 1000-node cluster — fast-cold
+and warm only (the reference engine would take minutes there, which is
+the point of the fast path).
+
+The matrix pins one mix per dispatch regime: FIFO under sustained slot
+contention, the Fair scheduler with preemption timeouts firing, the
+Capacity scheduler with chained stages on a multi-rack topology, and a
+fault plan exercising crash/partition/fail-slow paths with speculation.
+``docs/performance.md`` explains how to read the file.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.cluster import JobWork, MapWork, ReduceWork, make_cluster
+from repro.cluster.faults import FaultPlan
+from repro.cluster.scheduler import (
+    CapacityScheduler,
+    FairScheduler,
+    FifoScheduler,
+    MultiJobCluster,
+    PoolConfig,
+    QueueConfig,
+)
+from repro.core.simcache import (
+    MixCache,
+    cluster_code_version,
+    mix_cache_key,
+    mix_outcome_payload,
+    store_mix,
+)
+from repro.perf.clusterpath import FastMultiJobCluster
+
+#: Schema of BENCH_cluster.json; bump on layout changes.
+BENCH_SCHEMA = 1
+
+#: The headline scale row: a day-long trace, paper-scale node count.
+DEFAULT_SCALE_JOBS = 100_000
+DEFAULT_SCALE_NODES = 1000
+DAY_S = 86_400.0
+
+
+# -- pinned mix builders ------------------------------------------------------
+
+
+def _submit_uniform(multi, jobs: int, rng: random.Random, spacing_s: float) -> None:
+    for i in range(jobs):
+        maps = tuple(
+            MapWork(1 << 18, rng.uniform(0.5, 3.0), 1 << 16) for _ in range(2)
+        )
+        reduces = (ReduceWork(1 << 16, rng.uniform(0.3, 1.0), 1 << 16),)
+        multi.submit(
+            JobWork(name=f"j{i}", maps=maps, reduces=reduces),
+            arrival_s=i * spacing_s,
+            user=f"u{i % 5}",
+        )
+
+
+def _mix_fifo(cls, jobs: int, nodes: int):
+    """FIFO under sustained contention: arrivals outpace slot drain."""
+    cluster = make_cluster(
+        num_slaves=nodes, map_slots=8, reduce_slots=4, block_size=256 * 1024
+    )
+    multi = cls(cluster, scheduler=FifoScheduler(), observability="lean")
+    _submit_uniform(multi, jobs, random.Random(101), spacing_s=0.9)
+    return multi
+
+
+def _mix_fair(cls, jobs: int, nodes: int):
+    """Fair scheduler, preemption on, bursty pools so timeouts fire."""
+    cluster = make_cluster(
+        num_slaves=nodes, map_slots=4, reduce_slots=2, block_size=128 * 1024
+    )
+    scheduler = FairScheduler(
+        pools=[
+            PoolConfig("etl", weight=2.0, min_share=2 * nodes),
+            PoolConfig("adhoc"),
+        ],
+        preemption=True,
+        min_share_timeout_s=5.0,
+        fair_share_timeout_s=15.0,
+    )
+    multi = cls(cluster, scheduler=scheduler, observability="full")
+    rng = random.Random(202)
+    for i in range(jobs):
+        n_maps = rng.randint(1, 6)
+        maps = tuple(
+            MapWork(1 << 17, rng.uniform(1.0, 6.0), 1 << 15)
+            for _ in range(n_maps)
+        )
+        reduces = (ReduceWork(1 << 15, rng.uniform(0.2, 0.8), 1 << 15),)
+        # adhoc floods early, etl arrives into a saturated cluster — the
+        # min-share starvation clock has to preempt to honour it
+        pool = "adhoc" if i % 3 else "etl"
+        multi.submit(
+            JobWork(name=f"j{i}", maps=maps, reduces=reduces),
+            arrival_s=rng.uniform(0.0, jobs * 0.35),
+            user=f"u{i % 4}",
+            pool=pool,
+        )
+    return multi
+
+
+def _mix_capacity(cls, jobs: int, nodes: int):
+    """Capacity queues + chained stages + racks + placement hints."""
+    cluster = make_cluster(
+        num_slaves=nodes,
+        map_slots=4,
+        reduce_slots=2,
+        block_size=128 * 1024,
+        racks=4,
+    )
+    scheduler = CapacityScheduler(
+        queues=[
+            QueueConfig("prod", capacity=0.7, user_limit=0.5),
+            QueueConfig("dev", capacity=0.3),
+        ]
+    )
+    multi = cls(cluster, scheduler=scheduler, observability="full")
+    rng = random.Random(303)
+    names = [node.name for node in cluster.slaves]
+    for i in range(jobs):
+        works = []
+        for stage in range(rng.randint(1, 3)):
+            maps = tuple(
+                MapWork(
+                    1 << 17,
+                    rng.uniform(0.5, 3.0),
+                    1 << 15,
+                    preferred_nodes=tuple(rng.sample(names, 2)),
+                )
+                for _ in range(rng.randint(1, 4))
+            )
+            reduces = (ReduceWork(1 << 15, rng.uniform(0.2, 0.6), 1 << 15),)
+            works.append(JobWork(name=f"j{i}s{stage}", maps=maps, reduces=reduces))
+        multi.submit_chain(
+            works,
+            arrival_s=rng.uniform(0.0, jobs * 0.3),
+            user=f"u{i % 3}",
+            pool="prod" if i % 4 else "dev",
+            id_prefix=f"c{i:04d}",
+        )
+    return multi
+
+
+def _mix_faults(cls, jobs: int, nodes: int):
+    """Crash + partition + fail-slow under FIFO with speculation."""
+    cluster = make_cluster(
+        num_slaves=nodes, map_slots=4, reduce_slots=2, block_size=128 * 1024
+    )
+    plan = FaultPlan(
+        node_crashes=(("slave2", 40.0),),
+        partitions=(("slave3", 10.0, 8.0),),
+        limping_nodes=(("slave4", 3.0),),
+        speculative_execution=True,
+    )
+    multi = cls(
+        cluster, scheduler=FifoScheduler(), plan=plan, observability="full"
+    )
+    rng = random.Random(404)
+    for i in range(jobs):
+        maps = tuple(
+            MapWork(1 << 17, rng.uniform(0.5, 4.0), 1 << 15)
+            for _ in range(rng.randint(1, 4))
+        )
+        reduces = (ReduceWork(1 << 15, rng.uniform(0.2, 0.8), 1 << 15),)
+        multi.submit(
+            JobWork(name=f"j{i}", maps=maps, reduces=reduces),
+            arrival_s=rng.uniform(0.0, jobs * 0.4),
+            user=f"u{i % 3}",
+        )
+    return multi
+
+
+def _mix_scale(cls, jobs: int, nodes: int):
+    """The headline row: a day-long trace at data-center node count."""
+    cluster = make_cluster(
+        num_slaves=nodes, map_slots=8, reduce_slots=4, block_size=256 * 1024
+    )
+    multi = cls(cluster, scheduler=FifoScheduler(), observability="lean")
+    _submit_uniform(multi, jobs, random.Random(11), spacing_s=DAY_S / max(jobs, 1))
+    return multi
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One pinned benchmark mix."""
+
+    name: str
+    group: str
+    jobs: int
+    nodes: int
+    build: Callable
+    #: False for the scale row: the reference engine is not raced there.
+    compare_reference: bool = True
+
+
+def pinned_matrix(
+    scale_jobs: int = DEFAULT_SCALE_JOBS, scale_nodes: int = DEFAULT_SCALE_NODES
+) -> list[MixSpec]:
+    """The benchmark matrix (equivalence rows + the scale row)."""
+    return [
+        MixSpec("fifo-contended", "fifo", 2500, 96, _mix_fifo),
+        MixSpec("fair-preemption", "fair", 160, 16, _mix_fair),
+        MixSpec("capacity-chains", "capacity", 120, 16, _mix_capacity),
+        MixSpec("faults-speculation", "faults", 120, 12, _mix_faults),
+        MixSpec(
+            "scale-day-trace",
+            "scale",
+            scale_jobs,
+            scale_nodes,
+            _mix_scale,
+            compare_reference=False,
+        ),
+    ]
+
+
+# -- measurement --------------------------------------------------------------
+
+
+@dataclass
+class ClusterBenchRow:
+    """Per-mix engine timings (seconds) and derived rates."""
+
+    name: str
+    group: str
+    jobs: int
+    nodes: int
+    fast_seconds: float
+    warm_seconds: float
+    bit_identical: bool
+    reference_seconds: float | None = None
+
+    @property
+    def engine_speedup(self) -> float | None:
+        if self.reference_seconds is None or not self.fast_seconds:
+            return None
+        return self.reference_seconds / self.fast_seconds
+
+    @property
+    def warm_speedup(self) -> float | None:
+        if self.reference_seconds is None or not self.warm_seconds:
+            return None
+        return self.reference_seconds / self.warm_seconds
+
+    @property
+    def jobs_per_sec_fast(self) -> float:
+        return self.jobs / self.fast_seconds if self.fast_seconds else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "jobs": self.jobs,
+            "nodes": self.nodes,
+            "reference_seconds": (
+                round(self.reference_seconds, 4)
+                if self.reference_seconds is not None
+                else None
+            ),
+            "fast_seconds": round(self.fast_seconds, 4),
+            "warm_seconds": round(self.warm_seconds, 4),
+            "engine_speedup": (
+                round(self.engine_speedup, 3)
+                if self.engine_speedup is not None
+                else None
+            ),
+            "warm_speedup": (
+                round(self.warm_speedup, 3)
+                if self.warm_speedup is not None
+                else None
+            ),
+            "jobs_per_sec_fast": round(self.jobs_per_sec_fast, 1),
+            "bit_identical": self.bit_identical,
+        }
+
+
+@dataclass
+class ClusterBenchReport:
+    """The full bench-cluster run: rows plus aggregate totals."""
+
+    rows: list[ClusterBenchRow] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def totals(self) -> dict:
+        compared = [r for r in self.rows if r.reference_seconds is not None]
+        ref = sum(r.reference_seconds for r in compared)
+        fast_compared = sum(r.fast_seconds for r in compared)
+        warm_compared = sum(r.warm_seconds for r in compared)
+        fast = sum(r.fast_seconds for r in self.rows)
+        warm = sum(r.warm_seconds for r in self.rows)
+        jobs = sum(r.jobs for r in self.rows)
+        probes = self.cache_hits + self.cache_misses
+        totals = {
+            "mixes": len(self.rows),
+            "jobs": jobs,
+            "reference_seconds": round(ref, 4),
+            "fast_seconds": round(fast, 4),
+            "warm_seconds": round(warm, 4),
+            "engine_speedup_cold": (
+                round(ref / fast_compared, 3) if fast_compared else 0.0
+            ),
+            "fastpath_speedup_warm": (
+                round(ref / warm_compared, 3) if warm_compared else 0.0
+            ),
+            "jobs_per_sec_fast": round(jobs / fast) if fast else 0,
+            "cache_hit_rate": (
+                round(self.cache_hits / probes, 4) if probes else 0.0
+            ),
+            "bit_identical": all(r.bit_identical for r in self.rows),
+        }
+        scale_rows = [r for r in self.rows if r.reference_seconds is None]
+        if scale_rows:
+            row = scale_rows[0]
+            totals["scale_jobs"] = row.jobs
+            totals["scale_nodes"] = row.nodes
+            totals["scale_fast_seconds"] = round(row.fast_seconds, 4)
+            totals["scale_warm_seconds"] = round(row.warm_seconds, 4)
+            totals["scale_jobs_per_sec"] = round(row.jobs_per_sec_fast)
+        return totals
+
+    def to_json(self) -> dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "generated_unix": int(time.time()),
+            "cluster_code_version": cluster_code_version(),
+            "totals": self.totals(),
+            "mixes": [row.to_json() for row in self.rows],
+        }
+
+
+def run_cluster_bench(
+    matrix: list[MixSpec] | None = None,
+    cache_root: str | None = None,
+) -> ClusterBenchReport:
+    """Time reference vs fast vs warm-cache for each pinned mix.
+
+    ``cache_root=None`` uses a throwaway temp directory so benchmarking
+    never interferes with (or benefits from) the working tree's cache.
+    """
+    if matrix is None:
+        matrix = pinned_matrix()
+    report = ClusterBenchReport()
+
+    def measure(spec: MixSpec, root: str) -> ClusterBenchRow:
+        reference_seconds = None
+        reference_payload = None
+        if spec.compare_reference:
+            multi = spec.build(MultiJobCluster, spec.jobs, spec.nodes)
+            t0 = time.perf_counter()
+            outcome = multi.run(engine="events", raise_on_failure=False)
+            reference_seconds = time.perf_counter() - t0
+            reference_payload = mix_outcome_payload(outcome)
+        # fast cold — key the cache entry before the run mutates state
+        multi = spec.build(FastMultiJobCluster, spec.jobs, spec.nodes)
+        key = mix_cache_key(multi, run_engine="events")
+        t0 = time.perf_counter()
+        outcome = multi.run(engine="events", raise_on_failure=False)
+        fast_seconds = time.perf_counter() - t0
+        fast_payload = mix_outcome_payload(outcome)
+        store_mix(key, outcome, root)
+        report.cache_misses += 1
+        # warm — a fresh build must hit the entry just stored
+        cache = MixCache(root=root, enabled=True)
+        multi = spec.build(FastMultiJobCluster, spec.jobs, spec.nodes)
+        t0 = time.perf_counter()
+        warm = cache.run(multi, engine="events")
+        warm_seconds = time.perf_counter() - t0
+        report.cache_hits += cache.hits
+        report.cache_misses += cache.misses
+        bit_identical = cache.hits == 1 and mix_outcome_payload(warm) == fast_payload
+        if reference_payload is not None:
+            bit_identical = bit_identical and reference_payload == fast_payload
+        return ClusterBenchRow(
+            name=spec.name,
+            group=spec.group,
+            jobs=spec.jobs,
+            nodes=spec.nodes,
+            fast_seconds=fast_seconds,
+            warm_seconds=warm_seconds,
+            bit_identical=bit_identical,
+            reference_seconds=reference_seconds,
+        )
+
+    if cache_root is None:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            for spec in matrix:
+                report.rows.append(measure(spec, tmp))
+    else:
+        for spec in matrix:
+            report.rows.append(measure(spec, cache_root))
+    return report
+
+
+def write_cluster_report(
+    report: ClusterBenchReport, path: str = "BENCH_cluster.json"
+) -> str:
+    """Serialize *report* to *path*; return the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -4,22 +4,34 @@ The cache's contract has two halves: keys are *stable* (the same inputs
 always address the same entry, and any input change addresses a new one),
 and hits are *bit-identical* to cold runs.  Parallel characterization
 carries the same promise — ``workers=N`` must return the exact result
-list of a serial run, in the same order.
+list of a serial run, in the same order.  The mix-level cache (whole
+``MixOutcome`` values, content-addressed by trace + scheduler config +
+fault plan + topology + cluster code digest) repeats both halves at the
+cluster layer.
 """
 
 import dataclasses
 import os
+import random
 
 import pytest
 
 from repro.core.characterize import characterize_suite, resolve_workers
 from repro.core.simcache import (
+    MixCache,
     SimCache,
     cache_enabled,
     clear,
+    clear_mix,
+    cluster_code_version,
     code_version,
+    load_mix,
     load_result,
+    mix_cache_enabled,
+    mix_cache_key,
+    mix_outcome_payload,
     sim_cache_key,
+    store_mix,
     store_result,
 )
 from repro.core.suite import DCBench
@@ -142,6 +154,165 @@ class TestSimCache:
         cache = SimCache(enabled=True)
         cache.simulate(spec, SCALED)
         assert (tmp_path / "relocated" / "sim").exists()
+
+
+def build_small_mix(engine="reference", *, seed=0, plan=False, racks=1):
+    """A small deterministic mix on a fresh cluster, ready to run."""
+    from repro.cluster.cluster import JobWork, MapWork, ReduceWork, make_cluster
+    from repro.cluster.faults import FaultPlan
+    from repro.cluster.scheduler import FifoScheduler, MultiJobCluster
+
+    if engine == "fast":
+        from repro.perf.clusterpath import FastMultiJobCluster as cls
+    else:
+        cls = MultiJobCluster
+    cluster = make_cluster(
+        num_slaves=max(3, racks), map_slots=2, block_size=64 * 1024, racks=racks
+    )
+    fault_plan = None
+    if plan:
+        fault_plan = FaultPlan(partitions=(("slave2", 0.2, 0.5),))
+    multi = cls(cluster, scheduler=FifoScheduler(), plan=fault_plan)
+    rng = random.Random(seed)
+    for i in range(4):
+        maps = tuple(
+            MapWork(1 << 12, rng.uniform(0.05, 0.3), 1 << 10) for _ in range(2)
+        )
+        multi.submit(
+            JobWork(name=f"j{i}", maps=maps, reduces=()),
+            arrival_s=i * 0.1,
+            user=f"u{i % 2}",
+        )
+    return multi
+
+
+class TestMixCacheKey:
+    def test_key_is_stable_across_builds(self):
+        assert mix_cache_key(build_small_mix()) == mix_cache_key(build_small_mix())
+
+    def test_engine_class_shares_the_key(self):
+        # Fast vs reference is bit-identical by contract, so either
+        # engine's cold run may serve the other's warm hit.
+        assert mix_cache_key(build_small_mix("reference")) == (
+            mix_cache_key(build_small_mix("fast"))
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [{"seed": 1}, {"plan": True}, {"racks": 3}],
+    )
+    def test_any_input_changes_key(self, change):
+        assert mix_cache_key(build_small_mix(**change)) != (
+            mix_cache_key(build_small_mix())
+        )
+
+    def test_run_engine_is_keyed(self):
+        # "legacy" runs carry no event log, so the outcomes differ.
+        assert mix_cache_key(build_small_mix(), run_engine="legacy") != (
+            mix_cache_key(build_small_mix(), run_engine="events")
+        )
+
+    def test_key_folds_in_cluster_code_version(self, monkeypatch):
+        base = mix_cache_key(build_small_mix())
+        monkeypatch.setattr(
+            "repro.core.simcache._cluster_code_version", "feedfacefeedface"
+        )
+        assert mix_cache_key(build_small_mix()) != base
+
+    def test_cluster_code_version_shape(self):
+        version = cluster_code_version()
+        assert len(version) == 16
+        int(version, 16)  # hex digest prefix
+
+
+class TestMixStore:
+    def test_round_trip_bit_identical(self, tmp_path):
+        multi = build_small_mix(plan=True)
+        key = mix_cache_key(multi)
+        outcome = multi.run()
+        store_mix(key, outcome, tmp_path)
+        loaded = load_mix(key, tmp_path)
+        assert mix_outcome_payload(loaded) == mix_outcome_payload(outcome)
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert load_mix("0" * 64, tmp_path) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        multi = build_small_mix()
+        key = mix_cache_key(multi)
+        store_mix(key, multi.run(), tmp_path)
+        path = tmp_path / "mix" / key[:2] / f"{key}.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert load_mix(key, tmp_path) is None
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        multi = build_small_mix()
+        key = mix_cache_key(multi)
+        store_mix(key, multi.run(), tmp_path)
+        path = tmp_path / "mix" / key[:2] / f"{key}.json"
+        path.write_text('{"outcome": {"reports": 3}}', encoding="utf-8")
+        assert load_mix(key, tmp_path) is None
+
+    def test_clear_mix_counts_and_removes(self, tmp_path):
+        for seed in (0, 1):
+            multi = build_small_mix(seed=seed)
+            store_mix(mix_cache_key(multi), multi.run(), tmp_path)
+        assert clear_mix(tmp_path) == 2
+        assert clear_mix(tmp_path) == 0
+
+
+class TestMixCache:
+    def test_hit_is_bit_identical_to_cold_run(self, tmp_path):
+        cache = MixCache(tmp_path, enabled=True)
+        cold = cache.run(build_small_mix(plan=True))
+        warm = cache.run(build_small_mix(plan=True))
+        assert mix_outcome_payload(cold) == mix_outcome_payload(warm)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_fast_cold_serves_reference_warm(self, tmp_path):
+        cache = MixCache(tmp_path, enabled=True)
+        cold = cache.run(build_small_mix("fast"))
+        warm = cache.run(build_small_mix("reference"))
+        assert mix_outcome_payload(cold) == mix_outcome_payload(warm)
+        assert cache.hits == 1
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = MixCache(tmp_path, enabled=False)
+        cache.run(build_small_mix())
+        cache.run(build_small_mix())
+        assert cache.hits == 0
+        assert cache.misses == 2
+        assert not (tmp_path / "mix").exists()
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MIX_CACHE", raising=False)
+        assert mix_cache_enabled()
+        for off in ("0", "false", "off", "no", ""):
+            monkeypatch.setenv("REPRO_MIX_CACHE", off)
+            assert not mix_cache_enabled()
+        monkeypatch.setenv("REPRO_MIX_CACHE", "1")
+        assert mix_cache_enabled()
+
+    def test_run_mix_integration(self, tmp_path):
+        """run_mix(mix_cache=...) returns identical results warm and cold."""
+        from repro.cluster.scheduler import make_scheduler
+        from repro.cluster.tenancy import generate_trace, run_mix
+
+        trace = generate_trace(seed=3, num_jobs=4)
+        cold_cache = MixCache(tmp_path, enabled=True)
+        cold = run_mix(
+            trace, make_scheduler("fifo"), engine="fast", mix_cache=cold_cache
+        )
+        warm_cache = MixCache(tmp_path, enabled=True)
+        warm = run_mix(
+            trace, make_scheduler("fifo"), engine="fast", mix_cache=warm_cache
+        )
+        assert warm_cache.hits >= 1
+        assert mix_outcome_payload(cold.outcome) == (
+            mix_outcome_payload(warm.outcome)
+        )
+        assert cold.makespan_s == warm.makespan_s
 
 
 class TestParallelSuite:
